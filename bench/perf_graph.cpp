@@ -1,0 +1,75 @@
+/// P1 -- performance of the graph substrate: Dijkstra, all-pairs shortest
+/// paths, and metric construction across topology families and sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <random>
+
+#include "graph/generators.hpp"
+#include "graph/metric.hpp"
+#include "graph/shortest_paths.hpp"
+
+namespace {
+
+using namespace qp::graph;
+
+Graph make_er(int n) {
+  std::mt19937_64 rng(42);
+  return erdos_renyi(n, std::min(1.0, 8.0 / n), rng, 1.0, 10.0);
+}
+
+void BM_DijkstraErdosRenyi(benchmark::State& state) {
+  const Graph g = make_er(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DijkstraErdosRenyi)->Range(64, 4096)->Complexity();
+
+void BM_DijkstraGridMesh(benchmark::State& state) {
+  const Graph g = grid_mesh(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_DijkstraGridMesh)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_AllPairs(benchmark::State& state) {
+  const Graph g = make_er(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_pairs_distances(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AllPairs)->Range(32, 512)->Complexity();
+
+void BM_MetricFromGraph(benchmark::State& state) {
+  const Graph g = make_er(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Metric::from_graph(g));
+  }
+}
+BENCHMARK(BM_MetricFromGraph)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_NodesByDistance(benchmark::State& state) {
+  const Metric m = Metric::from_graph(make_er(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.nodes_by_distance_from(0));
+  }
+}
+BENCHMARK(BM_NodesByDistance)->Arg(128)->Arg(512);
+
+void BM_GeneratorGeometric(benchmark::State& state) {
+  for (auto _ : state) {
+    std::mt19937_64 rng(7);
+    benchmark::DoNotOptimize(
+        random_geometric(static_cast<int>(state.range(0)), 0.3, rng));
+  }
+}
+BENCHMARK(BM_GeneratorGeometric)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

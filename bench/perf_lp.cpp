@@ -1,0 +1,97 @@
+/// P2 -- performance of the LP substrate: simplex on the paper's two LP
+/// shapes (SSQPP LP (9)-(14) and the GAP relaxation (15)-(18)).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "assign/gap.hpp"
+#include "core/ssqpp_lp.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace {
+
+using namespace qp;
+
+core::SsqppInstance ssqpp_instance(int n, int k) {
+  std::mt19937_64 rng(11);
+  const graph::Metric metric = graph::Metric::from_graph(
+      graph::erdos_renyi(n, 0.35, rng, 1.0, 10.0));
+  const quorum::QuorumSystem system = quorum::grid(k);
+  return core::SsqppInstance(
+      metric, std::vector<double>(static_cast<std::size_t>(n), 1.0), system,
+      quorum::AccessStrategy::uniform(system), 0);
+}
+
+void BM_SsqppLpGrid2(benchmark::State& state) {
+  const core::SsqppInstance instance =
+      ssqpp_instance(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_ssqpp_lp(instance));
+  }
+}
+BENCHMARK(BM_SsqppLpGrid2)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SsqppLpGrid3(benchmark::State& state) {
+  const core::SsqppInstance instance =
+      ssqpp_instance(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_ssqpp_lp(instance));
+  }
+}
+BENCHMARK(BM_SsqppLpGrid3)->Arg(10)->Arg(16);
+
+void BM_GapLp(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int machines = jobs / 2;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> cost(1.0, 10.0);
+  std::uniform_real_distribution<double> load(0.2, 1.0);
+  assign::GapInstance gap(jobs, machines);
+  for (int i = 0; i < machines; ++i) {
+    gap.set_capacity(i, 3.0);
+    for (int j = 0; j < jobs; ++j) {
+      gap.set_cost(i, j, cost(rng));
+      gap.set_load(i, j, load(rng));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign::solve_gap_lp(gap));
+  }
+}
+BENCHMARK(BM_GapLp)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_GapRoundingEndToEnd(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const int machines = jobs / 2;
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> cost(1.0, 10.0);
+  std::uniform_real_distribution<double> load(0.2, 1.0);
+  assign::GapInstance gap(jobs, machines);
+  for (int i = 0; i < machines; ++i) {
+    gap.set_capacity(i, 3.0);
+    for (int j = 0; j < jobs; ++j) {
+      gap.set_cost(i, j, cost(rng));
+      gap.set_load(i, j, load(rng));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assign::solve_gap(gap));
+  }
+}
+BENCHMARK(BM_GapRoundingEndToEnd)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_FilterFractional(benchmark::State& state) {
+  const core::SsqppInstance instance =
+      ssqpp_instance(static_cast<int>(state.range(0)), 2);
+  const core::FractionalSsqpp fractional = core::solve_ssqpp_lp(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::filter_fractional(fractional, 2.0));
+  }
+}
+BENCHMARK(BM_FilterFractional)->Arg(16)->Arg(24);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+/// P3 -- performance of the end-to-end placement algorithms: Thm 3.7 SSQPP
+/// rounding, Thm 1.2 QPP, the closed-form Sec 4 layouts, Thm 5.1 total
+/// delay, and the exact solvers used as oracles.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "core/grid_layout.hpp"
+#include "core/majority_layout.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace {
+
+using namespace qp;
+
+graph::Metric metric_of(int n) {
+  std::mt19937_64 rng(21);
+  return graph::Metric::from_graph(graph::erdos_renyi(n, 0.4, rng, 1.0, 8.0));
+}
+
+void BM_SolveSsqppGrid2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const core::SsqppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_ssqpp(instance, 2.0));
+  }
+}
+BENCHMARK(BM_SolveSsqppGrid2)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SolveQppMajority(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::majority(5);
+  const core::QppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_qpp(instance));
+  }
+}
+BENCHMARK(BM_SolveQppMajority)->Arg(8)->Arg(12);
+
+void BM_GridLayout(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const int n = k * k + 8;
+  const quorum::QuorumSystem system = quorum::grid(k);
+  const double load = static_cast<double>(2 * k - 1) / (k * k);
+  const core::SsqppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), load),
+      system, quorum::AccessStrategy::uniform(system), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::optimal_grid_layout(instance, k));
+  }
+}
+BENCHMARK(BM_GridLayout)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_MajorityLayout(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int n_elems = 2 * t - 1;
+  const int n = n_elems + 10;
+  const quorum::QuorumSystem system = quorum::majority(n_elems, t);
+  const core::SsqppInstance instance(
+      metric_of(n),
+      std::vector<double>(static_cast<std::size_t>(n),
+                          static_cast<double>(t) / n_elems),
+      system, quorum::AccessStrategy::uniform(system), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::majority_layout(instance, t));
+  }
+}
+BENCHMARK(BM_MajorityLayout)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_TotalDelayGrid2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const core::QppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_total_delay(instance));
+  }
+}
+BENCHMARK(BM_TotalDelayGrid2)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ExactSsqppOracle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::majority(4);
+  const core::SsqppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system), 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exact_ssqpp(instance));
+  }
+}
+BENCHMARK(BM_ExactSsqppOracle)->Arg(5)->Arg(6)->Arg(7);
+
+void BM_AverageMaxDelayEvaluator(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::grid(3);
+  const core::QppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system));
+  core::Placement f(9);
+  for (int u = 0; u < 9; ++u) f[static_cast<std::size_t>(u)] = u % n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::average_max_delay(instance, f));
+  }
+}
+BENCHMARK(BM_AverageMaxDelayEvaluator)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

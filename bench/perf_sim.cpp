@@ -1,0 +1,91 @@
+/// P4 -- performance of the discrete-event simulator: events per second
+/// across access modes, queueing configurations and system sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace qp;
+
+core::QppInstance make_instance(int n, int k) {
+  std::mt19937_64 rng(5);
+  const graph::Metric metric = graph::Metric::from_graph(
+      graph::erdos_renyi(n, std::min(1.0, 8.0 / n), rng, 1.0, 6.0));
+  const quorum::QuorumSystem system = quorum::grid(k);
+  return core::QppInstance(
+      metric, std::vector<double>(static_cast<std::size_t>(n), 1e6), system,
+      quorum::AccessStrategy::uniform(system));
+}
+
+core::Placement spread_placement(const core::QppInstance& instance) {
+  core::Placement f(
+      static_cast<std::size_t>(instance.system().universe_size()));
+  for (std::size_t u = 0; u < f.size(); ++u) {
+    f[u] = static_cast<int>(u) % instance.num_nodes();
+  }
+  return f;
+}
+
+void BM_SimulateParallel(benchmark::State& state) {
+  const core::QppInstance instance =
+      make_instance(static_cast<int>(state.range(0)), 3);
+  const core::Placement f = spread_placement(instance);
+  sim::SimulationConfig config;
+  config.duration = 200.0;
+  std::int64_t accesses = 0;
+  for (auto _ : state) {
+    const auto result = sim::simulate(instance, f, config);
+    accesses += result.completed_accesses;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["accesses/s"] = benchmark::Counter(
+      static_cast<double>(accesses), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateParallel)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimulateSequential(benchmark::State& state) {
+  const core::QppInstance instance =
+      make_instance(static_cast<int>(state.range(0)), 3);
+  const core::Placement f = spread_placement(instance);
+  sim::SimulationConfig config;
+  config.duration = 200.0;
+  config.mode = sim::AccessMode::kSequential;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(instance, f, config));
+  }
+}
+BENCHMARK(BM_SimulateSequential)->Arg(16)->Arg(64);
+
+void BM_SimulateWithQueueing(benchmark::State& state) {
+  const core::QppInstance instance = make_instance(32, 3);
+  const core::Placement f = spread_placement(instance);
+  sim::SimulationConfig config;
+  config.duration = 200.0;
+  config.service_rate = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(instance, f, config));
+  }
+}
+BENCHMARK(BM_SimulateWithQueueing)->Arg(1000)->Arg(50);
+
+void BM_SimulateNearestQuorum(benchmark::State& state) {
+  const core::QppInstance instance = make_instance(32, 3);
+  const core::Placement f = spread_placement(instance);
+  sim::SimulationConfig config;
+  config.duration = 200.0;
+  config.selection = sim::SelectionPolicy::kNearestQuorum;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(instance, f, config));
+  }
+}
+BENCHMARK(BM_SimulateNearestQuorum);
+
+}  // namespace
+
+BENCHMARK_MAIN();

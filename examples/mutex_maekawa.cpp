@@ -1,0 +1,100 @@
+/// Distributed mutual exclusion a la Maekawa: each client must collect
+/// grants from a full quorum before entering the critical section, so its
+/// lock-acquisition latency is the max-delay delta_f(v, Q) of the paper.
+/// We place a finite-projective-plane quorum system (the ideal sqrt(n)
+/// Maekawa coterie) on a scale-free overlay with the Thm 1.2 solver and
+/// report per-client lock latencies against a random placement.
+
+#include <iostream>
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/qpp_solver.hpp"
+#include "graph/generators.hpp"
+#include "quorum/analysis.hpp"
+#include "quorum/constructions.hpp"
+#include "report/stats.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace qp;
+
+  // Scale-free overlay of 20 peers (preferential attachment), unit-latency
+  // links.
+  std::mt19937_64 rng(77);
+  const graph::Graph g = graph::barabasi_albert(20, 2, rng);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+
+  // Fano-plane coterie: 7 lock managers, quorums of 3, pairwise
+  // intersections of exactly one manager (deadlock-avoidance friendly).
+  const quorum::QuorumSystem system = quorum::projective_plane(2);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  std::cout << "Overlay: " << g.describe() << "\n"
+            << "Coterie: " << system.describe()
+            << " (finite projective plane of order 2)\n";
+
+  // Peers can serve ~one manager each.
+  const std::vector<double> capacities(20, 0.5);
+  const core::QppInstance instance(metric, capacities, system, strategy);
+
+  core::QppSolveOptions options;
+  options.alpha = 2.0;
+  const auto placed = core::solve_qpp(instance, options);
+  if (!placed) {
+    std::cerr << "infeasible capacities\n";
+    return 1;
+  }
+
+  // Random placement baseline.
+  std::uniform_int_distribution<int> pick(0, 19);
+  core::Placement random_placement(7);
+  for (int& v : random_placement) v = pick(rng);
+
+  const auto latencies = [&](const core::Placement& f) {
+    std::vector<double> out;
+    for (int v = 0; v < 20; ++v) {
+      out.push_back(core::expected_max_delay(metric, system, strategy, f, v));
+    }
+    return out;
+  };
+  const report::Summary optimized = report::summarize(latencies(placed->placement));
+  const report::Summary naive = report::summarize(latencies(random_placement));
+
+  report::Table table(
+      {"placement", "min lock latency", "mean", "max", "load/cap"});
+  table.add_row({"Thm 1.2 (alpha=2)", report::Table::num(optimized.min, 3),
+                 report::Table::num(optimized.mean, 3),
+                 report::Table::num(optimized.max, 3),
+                 report::Table::num(placed->load_violation, 2)});
+  table.add_row({"random", report::Table::num(naive.min, 3),
+                 report::Table::num(naive.mean, 3),
+                 report::Table::num(naive.max, 3),
+                 report::Table::num(core::max_capacity_violation(
+                                        instance.element_loads(),
+                                        instance.capacities(),
+                                        random_placement),
+                                    2)});
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::cout << "\nEach row averages the expected grant-collection latency "
+               "Delta_f(v) over\nall 20 peers; the optimizer trades a bounded "
+               "capacity overshoot for\nconsistently lower lock latency.\n";
+
+  // Why an FPP coterie, not a central lock server: the quality metrics the
+  // placement preserves (the quorum/analysis module).
+  std::cout << "\nCoterie quality (placement-independent):\n"
+            << "  fault tolerance     : "
+            << quorum::fault_tolerance(system) << " crashed managers survived\n"
+            << "  optimal system load : "
+            << report::Table::num(
+                   quorum::optimal_load_strategy(system).load, 3)
+            << " (lower bound "
+            << report::Table::num(quorum::load_lower_bound(system), 3) << ")\n"
+            << "  availability        : "
+            << report::Table::num(
+                   1.0 - quorum::failure_probability_exact(system, 0.05), 4)
+            << " with 5% manager failure probability\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Replicated key-value store with read/write quorums (the grid protocol of
+/// Cheung et al., the paper's reference [5]): reads contact one grid row,
+/// writes a row plus a column. This example sweeps the read fraction of the
+/// workload, places the replicas for each mix with the total-delay solver
+/// (Thm 5.1 -- applicable since it never needs pairwise intersection), and
+/// validates the resulting analytic delays against the discrete-event
+/// simulator.
+
+#include <iostream>
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/read_write.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace qp;
+
+  // A Waxman internet-like topology of 18 routers.
+  std::mt19937_64 rng(8);
+  const graph::GeometricGraph net = graph::waxman(18, 0.9, 0.4, rng);
+  const graph::Metric metric = graph::Metric::from_graph(net.graph);
+
+  // 3x3 grid protocol: 9 replicas, row reads (3 nodes), row+column writes
+  // (5 nodes).
+  const quorum::ReadWriteSystem rw = quorum::grid_read_write(3);
+  std::cout << "Store: 3x3 grid protocol on " << net.graph.describe()
+            << " (row reads, row+column writes)\n\n";
+
+  report::Table table({"read fraction", "element load", "avg total delay",
+                       "simulated", "avg max delay", "load/cap"});
+  for (const double fraction : {0.0, 0.5, 0.9, 0.99}) {
+    const quorum::CombinedWorkload wl = quorum::combine_uniform(rw, fraction);
+    const double element_load =
+        quorum::system_load(wl.system, wl.strategy);
+    // Each router can absorb ~one replica's load at the heaviest mix.
+    core::QppInstance instance(metric, std::vector<double>(18, 0.6),
+                               wl.system, wl.strategy);
+    const auto placed = core::solve_total_delay(instance);
+    if (!placed) {
+      table.add_row({report::Table::num(fraction, 2), "-", "infeasible", "-",
+                     "-", "-"});
+      continue;
+    }
+    sim::SimulationConfig config;
+    config.duration = 1500.0;
+    config.mode = sim::AccessMode::kSequential;
+    config.seed = 42;
+    const sim::SimulationResult simulated =
+        sim::simulate(instance, placed->placement, config);
+
+    table.add_row(
+        {report::Table::num(fraction, 2),
+         report::Table::num(element_load, 3),
+         report::Table::num(placed->average_delay, 3),
+         report::Table::num(simulated.overall_mean_delay, 3),
+         report::Table::num(
+             core::average_max_delay(instance, placed->placement), 3),
+         report::Table::num(placed->load_violation, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHigher read fractions shrink the per-replica load "
+               "(3-element row reads\ninstead of 5-element writes), letting "
+               "the solver pull replicas closer to\nclients; the simulated "
+               "column replays the placement message-by-message\nand should "
+               "track the analytic total delay.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+/// WAN data replication: place Majority voting replicas (Gifford/Thomas)
+/// across clustered data centers connected by long-haul links, comparing
+/// three placement strategies under both delay measures of the paper:
+///   - the Sec 4.2 optimal single-source Majority layout + relay reduction,
+///   - the Thm 5.1 total-delay GAP placement,
+///   - a naive spread-one-replica-per-cluster baseline.
+
+#include <iostream>
+#include <vector>
+
+#include "core/evaluators.hpp"
+#include "core/majority_layout.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "report/table.hpp"
+
+int main() {
+  using namespace qp;
+
+  // Four data centers of 4 machines; 1 ms within a rack, 25 ms across DCs.
+  const int num_dcs = 4, dc_size = 4;
+  const graph::Graph g = graph::ring_of_cliques(num_dcs, dc_size, 1.0, 25.0);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const int n_nodes = g.num_nodes();
+
+  // Majority voting over 5 replicas, quorum size 3.
+  const int replicas = 5, threshold = 3;
+  const quorum::QuorumSystem system = quorum::majority(replicas, threshold);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const double replica_load = static_cast<double>(threshold) / replicas;
+
+  // Every machine can host one replica.
+  const std::vector<double> capacities(
+      static_cast<std::size_t>(n_nodes), replica_load);
+  const core::QppInstance qpp(metric, capacities, system, strategy);
+
+  std::cout << "Topology: " << num_dcs << " data centers x " << dc_size
+            << " machines (intra 1ms, inter 25ms)\n"
+            << "System:   Majority, " << replicas << " replicas, quorum "
+            << threshold << "\n";
+
+  // --- Strategy A: Sec 4.2 optimal layout per source, best relay.
+  core::Placement best_majority;
+  double best_majority_delay = 1e100;
+  for (int v0 = 0; v0 < n_nodes; ++v0) {
+    core::SsqppInstance view(metric, capacities, system, strategy, v0);
+    const auto layout = core::majority_layout(view, threshold);
+    if (!layout) continue;
+    const double delay = core::average_max_delay(qpp, layout->placement);
+    if (delay < best_majority_delay) {
+      best_majority_delay = delay;
+      best_majority = layout->placement;
+    }
+  }
+
+  // --- Strategy B: Thm 5.1 GAP placement for the total-delay measure.
+  const auto total = core::solve_total_delay(qpp);
+
+  // --- Strategy C: naive geographic spread, one replica per DC round-robin.
+  core::Placement spread(static_cast<std::size_t>(replicas));
+  for (int r = 0; r < replicas; ++r) {
+    spread[static_cast<std::size_t>(r)] = (r % num_dcs) * dc_size;
+  }
+
+  report::Table table({"strategy", "avg max-delay (ms)",
+                       "avg total-delay (ms)", "max load/cap"});
+  const auto add = [&](const char* name, const core::Placement& f) {
+    table.add_row({name,
+                   report::Table::num(core::average_max_delay(qpp, f), 2),
+                   report::Table::num(core::average_total_delay(qpp, f), 2),
+                   report::Table::num(core::max_capacity_violation(
+                                          qpp.element_loads(),
+                                          qpp.capacities(), f),
+                                      2)});
+  };
+  if (!best_majority.empty()) add("majority-layout (Sec 4.2)", best_majority);
+  if (total) add("total-delay GAP (Thm 5.1)", total->placement);
+  add("one-per-DC baseline", spread);
+  std::cout << '\n';
+  table.print(std::cout);
+
+  std::cout << "\nReading: the Sec 4.2 layout clusters the quorum near the "
+               "best relay,\ncutting max-delay; the naive spread pays an "
+               "inter-DC round trip on\nnearly every access.\n";
+  return 0;
+}

@@ -1,0 +1,242 @@
+#include "assign/gap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "assign/hungarian.hpp"
+#include "lp/model.hpp"
+
+namespace qp::assign {
+
+GapInstance::GapInstance(int num_jobs, int num_machines)
+    : num_jobs_(num_jobs), num_machines_(num_machines) {
+  if (num_jobs < 0 || num_machines < 0) {
+    throw std::invalid_argument("GapInstance: negative dimensions");
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>(num_jobs) * static_cast<std::size_t>(num_machines);
+  cost_.assign(cells, 0.0);
+  load_.assign(cells, kForbidden);
+  capacity_.assign(static_cast<std::size_t>(num_machines), 0.0);
+}
+
+std::size_t GapInstance::index(int machine, int job) const {
+  if (machine < 0 || machine >= num_machines_ || job < 0 || job >= num_jobs_) {
+    throw std::invalid_argument("GapInstance: index out of range");
+  }
+  return static_cast<std::size_t>(machine) * static_cast<std::size_t>(num_jobs_) +
+         static_cast<std::size_t>(job);
+}
+
+void GapInstance::set_cost(int machine, int job, double cost) {
+  if (!std::isfinite(cost)) {
+    throw std::invalid_argument("GapInstance: cost must be finite");
+  }
+  cost_[index(machine, job)] = cost;
+}
+
+void GapInstance::set_load(int machine, int job, double load) {
+  if (load < 0.0 || std::isnan(load)) {
+    throw std::invalid_argument("GapInstance: load must be >= 0 or kForbidden");
+  }
+  load_[index(machine, job)] = load;
+}
+
+void GapInstance::set_capacity(int machine, double capacity) {
+  if (!(capacity >= 0.0) || !std::isfinite(capacity)) {
+    throw std::invalid_argument("GapInstance: capacity must be finite, >= 0");
+  }
+  capacity_[static_cast<std::size_t>(machine)] = capacity;
+}
+
+bool GapInstance::allowed(int machine, int job) const {
+  const double p = load(machine, job);
+  // Tolerance mirrors the LP feasibility tolerance: p == T exactly is allowed.
+  return std::isfinite(p) && p <= capacity(machine) + 1e-12;
+}
+
+FractionalGap solve_gap_lp(const GapInstance& instance) {
+  const int jobs = instance.num_jobs();
+  const int machines = instance.num_machines();
+  lp::Model model;
+  // Variable index for allowed (machine, job) pairs; -1 otherwise.
+  std::vector<int> var(static_cast<std::size_t>(jobs) *
+                           static_cast<std::size_t>(machines),
+                       -1);
+  const auto vindex = [&](int i, int j) -> int& {
+    return var[static_cast<std::size_t>(i) * static_cast<std::size_t>(jobs) +
+               static_cast<std::size_t>(j)];
+  };
+  for (int i = 0; i < machines; ++i) {
+    for (int j = 0; j < jobs; ++j) {
+      if (instance.allowed(i, j)) {
+        vindex(i, j) = model.add_variable(instance.cost(i, j));
+      }
+    }
+  }
+  // (17): each job fully assigned.
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < machines; ++i) {
+      if (vindex(i, j) >= 0) terms.emplace_back(vindex(i, j), 1.0);
+    }
+    model.add_constraint(std::move(terms), lp::Relation::kEqual, 1.0);
+  }
+  // (16): machine budgets.
+  for (int i = 0; i < machines; ++i) {
+    std::vector<std::pair<int, double>> terms;
+    for (int j = 0; j < jobs; ++j) {
+      if (vindex(i, j) >= 0) terms.emplace_back(vindex(i, j), instance.load(i, j));
+    }
+    if (!terms.empty()) {
+      model.add_constraint(std::move(terms), lp::Relation::kLessEqual,
+                           instance.capacity(i));
+    }
+  }
+  const lp::Solution lp_solution = lp::solve(model);
+
+  FractionalGap out;
+  out.status = lp_solution.status;
+  out.objective = lp_solution.objective;
+  out.y.assign(static_cast<std::size_t>(jobs) * static_cast<std::size_t>(machines),
+               0.0);
+  if (lp_solution.status == lp::SolveStatus::kOptimal) {
+    for (int i = 0; i < machines; ++i) {
+      for (int j = 0; j < jobs; ++j) {
+        if (vindex(i, j) >= 0) {
+          out.y[static_cast<std::size_t>(i) * static_cast<std::size_t>(jobs) +
+                static_cast<std::size_t>(j)] =
+              lp_solution.values[static_cast<std::size_t>(vindex(i, j))];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One unit-capacity slot on a machine, remembering which jobs poured
+/// fractional mass into it.
+struct Slot {
+  int machine = 0;
+  std::vector<int> jobs;  // jobs with positive fractional mass in this slot
+};
+
+}  // namespace
+
+std::optional<GapAssignment> shmoys_tardos_round(
+    const GapInstance& instance, const FractionalGap& fractional) {
+  if (fractional.status != lp::SolveStatus::kOptimal) return std::nullopt;
+  const int jobs = instance.num_jobs();
+  const int machines = instance.num_machines();
+  constexpr double kMassEpsilon = 1e-9;
+
+  // Verify every job is (numerically) fully assigned.
+  for (int j = 0; j < jobs; ++j) {
+    double mass = 0.0;
+    for (int i = 0; i < machines; ++i) mass += fractional.value(instance, i, j);
+    if (std::abs(mass - 1.0) > 1e-6) return std::nullopt;
+  }
+
+  // Build slots machine by machine: jobs sorted by non-increasing load are
+  // poured greedily into unit-capacity slots (Shmoys-Tardos construction).
+  std::vector<Slot> slots;
+  for (int i = 0; i < machines; ++i) {
+    std::vector<std::pair<int, double>> mass;  // (job, y_ij > 0)
+    for (int j = 0; j < jobs; ++j) {
+      const double y = fractional.value(instance, i, j);
+      if (y > kMassEpsilon) mass.emplace_back(j, y);
+    }
+    if (mass.empty()) continue;
+    std::sort(mass.begin(), mass.end(), [&](const auto& a, const auto& b) {
+      const double pa = instance.load(i, a.first);
+      const double pb = instance.load(i, b.first);
+      if (pa != pb) return pa > pb;
+      return a.first < b.first;
+    });
+    Slot current{i, {}};
+    double filled = 0.0;
+    for (auto [job, y] : mass) {
+      double remaining = y;
+      while (remaining > kMassEpsilon) {
+        if (current.jobs.empty() || current.jobs.back() != job) {
+          current.jobs.push_back(job);
+        }
+        const double poured = std::min(remaining, 1.0 - filled);
+        filled += poured;
+        remaining -= poured;
+        if (filled >= 1.0 - kMassEpsilon) {
+          slots.push_back(std::move(current));
+          current = Slot{i, {}};
+          filled = 0.0;
+        }
+      }
+    }
+    if (!current.jobs.empty()) slots.push_back(std::move(current));
+  }
+
+  // Min-cost matching of jobs into slots. The fractional filling is itself a
+  // feasible fractional matching of the same cost as the LP, so an integral
+  // matching of cost <= LP cost exists.
+  const int num_slots = static_cast<int>(slots.size());
+  if (jobs > num_slots) return std::nullopt;  // cannot happen with valid input
+  std::vector<double> matrix(static_cast<std::size_t>(jobs) *
+                                 static_cast<std::size_t>(num_slots),
+                             kForbidden);
+  for (int s = 0; s < num_slots; ++s) {
+    for (int j : slots[static_cast<std::size_t>(s)].jobs) {
+      matrix[static_cast<std::size_t>(j) * static_cast<std::size_t>(num_slots) +
+             static_cast<std::size_t>(s)] =
+          instance.cost(slots[static_cast<std::size_t>(s)].machine, j);
+    }
+  }
+  const std::optional<Matching> matching =
+      min_cost_assignment(jobs, num_slots, matrix);
+  if (!matching) return std::nullopt;
+
+  GapAssignment out;
+  out.job_to_machine.assign(static_cast<std::size_t>(jobs), -1);
+  out.machine_loads.assign(static_cast<std::size_t>(machines), 0.0);
+  for (int j = 0; j < jobs; ++j) {
+    const int slot = matching->row_to_column[static_cast<std::size_t>(j)];
+    const int machine = slots[static_cast<std::size_t>(slot)].machine;
+    out.job_to_machine[static_cast<std::size_t>(j)] = machine;
+    out.total_cost += instance.cost(machine, j);
+    out.machine_loads[static_cast<std::size_t>(machine)] +=
+        instance.load(machine, j);
+  }
+  return out;
+}
+
+std::optional<GapAssignment> solve_gap(const GapInstance& instance) {
+  return shmoys_tardos_round(instance, solve_gap_lp(instance));
+}
+
+std::optional<GapAssignment> greedy_gap(const GapInstance& instance) {
+  const int jobs = instance.num_jobs();
+  const int machines = instance.num_machines();
+  GapAssignment out;
+  out.job_to_machine.assign(static_cast<std::size_t>(jobs), -1);
+  out.machine_loads.assign(static_cast<std::size_t>(machines), 0.0);
+  for (int j = 0; j < jobs; ++j) {
+    int best = -1;
+    for (int i = 0; i < machines; ++i) {
+      if (!instance.allowed(i, j)) continue;
+      if (out.machine_loads[static_cast<std::size_t>(i)] + instance.load(i, j) >
+          instance.capacity(i) + 1e-12) {
+        continue;
+      }
+      if (best < 0 || instance.cost(i, j) < instance.cost(best, j)) best = i;
+    }
+    if (best < 0) return std::nullopt;
+    out.job_to_machine[static_cast<std::size_t>(j)] = best;
+    out.total_cost += instance.cost(best, j);
+    out.machine_loads[static_cast<std::size_t>(best)] += instance.load(best, j);
+  }
+  return out;
+}
+
+}  // namespace qp::assign

@@ -1,0 +1,89 @@
+#include "assign/hungarian.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::assign {
+
+std::optional<Matching> min_cost_assignment(int num_rows, int num_columns,
+                                            const std::vector<double>& cost) {
+  if (num_rows < 0 || num_columns < 0 || num_rows > num_columns) {
+    throw std::invalid_argument(
+        "min_cost_assignment: need 0 <= num_rows <= num_columns");
+  }
+  if (cost.size() != static_cast<std::size_t>(num_rows) *
+                         static_cast<std::size_t>(num_columns)) {
+    throw std::invalid_argument("min_cost_assignment: cost matrix size mismatch");
+  }
+  const auto at = [&](int r, int c) {
+    return cost[static_cast<std::size_t>(r) * static_cast<std::size_t>(num_columns) +
+                static_cast<std::size_t>(c)];
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // 1-indexed potentials formulation (rows = "workers", columns = "jobs").
+  std::vector<double> u(static_cast<std::size_t>(num_rows) + 1, 0.0);
+  std::vector<double> v(static_cast<std::size_t>(num_columns) + 1, 0.0);
+  std::vector<int> p(static_cast<std::size_t>(num_columns) + 1, 0);
+  std::vector<int> way(static_cast<std::size_t>(num_columns) + 1, 0);
+
+  for (int i = 1; i <= num_rows; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<std::size_t>(num_columns) + 1, kInf);
+    std::vector<char> used(static_cast<std::size_t>(num_columns) + 1, 0);
+    do {
+      used[static_cast<std::size_t>(j0)] = 1;
+      const int i0 = p[static_cast<std::size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= num_columns; ++j) {
+        if (used[static_cast<std::size_t>(j)]) continue;
+        const double edge = at(i0 - 1, j - 1);
+        if (edge != kForbidden) {
+          const double current = edge - u[static_cast<std::size_t>(i0)] -
+                                 v[static_cast<std::size_t>(j)];
+          if (current < minv[static_cast<std::size_t>(j)]) {
+            minv[static_cast<std::size_t>(j)] = current;
+            way[static_cast<std::size_t>(j)] = j0;
+          }
+        }
+        if (minv[static_cast<std::size_t>(j)] < delta) {
+          delta = minv[static_cast<std::size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (j1 < 0 || delta == kInf) return std::nullopt;  // no augmenting path
+      for (int j = 0; j <= num_columns; ++j) {
+        if (used[static_cast<std::size_t>(j)]) {
+          u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+          v[static_cast<std::size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<std::size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[static_cast<std::size_t>(j0)] != 0);
+    // Augment along the found path.
+    do {
+      const int j1 = way[static_cast<std::size_t>(j0)];
+      p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  Matching result;
+  result.row_to_column.assign(static_cast<std::size_t>(num_rows), -1);
+  for (int j = 1; j <= num_columns; ++j) {
+    const int i = p[static_cast<std::size_t>(j)];
+    if (i != 0) result.row_to_column[static_cast<std::size_t>(i - 1)] = j - 1;
+  }
+  for (int i = 0; i < num_rows; ++i) {
+    const int j = result.row_to_column[static_cast<std::size_t>(i)];
+    if (j < 0) return std::nullopt;  // defensive; should not happen
+    result.total_cost += at(i, j);
+  }
+  return result;
+}
+
+}  // namespace qp::assign

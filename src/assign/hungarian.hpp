@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file hungarian.hpp
+/// Min-cost bipartite assignment (rectangular Hungarian algorithm with
+/// potentials / successive shortest paths). Used by the Shmoys-Tardos GAP
+/// rounding to extract an integral matching from the slot graph.
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace qp::assign {
+
+/// Cost marking a (row, column) pair as forbidden.
+inline constexpr double kForbidden = std::numeric_limits<double>::infinity();
+
+/// Result of an assignment: row r is matched to column match[r].
+struct Matching {
+  std::vector<int> row_to_column;
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost assignment matching every row to a distinct column.
+/// \param cost row-major num_rows x num_columns matrix; entries may be
+///        kForbidden. Requires num_rows <= num_columns.
+/// \returns std::nullopt if no perfect (row-saturating) matching exists.
+/// \throws std::invalid_argument on shape errors.
+std::optional<Matching> min_cost_assignment(int num_rows, int num_columns,
+                                            const std::vector<double>& cost);
+
+}  // namespace qp::assign

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file options.hpp
+/// Dependency-free command-line parsing and string-to-object factories for
+/// the `qplace` CLI tool (tools/qplace.cpp). Kept in the library so the
+/// parsing and factory logic is unit-testable.
+
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::cli {
+
+/// `qplace <command> [--flag=value | --flag value | --switch]...`
+class ParsedArgs {
+ public:
+  ParsedArgs(std::string command, std::map<std::string, std::string> flags)
+      : command_(std::move(command)), flags_(std::move(flags)) {}
+
+  const std::string& command() const { return command_; }
+  bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  /// Value of --name, or \p fallback when absent.
+  std::string get(const std::string& name, const std::string& fallback) const;
+
+  /// \throws std::invalid_argument when absent.
+  std::string require(const std::string& name) const;
+
+  /// Typed accessors; \throws std::invalid_argument on unparsable values.
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Flags that were provided but never read -- used to reject typos.
+  std::vector<std::string> unread_flags() const;
+
+ private:
+  std::string command_;
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+};
+
+/// Parses raw arguments (argv[1..]). The first token is the command; each
+/// later token must be --name=value, --name value, or a bare --switch
+/// (stored with value "true").
+/// \throws std::invalid_argument on malformed input or a missing command.
+ParsedArgs parse_args(const std::vector<std::string>& args);
+
+/// Builds a quorum system from flags: --system
+/// grid|majority|fpp|tree|wall|star|singleton with --k/--n/--t/--q/
+/// --height/--widths as appropriate (see tools/qplace.cpp --help).
+/// \throws std::invalid_argument on unknown systems or bad parameters.
+quorum::QuorumSystem make_system(const ParsedArgs& args);
+
+/// Builds a topology from flags: --topology
+/// path|cycle|star|complete|mesh|geometric|erdos-renyi|tree|ba|waxman|
+/// cliques|hypercube|torus|fattree|broom, sized by --nodes and seeded by
+/// --seed; or --graph-file <path> to load an edge list (see graph/io.hpp),
+/// which overrides --topology.
+graph::Graph make_topology(const ParsedArgs& args, std::mt19937_64& rng);
+
+}  // namespace qp::cli

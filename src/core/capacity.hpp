@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file capacity.hpp
+/// Capacity preprocessing for uniform-load quorum systems (paper Sec 4.1):
+/// nodes with cap(v) < load(u) are suppressed and nodes with larger capacity
+/// are replicated into floor(cap(v) / load(u)) unit "slots", which is
+/// equivalent to greedily packing copies of load(u). Layout algorithms then
+/// assign elements to slots.
+
+#include <vector>
+
+#include "graph/metric.hpp"
+
+namespace qp::core {
+
+/// One placement slot: a node that can absorb one element of uniform load.
+struct CapacitySlot {
+  int node = 0;
+  double distance = 0.0;  ///< d(source, node)
+};
+
+/// All slots induced by the capacities for a given per-element load, sorted
+/// by non-decreasing distance from \p source (ties by node id). A node with
+/// capacity for more than \p max_copies_per_node elements contributes only
+/// that many slots -- no layout ever needs more than the universe size per
+/// node, and unbounded capacities would otherwise materialize billions of
+/// slots.
+/// \throws std::invalid_argument if per_element_load <= 0 or
+///         max_copies_per_node < 1.
+std::vector<CapacitySlot> capacity_slots(const graph::Metric& metric,
+                                         const std::vector<double>& capacities,
+                                         double per_element_load, int source,
+                                         int max_copies_per_node);
+
+}  // namespace qp::core

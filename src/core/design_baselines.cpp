@@ -1,0 +1,55 @@
+#include "core/design_baselines.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qp::core {
+
+SinglePointDesign lin_single_point_design(
+    const graph::Metric& metric, const std::vector<double>& client_weights) {
+  const int n = metric.num_points();
+  if (n == 0) {
+    throw std::invalid_argument("lin_single_point_design: empty metric");
+  }
+  std::vector<double> weights = client_weights;
+  if (weights.empty()) {
+    weights.assign(static_cast<std::size_t>(n), 1.0);
+  }
+  if (static_cast<int>(weights.size()) != n) {
+    throw std::invalid_argument(
+        "lin_single_point_design: one weight per point required");
+  }
+  double total_weight = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0)) {
+      throw std::invalid_argument(
+          "lin_single_point_design: weights must be >= 0");
+    }
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) {
+    throw std::invalid_argument(
+        "lin_single_point_design: weights must not all be zero");
+  }
+
+  int median = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (int v = 0; v < n; ++v) {
+    double sum = 0.0;
+    for (int client = 0; client < n; ++client) {
+      sum += weights[static_cast<std::size_t>(client)] * metric(client, v);
+    }
+    if (sum < best) {
+      best = sum;
+      median = v;
+    }
+  }
+
+  quorum::QuorumSystem system(1, {{0}});
+  quorum::AccessStrategy strategy(system, {1.0});
+  SinglePointDesign out{std::move(system), std::move(strategy),
+                        Placement{median}, median, best / total_weight};
+  return out;
+}
+
+}  // namespace qp::core

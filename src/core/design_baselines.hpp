@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file design_baselines.hpp
+/// Baselines from the prior work the paper positions itself against
+/// (Sec 2). Lin's 2-approximation for the quorum *design* problem outputs
+/// a single singleton quorum placed at the 1-median: its closest-quorum
+/// delay is excellent, but "such a solution is not very desirable, since it
+/// eliminates the advantages (such as load dispersion and fault tolerance)
+/// of any distributed quorum-based algorithm" -- the E12 experiment
+/// quantifies exactly that trade-off.
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+/// Lin's degenerate design: one quorum, one element, at the (weighted)
+/// 1-median of the metric.
+struct SinglePointDesign {
+  quorum::QuorumSystem system;      ///< {{0}} over a 1-element universe
+  quorum::AccessStrategy strategy;  ///< the only strategy: p = 1
+  Placement placement;              ///< element 0 -> median
+  int median = 0;                   ///< argmin_v sum_v' w_v' d(v', v)
+  double average_delay = 0.0;       ///< Avg_v d(v, median): every delay
+                                    ///< notion coincides for a single point
+};
+
+/// \p client_weights may be empty (uniform) or one weight per point.
+/// \throws std::invalid_argument on a wrong-sized weight vector.
+SinglePointDesign lin_single_point_design(
+    const graph::Metric& metric,
+    const std::vector<double>& client_weights = {});
+
+}  // namespace qp::core

@@ -1,0 +1,203 @@
+#include "core/evaluators.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace qp::core {
+
+double max_delay(const graph::Metric& metric, const quorum::Quorum& quorum,
+                 const Placement& placement, int client) {
+  double worst = 0.0;
+  for (int u : quorum) {
+    worst = std::max(worst,
+                     metric(client, placement[static_cast<std::size_t>(u)]));
+  }
+  return worst;
+}
+
+double total_delay(const graph::Metric& metric, const quorum::Quorum& quorum,
+                   const Placement& placement, int client) {
+  double total = 0.0;
+  for (int u : quorum) {
+    total += metric(client, placement[static_cast<std::size_t>(u)]);
+  }
+  return total;
+}
+
+double expected_max_delay(const graph::Metric& metric,
+                          const quorum::QuorumSystem& system,
+                          const quorum::AccessStrategy& strategy,
+                          const Placement& placement, int client) {
+  double expectation = 0.0;
+  for (int qi = 0; qi < system.num_quorums(); ++qi) {
+    expectation +=
+        strategy.probability(qi) *
+        max_delay(metric, system.quorum(qi), placement, client);
+  }
+  return expectation;
+}
+
+double expected_total_delay(const graph::Metric& metric,
+                            const quorum::QuorumSystem& system,
+                            const quorum::AccessStrategy& strategy,
+                            const Placement& placement, int client) {
+  double expectation = 0.0;
+  for (int qi = 0; qi < system.num_quorums(); ++qi) {
+    expectation +=
+        strategy.probability(qi) *
+        total_delay(metric, system.quorum(qi), placement, client);
+  }
+  return expectation;
+}
+
+namespace {
+
+void check_placement(const Placement& placement, int universe_size,
+                     int num_nodes, const char* where) {
+  if (!is_valid_placement(placement, universe_size, num_nodes)) {
+    throw std::invalid_argument(std::string(where) + ": invalid placement");
+  }
+}
+
+}  // namespace
+
+double average_max_delay(const QppInstance& instance,
+                         const Placement& placement) {
+  check_placement(placement, instance.system().universe_size(),
+                  instance.num_nodes(), "average_max_delay");
+  double average = 0.0;
+  for (int v = 0; v < instance.num_nodes(); ++v) {
+    const double weight = instance.client_weights()[static_cast<std::size_t>(v)];
+    if (weight == 0.0) continue;
+    average += weight * expected_max_delay(instance.metric(), instance.system(),
+                                           instance.strategy(), placement, v);
+  }
+  return average;
+}
+
+double average_total_delay(const QppInstance& instance,
+                           const Placement& placement) {
+  check_placement(placement, instance.system().universe_size(),
+                  instance.num_nodes(), "average_total_delay");
+  double average = 0.0;
+  for (int v = 0; v < instance.num_nodes(); ++v) {
+    const double weight = instance.client_weights()[static_cast<std::size_t>(v)];
+    if (weight == 0.0) continue;
+    average += weight * expected_total_delay(instance.metric(),
+                                             instance.system(),
+                                             instance.strategy(), placement, v);
+  }
+  return average;
+}
+
+double source_expected_max_delay(const SsqppInstance& instance,
+                                 const Placement& placement) {
+  check_placement(placement, instance.system().universe_size(),
+                  instance.num_nodes(), "source_expected_max_delay");
+  return expected_max_delay(instance.metric(), instance.system(),
+                            instance.strategy(), placement, instance.source());
+}
+
+std::vector<double> node_loads(const std::vector<double>& element_loads,
+                               const Placement& placement, int num_nodes) {
+  check_placement(placement, static_cast<int>(element_loads.size()), num_nodes,
+                  "node_loads");
+  std::vector<double> loads(static_cast<std::size_t>(num_nodes), 0.0);
+  for (std::size_t u = 0; u < placement.size(); ++u) {
+    loads[static_cast<std::size_t>(placement[u])] += element_loads[u];
+  }
+  return loads;
+}
+
+double max_capacity_violation(const std::vector<double>& element_loads,
+                              const std::vector<double>& capacities,
+                              const Placement& placement) {
+  const std::vector<double> loads = node_loads(
+      element_loads, placement, static_cast<int>(capacities.size()));
+  double worst = 0.0;
+  for (std::size_t v = 0; v < capacities.size(); ++v) {
+    if (loads[v] == 0.0) continue;
+    if (capacities[v] == 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    worst = std::max(worst, loads[v] / capacities[v]);
+  }
+  return worst;
+}
+
+bool is_capacity_feasible(const std::vector<double>& element_loads,
+                          const std::vector<double>& capacities,
+                          const Placement& placement, double tolerance) {
+  const std::vector<double> loads = node_loads(
+      element_loads, placement, static_cast<int>(capacities.size()));
+  for (std::size_t v = 0; v < capacities.size(); ++v) {
+    if (loads[v] > capacities[v] * (1.0 + tolerance) + tolerance) return false;
+  }
+  return true;
+}
+
+double relay_delay(const QppInstance& instance, const Placement& placement,
+                   int relay_node) {
+  check_placement(placement, instance.system().universe_size(),
+                  instance.num_nodes(), "relay_delay");
+  if (relay_node < 0 || relay_node >= instance.num_nodes()) {
+    throw std::invalid_argument("relay_delay: relay node out of range");
+  }
+  double average_distance = 0.0;
+  for (int v = 0; v < instance.num_nodes(); ++v) {
+    average_distance += instance.client_weights()[static_cast<std::size_t>(v)] *
+                        instance.metric()(v, relay_node);
+  }
+  return average_distance +
+         expected_max_delay(instance.metric(), instance.system(),
+                            instance.strategy(), placement, relay_node);
+}
+
+double closest_quorum_delay(const graph::Metric& metric,
+                            const quorum::QuorumSystem& system,
+                            const Placement& placement, int client) {
+  if (system.num_quorums() == 0) {
+    throw std::invalid_argument("closest_quorum_delay: empty quorum system");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int qi = 0; qi < system.num_quorums(); ++qi) {
+    best = std::min(best,
+                    max_delay(metric, system.quorum(qi), placement, client));
+  }
+  return best;
+}
+
+double average_closest_quorum_delay(const QppInstance& instance,
+                                    const Placement& placement) {
+  check_placement(placement, instance.system().universe_size(),
+                  instance.num_nodes(), "average_closest_quorum_delay");
+  double average = 0.0;
+  for (int v = 0; v < instance.num_nodes(); ++v) {
+    const double weight = instance.client_weights()[static_cast<std::size_t>(v)];
+    if (weight == 0.0) continue;
+    average += weight * closest_quorum_delay(instance.metric(),
+                                             instance.system(), placement, v);
+  }
+  return average;
+}
+
+int best_relay_node(const QppInstance& instance, const Placement& placement) {
+  check_placement(placement, instance.system().universe_size(),
+                  instance.num_nodes(), "best_relay_node");
+  int best = 0;
+  double best_delay = std::numeric_limits<double>::infinity();
+  for (int v = 0; v < instance.num_nodes(); ++v) {
+    const double delay =
+        expected_max_delay(instance.metric(), instance.system(),
+                           instance.strategy(), placement, v);
+    if (delay < best_delay) {
+      best_delay = delay;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file evaluators.hpp
+/// Delay and load evaluators implementing the paper's definitions:
+///   delta_f(v, Q)  = max_{u in Q} d(v, f(u))                  (eq. 1)
+///   Delta_f(v)     = sum_Q p(Q) delta_f(v, Q)                 (eq. 2)
+///   gamma_f(v, Q)  = sum_{u in Q} d(v, f(u))                  (Sec 1.2)
+///   Gamma_f(v)     = sum_Q p(Q) gamma_f(v, Q)
+///   load_f(v)      = sum_{u : f(u) = v} load(u)
+/// plus the relay-via-v0 delay of Lemma 3.1 and its optimal relay node.
+
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+/// delta_f(v, Q): max distance from client v to the placed quorum.
+double max_delay(const graph::Metric& metric, const quorum::Quorum& quorum,
+                 const Placement& placement, int client);
+
+/// gamma_f(v, Q): total distance from client v to the placed quorum.
+double total_delay(const graph::Metric& metric, const quorum::Quorum& quorum,
+                   const Placement& placement, int client);
+
+/// Delta_f(v): expected max-delay of client v under the strategy.
+double expected_max_delay(const graph::Metric& metric,
+                          const quorum::QuorumSystem& system,
+                          const quorum::AccessStrategy& strategy,
+                          const Placement& placement, int client);
+
+/// Gamma_f(v): expected total-delay of client v under the strategy.
+double expected_total_delay(const graph::Metric& metric,
+                            const quorum::QuorumSystem& system,
+                            const quorum::AccessStrategy& strategy,
+                            const Placement& placement, int client);
+
+/// Avg_v [Delta_f(v)] with the instance's client weights (paper obj. 1.1a).
+double average_max_delay(const QppInstance& instance,
+                         const Placement& placement);
+
+/// Avg_v [Gamma_f(v)] with the instance's client weights (paper Sec 5).
+double average_total_delay(const QppInstance& instance,
+                           const Placement& placement);
+
+/// Delta_f(v0) for the single-source instance (paper Problem 3.2 objective).
+double source_expected_max_delay(const SsqppInstance& instance,
+                                 const Placement& placement);
+
+/// Per-node placed load: load_f(v) = sum_{u : f(u) = v} load(u).
+std::vector<double> node_loads(const std::vector<double>& element_loads,
+                               const Placement& placement, int num_nodes);
+
+/// max_v load_f(v) / cap(v); 0-capacity nodes with positive load yield +inf.
+/// A value <= 1 means the placement is capacity-feasible.
+double max_capacity_violation(const std::vector<double>& element_loads,
+                              const std::vector<double>& capacities,
+                              const Placement& placement);
+
+/// True iff load_f(v) <= cap(v) * (1 + tolerance) for every node.
+bool is_capacity_feasible(const std::vector<double>& element_loads,
+                          const std::vector<double>& capacities,
+                          const Placement& placement,
+                          double tolerance = 1e-9);
+
+/// Average relay-via-v0 delay (left side of paper eq. (4)):
+///   Avg_v [ sum_Q p(Q) (d(v, v0) + delta_f(v0, Q)) ]
+/// = Avg_v d(v, v0) + Delta_f(v0)   (paper eq. (8)).
+double relay_delay(const QppInstance& instance, const Placement& placement,
+                   int relay_node);
+
+/// The node v0 = argmin_v Delta_f(v) from Lemma 3.1's proof. Guaranteed to
+/// satisfy relay_delay(instance, f, v0) <= 5 * average_max_delay(instance, f).
+int best_relay_node(const QppInstance& instance, const Placement& placement);
+
+/// min_Q delta_f(v, Q): the distance from client v to its CLOSEST placed
+/// quorum -- the objective of the prior work the paper discusses in Sec 2
+/// (Fu 97, Kobayashi et al. 01, Lin 01). Free choice of quorum concentrates
+/// load; see also sim::SelectionPolicy::kNearestQuorum.
+double closest_quorum_delay(const graph::Metric& metric,
+                            const quorum::QuorumSystem& system,
+                            const Placement& placement, int client);
+
+/// Avg_v [min_Q delta_f(v, Q)] with the instance's client weights -- the
+/// Kobayashi/Lin objective evaluated for one of our placements.
+double average_closest_quorum_delay(const QppInstance& instance,
+                                    const Placement& placement);
+
+}  // namespace qp::core

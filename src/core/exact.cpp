@@ -1,0 +1,256 @@
+#include "core/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace qp::core {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kCapacityTolerance = 1e-9;
+
+/// Shared branch-and-bound scaffolding. Elements are assigned in decreasing
+/// load order (tightens capacity pruning); `Objective` tracks the partial
+/// cost incrementally and must be monotone non-decreasing in assignments.
+template <typename Objective>
+std::optional<ExactResult> branch_and_bound(
+    const graph::Metric& metric, const std::vector<double>& capacities,
+    const std::vector<double>& element_loads, Objective& objective,
+    const ExactOptions& options) {
+  const int num_elements = static_cast<int>(element_loads.size());
+  const int num_nodes = metric.num_points();
+
+  std::vector<int> element_order(static_cast<std::size_t>(num_elements));
+  for (int u = 0; u < num_elements; ++u) {
+    element_order[static_cast<std::size_t>(u)] = u;
+  }
+  std::sort(element_order.begin(), element_order.end(), [&](int a, int b) {
+    return element_loads[static_cast<std::size_t>(a)] >
+           element_loads[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<double> remaining = capacities;
+  Placement current(static_cast<std::size_t>(num_elements), -1);
+  ExactResult best;
+  best.delay = kInf;
+  std::uint64_t states = 0;
+
+  // Iterative DFS with explicit recursion to keep the scaffold simple.
+  const auto recurse = [&](auto&& self, int depth) -> void {
+    if (++states > options.max_states) {
+      throw std::runtime_error("exact solver: state budget exceeded");
+    }
+    if (depth == num_elements) {
+      if (objective.partial_cost() < best.delay) {
+        best.delay = objective.partial_cost();
+        best.placement = current;
+      }
+      return;
+    }
+    const int u = element_order[static_cast<std::size_t>(depth)];
+    const double load = element_loads[static_cast<std::size_t>(u)];
+    for (int v = 0; v < num_nodes; ++v) {
+      if (remaining[static_cast<std::size_t>(v)] + kCapacityTolerance < load) {
+        continue;
+      }
+      const auto undo_token = objective.assign(u, v);
+      if (objective.partial_cost() < best.delay) {
+        remaining[static_cast<std::size_t>(v)] -= load;
+        current[static_cast<std::size_t>(u)] = v;
+        self(self, depth + 1);
+        current[static_cast<std::size_t>(u)] = -1;
+        remaining[static_cast<std::size_t>(v)] += load;
+      }
+      objective.undo(undo_token);
+    }
+  };
+  recurse(recurse, 0);
+
+  if (best.delay == kInf) return std::nullopt;
+  best.explored_states = states;
+  return best;
+}
+
+/// Objective Delta_f(v0): per-quorum running max distance from the source.
+class SourceMaxDelayObjective {
+ public:
+  SourceMaxDelayObjective(const SsqppInstance& instance)
+      : instance_(instance),
+        quorum_max_(static_cast<std::size_t>(instance.system().num_quorums()),
+                    0.0),
+        quorums_of_(static_cast<std::size_t>(instance.system().universe_size())) {
+    for (int q = 0; q < instance.system().num_quorums(); ++q) {
+      for (int u : instance.system().quorum(q)) {
+        quorums_of_[static_cast<std::size_t>(u)].push_back(q);
+      }
+    }
+  }
+
+  struct Undo {
+    // (quorum, previous max) pairs stored in a shared stack.
+    std::size_t stack_begin = 0;
+    double cost_before = 0.0;
+  };
+
+  Undo assign(int u, int v) {
+    Undo token{undo_stack_.size(), cost_};
+    const double dist = instance_.metric()(instance_.source(), v);
+    for (int q : quorums_of_[static_cast<std::size_t>(u)]) {
+      const double old = quorum_max_[static_cast<std::size_t>(q)];
+      if (dist > old) {
+        undo_stack_.emplace_back(q, old);
+        quorum_max_[static_cast<std::size_t>(q)] = dist;
+        cost_ += instance_.strategy().probability(q) * (dist - old);
+      }
+    }
+    return token;
+  }
+
+  void undo(const Undo& token) {
+    while (undo_stack_.size() > token.stack_begin) {
+      const auto [q, old] = undo_stack_.back();
+      undo_stack_.pop_back();
+      quorum_max_[static_cast<std::size_t>(q)] = old;
+    }
+    cost_ = token.cost_before;
+  }
+
+  double partial_cost() const { return cost_; }
+
+ private:
+  const SsqppInstance& instance_;
+  std::vector<double> quorum_max_;
+  std::vector<std::vector<int>> quorums_of_;
+  std::vector<std::pair<int, double>> undo_stack_;
+  double cost_ = 0.0;
+};
+
+/// Objective Avg_v Delta_f(v): running max per (client, quorum) pair.
+class AverageMaxDelayObjective {
+ public:
+  AverageMaxDelayObjective(const QppInstance& instance)
+      : instance_(instance),
+        num_quorums_(instance.system().num_quorums()),
+        pair_max_(static_cast<std::size_t>(instance.num_nodes()) *
+                      static_cast<std::size_t>(num_quorums_),
+                  0.0),
+        quorums_of_(static_cast<std::size_t>(instance.system().universe_size())) {
+    for (int q = 0; q < num_quorums_; ++q) {
+      for (int u : instance_.system().quorum(q)) {
+        quorums_of_[static_cast<std::size_t>(u)].push_back(q);
+      }
+    }
+  }
+
+  struct Undo {
+    std::size_t stack_begin = 0;
+    double cost_before = 0.0;
+  };
+
+  Undo assign(int u, int v) {
+    Undo token{undo_stack_.size(), cost_};
+    for (int q : quorums_of_[static_cast<std::size_t>(u)]) {
+      const double p = instance_.strategy().probability(q);
+      for (int client = 0; client < instance_.num_nodes(); ++client) {
+        const double w =
+            instance_.client_weights()[static_cast<std::size_t>(client)];
+        if (w == 0.0) continue;
+        const std::size_t idx =
+            static_cast<std::size_t>(client) *
+                static_cast<std::size_t>(num_quorums_) +
+            static_cast<std::size_t>(q);
+        const double dist = instance_.metric()(client, v);
+        if (dist > pair_max_[idx]) {
+          undo_stack_.emplace_back(idx, pair_max_[idx]);
+          cost_ += w * p * (dist - pair_max_[idx]);
+          pair_max_[idx] = dist;
+        }
+      }
+    }
+    return token;
+  }
+
+  void undo(const Undo& token) {
+    while (undo_stack_.size() > token.stack_begin) {
+      const auto [idx, old] = undo_stack_.back();
+      undo_stack_.pop_back();
+      pair_max_[idx] = old;
+    }
+    cost_ = token.cost_before;
+  }
+
+  double partial_cost() const { return cost_; }
+
+ private:
+  const QppInstance& instance_;
+  int num_quorums_;
+  std::vector<double> pair_max_;
+  std::vector<std::vector<int>> quorums_of_;
+  std::vector<std::pair<std::size_t, double>> undo_stack_;
+  double cost_ = 0.0;
+};
+
+/// Objective Avg_v Gamma_f(v) = sum_u load(u) * avgdist(f(u)): separable.
+class AverageTotalDelayObjective {
+ public:
+  AverageTotalDelayObjective(const QppInstance& instance)
+      : loads_(instance.element_loads()),
+        average_distance_(static_cast<std::size_t>(instance.num_nodes()), 0.0) {
+    for (int v = 0; v < instance.num_nodes(); ++v) {
+      double total = 0.0;
+      for (int client = 0; client < instance.num_nodes(); ++client) {
+        total += instance.client_weights()[static_cast<std::size_t>(client)] *
+                 instance.metric()(client, v);
+      }
+      average_distance_[static_cast<std::size_t>(v)] = total;
+    }
+  }
+
+  struct Undo {
+    double cost_before = 0.0;
+  };
+
+  Undo assign(int u, int v) {
+    Undo token{cost_};
+    cost_ += loads_[static_cast<std::size_t>(u)] *
+             average_distance_[static_cast<std::size_t>(v)];
+    return token;
+  }
+
+  void undo(const Undo& token) { cost_ = token.cost_before; }
+
+  double partial_cost() const { return cost_; }
+
+ private:
+  const std::vector<double>& loads_;
+  std::vector<double> average_distance_;
+  double cost_ = 0.0;
+};
+
+}  // namespace
+
+std::optional<ExactResult> exact_ssqpp(const SsqppInstance& instance,
+                                       const ExactOptions& options) {
+  SourceMaxDelayObjective objective(instance);
+  return branch_and_bound(instance.metric(), instance.capacities(),
+                          instance.element_loads(), objective, options);
+}
+
+std::optional<ExactResult> exact_qpp_max_delay(const QppInstance& instance,
+                                               const ExactOptions& options) {
+  AverageMaxDelayObjective objective(instance);
+  return branch_and_bound(instance.metric(), instance.capacities(),
+                          instance.element_loads(), objective, options);
+}
+
+std::optional<ExactResult> exact_qpp_total_delay(const QppInstance& instance,
+                                                 const ExactOptions& options) {
+  AverageTotalDelayObjective objective(instance);
+  return branch_and_bound(instance.metric(), instance.capacities(),
+                          instance.element_loads(), objective, options);
+}
+
+}  // namespace qp::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file exact.hpp
+/// Exact (branch-and-bound) solvers for small QPP / SSQPP instances. These
+/// are reference oracles: the experiment harness compares the paper's
+/// approximation algorithms against the true optimum they compute. All
+/// objectives here are monotone under extending a partial placement, which
+/// makes partial-cost pruning sound.
+
+#include <cstdint>
+#include <optional>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+struct ExactResult {
+  double delay = 0.0;
+  Placement placement;
+  std::uint64_t explored_states = 0;
+};
+
+struct ExactOptions {
+  /// Abort via std::runtime_error beyond this many search states.
+  std::uint64_t max_states = 50'000'000;
+};
+
+/// Minimum Delta_f(v0) over capacity-feasible placements (paper Problem
+/// 3.2). std::nullopt if no capacity-feasible placement exists.
+std::optional<ExactResult> exact_ssqpp(const SsqppInstance& instance,
+                                       const ExactOptions& options = {});
+
+/// Minimum Avg_v Delta_f(v) over capacity-feasible placements (paper
+/// Problem 1.1).
+std::optional<ExactResult> exact_qpp_max_delay(const QppInstance& instance,
+                                               const ExactOptions& options = {});
+
+/// Minimum Avg_v Gamma_f(v) over capacity-feasible placements (paper Sec 5).
+std::optional<ExactResult> exact_qpp_total_delay(
+    const QppInstance& instance, const ExactOptions& options = {});
+
+}  // namespace qp::core

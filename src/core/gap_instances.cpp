@@ -1,0 +1,60 @@
+#include "core/gap_instances.hpp"
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace qp::core {
+
+namespace {
+
+/// Single quorum over the whole universe; the only access strategy is p=1.
+quorum::QuorumSystem whole_universe_system(int n) {
+  quorum::Quorum all;
+  all.reserve(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) all.push_back(u);
+  return quorum::QuorumSystem(n, {std::move(all)});
+}
+
+}  // namespace
+
+GapConstruction general_metric_gap_instance(int n, double m_distance) {
+  if (n < 2 || !(m_distance > 1.0)) {
+    throw std::invalid_argument(
+        "general_metric_gap_instance: need n >= 2, M > 1");
+  }
+  // Star graph centered at v0 = node 0: n - 2 unit spokes and one spoke of
+  // length M. Its shortest-path metric has d(v0, .) = (0, 1, ..., 1, M).
+  graph::Graph star(n);
+  for (int v = 1; v < n - 1; ++v) star.add_edge(0, v, 1.0);
+  star.add_edge(0, n - 1, m_distance);
+  graph::Metric metric = graph::Metric::from_graph(star);
+
+  quorum::QuorumSystem system = whole_universe_system(n);
+  quorum::AccessStrategy strategy = quorum::AccessStrategy::uniform(system);
+  // Every element has load 1 and every node capacity 1: all nodes are used,
+  // so the quorum's max distance is forced to M.
+  std::vector<double> capacities(static_cast<std::size_t>(n), 1.0);
+  SsqppInstance instance(std::move(metric), std::move(capacities),
+                         std::move(system), std::move(strategy), 0);
+
+  GapConstruction out{std::move(instance), m_distance,
+                      static_cast<double>(n)};
+  return out;
+}
+
+GapConstruction broom_gap_instance(int k) {
+  if (k < 2) throw std::invalid_argument("broom_gap_instance: k >= 2");
+  const int n = k * k;
+  graph::Metric metric = graph::Metric::from_graph(graph::broom_graph(k));
+  quorum::QuorumSystem system = whole_universe_system(n);
+  quorum::AccessStrategy strategy = quorum::AccessStrategy::uniform(system);
+  std::vector<double> capacities(static_cast<std::size_t>(n), 1.0);
+  SsqppInstance instance(std::move(metric), std::move(capacities),
+                         std::move(system), std::move(strategy), 0);
+  GapConstruction out{std::move(instance), static_cast<double>(k),
+                      2.0 * k / 3.0};
+  return out;
+}
+
+}  // namespace qp::core

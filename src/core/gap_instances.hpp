@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file gap_instances.hpp
+/// The two integrality-gap constructions of paper Appendix A (Claim A.1)
+/// for LP (9)-(14). Both use a single quorum containing the whole universe
+/// and unit loads/capacities, so every node must host exactly one element
+/// and the unique integral delay equals the largest distance from v0, while
+/// the fractional optimum spreads mass and stays near the average distance.
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+struct GapConstruction {
+  SsqppInstance instance;
+  double integral_optimum = 0.0;  ///< Delta_f(v0) of every integral placement
+  double gap_lower_bound = 0.0;   ///< claimed asymptotic gap (n or ~sqrt(n))
+};
+
+/// General-metric instance: n - 1 nodes at distance 1 from v0 except one at
+/// distance M >> 1 (star metric). Integral optimum M; LP ~ (n - 2 + M)/n,
+/// so the gap approaches n as M grows. (Claim A.1, first construction.)
+/// \throws std::invalid_argument unless n >= 2 and M > 1.
+GapConstruction general_metric_gap_instance(int n, double m_distance);
+
+/// Unweighted-graph instance on the Figure 1 "broom" graph with n = k^2
+/// nodes: integral optimum k, LP ~ 3/2, gap ~ (2/3) sqrt(n).
+/// (Claim A.1, second construction.)
+/// \throws std::invalid_argument unless k >= 2.
+GapConstruction broom_gap_instance(int k);
+
+}  // namespace qp::core

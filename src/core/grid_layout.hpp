@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file grid_layout.hpp
+/// Optimal single-source placement for the Grid quorum system under the
+/// uniform access strategy (paper Sec 4.1, optimality proof in Appendix B /
+/// Thm B.1). The strategy fills a k x k matrix of slot distances in
+/// concentric "L-shaped" shells, largest distances in the top-left square.
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+struct GridLayoutResult {
+  Placement placement;          ///< element (r, c) = id r*k + c -> node
+  int k = 0;
+  std::vector<double> matrix;   ///< row-major k x k distance matrix M (Fig 2)
+  double delay = 0.0;           ///< Delta_f(v0) of the layout
+
+  double cell(int r, int c) const {
+    return matrix[static_cast<std::size_t>(r) * static_cast<std::size_t>(k) +
+                  static_cast<std::size_t>(c)];
+  }
+};
+
+/// The order in which matrix cells are filled by the Sec 4.1 strategy:
+/// (0,0); then for each l >= 1 the column part (0,l)..(l-1,l) followed by
+/// the row part (l,0)..(l,l). Distances are assigned in non-increasing
+/// order along this sequence.
+std::vector<std::pair<int, int>> grid_shell_fill_order(int k);
+
+/// Computes the optimal grid layout for an SSQPP instance whose quorum
+/// system is quorum::grid(k) with the uniform strategy. Capacities are
+/// handled by slot expansion (Sec 4.1): nodes with cap below the element
+/// load are suppressed, larger nodes replicated.
+///
+/// Returns std::nullopt when the capacities admit fewer than k^2 slots.
+/// \throws std::invalid_argument if the instance's system is not a k x k
+///         grid with (near-)uniform strategy.
+std::optional<GridLayoutResult> optimal_grid_layout(
+    const SsqppInstance& instance, int k);
+
+}  // namespace qp::core

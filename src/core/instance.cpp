@@ -1,0 +1,104 @@
+#include "core/instance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::core {
+
+namespace {
+
+void check_capacities(const std::vector<double>& capacities, int num_nodes) {
+  if (static_cast<int>(capacities.size()) != num_nodes) {
+    throw std::invalid_argument("instance: one capacity per node required");
+  }
+  for (double c : capacities) {
+    if (!(c >= 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument("instance: capacities must be finite, >= 0");
+    }
+  }
+}
+
+std::vector<double> normalized_weights(std::vector<double> weights, int n) {
+  if (static_cast<int>(weights.size()) != n) {
+    throw std::invalid_argument("instance: one client weight per node required");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w >= 0.0) || !std::isfinite(w)) {
+      throw std::invalid_argument("instance: client weights must be >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("instance: client weights must not all be zero");
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+}  // namespace
+
+QppInstance::QppInstance(graph::Metric metric, std::vector<double> capacities,
+                         quorum::QuorumSystem system,
+                         quorum::AccessStrategy strategy)
+    : metric_(std::move(metric)),
+      capacities_(std::move(capacities)),
+      system_(std::move(system)),
+      strategy_(std::move(strategy)),
+      client_weights_(static_cast<std::size_t>(metric_.num_points()),
+                      metric_.num_points() > 0 ? 1.0 / metric_.num_points()
+                                               : 0.0) {
+  validate();
+  element_loads_ = quorum::element_loads(system_, strategy_);
+}
+
+QppInstance::QppInstance(graph::Metric metric, std::vector<double> capacities,
+                         quorum::QuorumSystem system,
+                         quorum::AccessStrategy strategy,
+                         std::vector<double> client_weights)
+    : metric_(std::move(metric)),
+      capacities_(std::move(capacities)),
+      system_(std::move(system)),
+      strategy_(std::move(strategy)),
+      client_weights_(
+          normalized_weights(std::move(client_weights), metric_.num_points())) {
+  validate();
+  element_loads_ = quorum::element_loads(system_, strategy_);
+}
+
+void QppInstance::validate() {
+  check_capacities(capacities_, metric_.num_points());
+  if (strategy_.num_quorums() != system_.num_quorums()) {
+    throw std::invalid_argument("QppInstance: strategy/system mismatch");
+  }
+}
+
+SsqppInstance::SsqppInstance(graph::Metric metric,
+                             std::vector<double> capacities,
+                             quorum::QuorumSystem system,
+                             quorum::AccessStrategy strategy, int source)
+    : metric_(std::move(metric)),
+      capacities_(std::move(capacities)),
+      system_(std::move(system)),
+      strategy_(std::move(strategy)),
+      source_(source) {
+  check_capacities(capacities_, metric_.num_points());
+  if (strategy_.num_quorums() != system_.num_quorums()) {
+    throw std::invalid_argument("SsqppInstance: strategy/system mismatch");
+  }
+  if (source_ < 0 || source_ >= metric_.num_points()) {
+    throw std::invalid_argument("SsqppInstance: source out of range");
+  }
+  element_loads_ = quorum::element_loads(system_, strategy_);
+}
+
+bool is_valid_placement(const Placement& placement, int universe_size,
+                        int num_nodes) {
+  if (static_cast<int>(placement.size()) != universe_size) return false;
+  for (int v : placement) {
+    if (v < 0 || v >= num_nodes) return false;
+  }
+  return true;
+}
+
+}  // namespace qp::core

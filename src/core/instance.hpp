@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file instance.hpp
+/// Problem instances for the paper's two placement problems:
+///  - QppInstance: the Quorum Placement Problem (paper Problem 1.1), where
+///    every network node is a client;
+///  - SsqppInstance: the Single-Source QPP (paper Problem 3.2), where one
+///    designated node v0 issues all accesses.
+/// A placement is the map f : U -> V (paper Sec 1.2), represented as a
+/// vector indexed by element id.
+
+#include <vector>
+
+#include "graph/metric.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::core {
+
+/// f : U -> V; placement[u] is the node hosting element u.
+using Placement = std::vector<int>;
+
+/// Paper Problem 1.1. Client weights generalize the uniform-rate assumption
+/// (paper Sec 6): objective is the weighted average of per-client delays.
+class QppInstance {
+ public:
+  /// Uniform client rates.
+  QppInstance(graph::Metric metric, std::vector<double> capacities,
+              quorum::QuorumSystem system, quorum::AccessStrategy strategy);
+
+  /// Arbitrary non-negative client rates (normalized internally).
+  QppInstance(graph::Metric metric, std::vector<double> capacities,
+              quorum::QuorumSystem system, quorum::AccessStrategy strategy,
+              std::vector<double> client_weights);
+
+  const graph::Metric& metric() const { return metric_; }
+  int num_nodes() const { return metric_.num_points(); }
+  double capacity(int v) const {
+    return capacities_.at(static_cast<std::size_t>(v));
+  }
+  const std::vector<double>& capacities() const { return capacities_; }
+  const quorum::QuorumSystem& system() const { return system_; }
+  const quorum::AccessStrategy& strategy() const { return strategy_; }
+  /// Normalized client weights (sum to 1).
+  const std::vector<double>& client_weights() const { return client_weights_; }
+  /// Element loads induced by (system, strategy).
+  const std::vector<double>& element_loads() const { return element_loads_; }
+
+ private:
+  void validate();
+
+  graph::Metric metric_;
+  std::vector<double> capacities_;
+  quorum::QuorumSystem system_;
+  quorum::AccessStrategy strategy_;
+  std::vector<double> client_weights_;
+  std::vector<double> element_loads_;
+};
+
+/// Paper Problem 3.2: only node `source` issues accesses, with strategy p0.
+class SsqppInstance {
+ public:
+  SsqppInstance(graph::Metric metric, std::vector<double> capacities,
+                quorum::QuorumSystem system, quorum::AccessStrategy strategy,
+                int source);
+
+  const graph::Metric& metric() const { return metric_; }
+  int num_nodes() const { return metric_.num_points(); }
+  double capacity(int v) const {
+    return capacities_.at(static_cast<std::size_t>(v));
+  }
+  const std::vector<double>& capacities() const { return capacities_; }
+  const quorum::QuorumSystem& system() const { return system_; }
+  const quorum::AccessStrategy& strategy() const { return strategy_; }
+  int source() const { return source_; }
+  const std::vector<double>& element_loads() const { return element_loads_; }
+
+ private:
+  graph::Metric metric_;
+  std::vector<double> capacities_;
+  quorum::QuorumSystem system_;
+  quorum::AccessStrategy strategy_;
+  int source_ = 0;
+  std::vector<double> element_loads_;
+};
+
+/// True iff placement maps every element to a valid node id.
+bool is_valid_placement(const Placement& placement, int universe_size,
+                        int num_nodes);
+
+}  // namespace qp::core

@@ -1,0 +1,175 @@
+#include "core/local_search.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "core/evaluators.hpp"
+
+namespace qp::core {
+
+namespace {
+
+constexpr double kCapacityTolerance = 1e-9;
+
+/// Shared first-improvement descent over moves and swaps.
+LocalSearchResult descend(
+    const QppInstance& instance, Placement placement,
+    const LocalSearchOptions& options,
+    const std::function<double(const Placement&)>& objective) {
+  const int num_elements = instance.system().universe_size();
+  const int num_nodes = instance.num_nodes();
+  const std::vector<double>& loads = instance.element_loads();
+
+  if (!is_valid_placement(placement, num_elements, num_nodes)) {
+    throw std::invalid_argument("local_search: invalid start placement");
+  }
+  if (!is_capacity_feasible(loads, instance.capacities(), placement)) {
+    throw std::invalid_argument("local_search: start placement infeasible");
+  }
+
+  std::vector<double> node_load =
+      node_loads(loads, placement, num_nodes);
+  double current = objective(placement);
+  int moves = 0;
+
+  bool improved = true;
+  while (improved && moves < options.max_moves) {
+    improved = false;
+    // Single-element moves.
+    if (options.allow_moves) {
+      for (int u = 0; u < num_elements && !improved; ++u) {
+        const int from = placement[static_cast<std::size_t>(u)];
+        for (int to = 0; to < num_nodes && !improved; ++to) {
+          if (to == from) continue;
+          if (node_load[static_cast<std::size_t>(to)] +
+                  loads[static_cast<std::size_t>(u)] >
+              instance.capacity(to) + kCapacityTolerance) {
+            continue;
+          }
+          placement[static_cast<std::size_t>(u)] = to;
+          const double candidate = objective(placement);
+          if (candidate < current - options.min_gain) {
+            current = candidate;
+            node_load[static_cast<std::size_t>(from)] -=
+                loads[static_cast<std::size_t>(u)];
+            node_load[static_cast<std::size_t>(to)] +=
+                loads[static_cast<std::size_t>(u)];
+            ++moves;
+            improved = true;
+          } else {
+            placement[static_cast<std::size_t>(u)] = from;
+          }
+        }
+      }
+    }
+    // Pairwise swaps.
+    if (options.allow_swaps && !improved) {
+      for (int a = 0; a < num_elements && !improved; ++a) {
+        for (int b = a + 1; b < num_elements && !improved; ++b) {
+          const int node_a = placement[static_cast<std::size_t>(a)];
+          const int node_b = placement[static_cast<std::size_t>(b)];
+          if (node_a == node_b) continue;
+          const double load_a = loads[static_cast<std::size_t>(a)];
+          const double load_b = loads[static_cast<std::size_t>(b)];
+          // Feasibility after swapping a -> node_b, b -> node_a.
+          if (node_load[static_cast<std::size_t>(node_b)] - load_b + load_a >
+                  instance.capacity(node_b) + kCapacityTolerance ||
+              node_load[static_cast<std::size_t>(node_a)] - load_a + load_b >
+                  instance.capacity(node_a) + kCapacityTolerance) {
+            continue;
+          }
+          placement[static_cast<std::size_t>(a)] = node_b;
+          placement[static_cast<std::size_t>(b)] = node_a;
+          const double candidate = objective(placement);
+          if (candidate < current - options.min_gain) {
+            current = candidate;
+            node_load[static_cast<std::size_t>(node_a)] += load_b - load_a;
+            node_load[static_cast<std::size_t>(node_b)] += load_a - load_b;
+            ++moves;
+            improved = true;
+          } else {
+            placement[static_cast<std::size_t>(a)] = node_a;
+            placement[static_cast<std::size_t>(b)] = node_b;
+          }
+        }
+      }
+    }
+  }
+  return {std::move(placement), current, moves};
+}
+
+}  // namespace
+
+LocalSearchResult local_search_max_delay(const QppInstance& instance,
+                                         Placement start,
+                                         const LocalSearchOptions& options) {
+  return descend(instance, std::move(start), options,
+                 [&instance](const Placement& f) {
+                   return average_max_delay(instance, f);
+                 });
+}
+
+LocalSearchResult local_search_total_delay(const QppInstance& instance,
+                                           Placement start,
+                                           const LocalSearchOptions& options) {
+  return descend(instance, std::move(start), options,
+                 [&instance](const Placement& f) {
+                   return average_total_delay(instance, f);
+                 });
+}
+
+std::optional<Placement> random_feasible_placement(const QppInstance& instance,
+                                                   std::mt19937_64& rng) {
+  const int num_elements = instance.system().universe_size();
+  const int num_nodes = instance.num_nodes();
+  const std::vector<double>& loads = instance.element_loads();
+
+  std::vector<int> order(static_cast<std::size_t>(num_elements));
+  for (int u = 0; u < num_elements; ++u) order[static_cast<std::size_t>(u)] = u;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return loads[static_cast<std::size_t>(a)] > loads[static_cast<std::size_t>(b)];
+  });
+
+  constexpr int kAttempts = 200;
+  std::uniform_int_distribution<int> pick(0, num_nodes - 1);
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    std::vector<double> remaining = instance.capacities();
+    Placement placement(static_cast<std::size_t>(num_elements), -1);
+    bool ok = true;
+    for (int u : order) {
+      int node = -1;
+      // A few random probes, then fall back to the first node that fits.
+      for (int probe = 0; probe < 2 * num_nodes; ++probe) {
+        const int candidate = pick(rng);
+        if (remaining[static_cast<std::size_t>(candidate)] +
+                kCapacityTolerance >=
+            loads[static_cast<std::size_t>(u)]) {
+          node = candidate;
+          break;
+        }
+      }
+      if (node < 0) {
+        for (int candidate = 0; candidate < num_nodes; ++candidate) {
+          if (remaining[static_cast<std::size_t>(candidate)] +
+                  kCapacityTolerance >=
+              loads[static_cast<std::size_t>(u)]) {
+            node = candidate;
+            break;
+          }
+        }
+      }
+      if (node < 0) {
+        ok = false;
+        break;
+      }
+      remaining[static_cast<std::size_t>(node)] -=
+          loads[static_cast<std::size_t>(u)];
+      placement[static_cast<std::size_t>(u)] = node;
+    }
+    if (ok) return placement;
+  }
+  return std::nullopt;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file local_search.hpp
+/// Capacity-feasible local search over placements: element moves and pair
+/// swaps, first-improvement descent. Not part of the paper's algorithms --
+/// it serves as (a) a practical post-optimizer for the rounded placements
+/// and (b) an unprincipled baseline the experiment harness contrasts the
+/// approximation guarantees against.
+
+#include <optional>
+#include <random>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+struct LocalSearchOptions {
+  int max_moves = 10000;     ///< improvement steps before giving up
+  bool allow_moves = true;   ///< single-element relocations
+  bool allow_swaps = true;   ///< pairwise element swaps
+  double min_gain = 1e-12;   ///< improvements below this are ignored
+};
+
+struct LocalSearchResult {
+  Placement placement;
+  double delay = 0.0;  ///< objective of the final placement
+  int moves = 0;       ///< accepted improvement steps
+};
+
+/// Descends Avg_v Delta_f(v) from `start` (which must be capacity-feasible;
+/// the search preserves feasibility). \throws std::invalid_argument if
+/// start is invalid or infeasible.
+LocalSearchResult local_search_max_delay(const QppInstance& instance,
+                                         Placement start,
+                                         const LocalSearchOptions& options = {});
+
+/// Same descent for the total-delay objective Avg_v Gamma_f(v).
+LocalSearchResult local_search_total_delay(
+    const QppInstance& instance, Placement start,
+    const LocalSearchOptions& options = {});
+
+/// A random capacity-feasible placement (heaviest elements placed first on
+/// uniformly drawn nodes with remaining room). std::nullopt after an
+/// internal retry budget -- capacities may admit no placement at all, or
+/// only placements random sampling cannot find.
+std::optional<Placement> random_feasible_placement(const QppInstance& instance,
+                                                   std::mt19937_64& rng);
+
+}  // namespace qp::core

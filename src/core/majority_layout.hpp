@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file majority_layout.hpp
+/// Single-source placement for Majority/threshold quorum systems under the
+/// uniform access strategy (paper Sec 4.2). Every load-respecting placement
+/// of the n elements on a fixed multiset of slots has the same expected
+/// delay, given in closed form by paper eq. (19); the layout simply packs
+/// elements onto the n nearest capacity slots.
+
+#include <optional>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+/// Paper eq. (19): expected max-delay from the source when the n elements
+/// occupy slots at distances \p slot_distances (any order), for the
+/// threshold-t system with the uniform strategy over all C(n, t) quorums:
+///     (1 / C(n,t)) * sum_{i=1}^{n-t+1} tau_i * C(n-i, t-1),
+/// where tau_1 >= ... >= tau_n sorts the distances decreasingly.
+/// \throws std::invalid_argument unless 1 <= t <= n = slot_distances.size()
+///         and 2t > n.
+double majority_delay_formula(std::vector<double> slot_distances, int t);
+
+struct MajorityLayoutResult {
+  Placement placement;
+  double delay = 0.0;          ///< measured Delta_f(v0)
+  double formula_delay = 0.0;  ///< eq. (19) prediction (equal up to fp error)
+};
+
+/// Places the n elements of a threshold-t system (uniform strategy) on the
+/// n nearest capacity slots. Optimal among capacity-respecting placements:
+/// by Sec 4.2 the delay depends only on the multiset of slot distances, and
+/// eq. (19) is monotone in each tau_i, so nearest slots are best.
+/// Returns std::nullopt if the capacities admit fewer than n slots.
+/// \throws std::invalid_argument if the system is not threshold-t with the
+///         uniform strategy.
+std::optional<MajorityLayoutResult> majority_layout(
+    const SsqppInstance& instance, int t);
+
+}  // namespace qp::core

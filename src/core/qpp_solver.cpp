@@ -1,0 +1,64 @@
+#include "core/qpp_solver.hpp"
+
+#include <algorithm>
+
+#include "core/evaluators.hpp"
+
+namespace qp::core {
+
+SsqppInstance single_source_view(const QppInstance& instance, int source) {
+  return SsqppInstance(instance.metric(), instance.capacities(),
+                       instance.system(), instance.strategy(), source);
+}
+
+std::optional<QppResult> solve_qpp(const QppInstance& instance,
+                                   const QppSolveOptions& options) {
+  std::vector<int> candidates = options.candidate_sources;
+  if (candidates.empty()) {
+    candidates.resize(static_cast<std::size_t>(instance.num_nodes()));
+    for (int v = 0; v < instance.num_nodes(); ++v) {
+      candidates[static_cast<std::size_t>(v)] = v;
+    }
+    if (options.max_candidates > 0 &&
+        options.max_candidates < instance.num_nodes()) {
+      // Keep the nodes with the smallest total distance to all clients
+      // (1-median order): cheap, and empirically where good relays live.
+      std::vector<double> distance_sum(
+          static_cast<std::size_t>(instance.num_nodes()));
+      for (int v = 0; v < instance.num_nodes(); ++v) {
+        distance_sum[static_cast<std::size_t>(v)] =
+            instance.metric().distance_sum_from(v);
+      }
+      std::stable_sort(candidates.begin(), candidates.end(), [&](int a, int b) {
+        return distance_sum[static_cast<std::size_t>(a)] <
+               distance_sum[static_cast<std::size_t>(b)];
+      });
+      candidates.resize(static_cast<std::size_t>(options.max_candidates));
+    }
+  }
+
+  std::optional<QppResult> best;
+  double best_lp_bound = 0.0;
+  for (int source : candidates) {
+    const SsqppInstance view = single_source_view(instance, source);
+    const std::optional<SsqppResult> single =
+        solve_ssqpp(view, options.alpha, options.simplex);
+    if (!single) continue;
+    best_lp_bound = std::max(best_lp_bound, single->lp_objective);
+    const double average = average_max_delay(instance, single->placement);
+    if (!best || average < best->average_delay) {
+      QppResult result;
+      result.placement = single->placement;
+      result.chosen_source = source;
+      result.average_delay = average;
+      result.load_violation = max_capacity_violation(
+          instance.element_loads(), instance.capacities(), single->placement);
+      result.best_lp_bound = best_lp_bound;
+      best = std::move(result);
+    }
+  }
+  if (best) best->best_lp_bound = best_lp_bound;
+  return best;
+}
+
+}  // namespace qp::core

@@ -1,0 +1,51 @@
+#include "core/specialized.hpp"
+
+#include "core/evaluators.hpp"
+#include "core/grid_layout.hpp"
+#include "core/majority_layout.hpp"
+#include "core/qpp_solver.hpp"
+
+namespace qp::core {
+
+namespace {
+
+/// Shared Thm 3.3 loop: builds the Sec 4 layout from every candidate source
+/// and keeps the placement minimizing the full QPP objective.
+template <typename LayoutFn>
+std::optional<SpecializedQppResult> best_over_sources(
+    const QppInstance& instance, LayoutFn&& layout_from) {
+  std::optional<SpecializedQppResult> best;
+  for (int source = 0; source < instance.num_nodes(); ++source) {
+    const SsqppInstance view = single_source_view(instance, source);
+    const auto layout = layout_from(view);
+    if (!layout) continue;
+    const double average = average_max_delay(instance, layout->placement);
+    if (!best || average < best->average_delay) {
+      SpecializedQppResult result;
+      result.placement = layout->placement;
+      result.chosen_source = source;
+      result.average_delay = average;
+      result.source_delay = layout->delay;
+      best = std::move(result);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<SpecializedQppResult> solve_qpp_grid(const QppInstance& instance,
+                                                   int k) {
+  return best_over_sources(instance, [k](const SsqppInstance& view) {
+    return optimal_grid_layout(view, k);
+  });
+}
+
+std::optional<SpecializedQppResult> solve_qpp_majority(
+    const QppInstance& instance, int t) {
+  return best_over_sources(instance, [t](const SsqppInstance& view) {
+    return majority_layout(view, t);
+  });
+}
+
+}  // namespace qp::core

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file specialized.hpp
+/// Theorem 1.3: for the Grid and Majority systems under the uniform
+/// strategy, the optimal single-source layouts of Sec 4 combined with the
+/// relay reduction (Thm 3.3) give placements that respect capacities
+/// EXACTLY (no (alpha+1) blow-up) and whose average max-delay is within a
+/// factor 5 of the optimum over all capacity-respecting placements.
+
+#include <optional>
+
+#include "core/instance.hpp"
+
+namespace qp::core {
+
+struct SpecializedQppResult {
+  Placement placement;
+  int chosen_source = -1;      ///< source whose Sec 4 layout won
+  double average_delay = 0.0;  ///< Avg_v Delta_f(v); <= 5 * OPT by Thm 1.3
+  double source_delay = 0.0;   ///< Delta_f(chosen_source) of that layout
+};
+
+/// Thm 1.3 for the Grid system: instance.system() must be quorum::grid(k)
+/// with the uniform strategy. Tries the optimal Sec 4.1 layout from every
+/// node and returns the best full-objective placement. Returns std::nullopt
+/// if capacities admit fewer than k^2 slots.
+/// \throws std::invalid_argument if the system/strategy do not match.
+std::optional<SpecializedQppResult> solve_qpp_grid(const QppInstance& instance,
+                                                   int k);
+
+/// Thm 1.3 for Majority: instance.system() must be quorum::majority(n, t)
+/// with the uniform strategy. Same contract as solve_qpp_grid.
+std::optional<SpecializedQppResult> solve_qpp_majority(
+    const QppInstance& instance, int t);
+
+}  // namespace qp::core

@@ -1,0 +1,282 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::graph {
+
+namespace {
+
+void require(bool ok, const char* message) {
+  if (!ok) throw std::invalid_argument(message);
+}
+
+double sample_length(std::mt19937_64& rng, double lo, double hi) {
+  require(lo > 0.0 && hi >= lo, "generators: need 0 < min_length <= max_length");
+  if (lo == hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+}  // namespace
+
+Graph path_graph(int n, double edge_length) {
+  require(n >= 1, "path_graph: n >= 1 required");
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1, edge_length);
+  return g;
+}
+
+Graph cycle_graph(int n, double edge_length) {
+  require(n >= 3, "cycle_graph: n >= 3 required");
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, edge_length);
+  return g;
+}
+
+Graph star_graph(int n, double edge_length) {
+  require(n >= 1, "star_graph: n >= 1 required");
+  Graph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(0, i, edge_length);
+  return g;
+}
+
+Graph complete_graph(int n, double edge_length) {
+  require(n >= 1, "complete_graph: n >= 1 required");
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.add_edge(i, j, edge_length);
+  }
+  return g;
+}
+
+Graph grid_mesh(int k, double edge_length) {
+  require(k >= 1, "grid_mesh: k >= 1 required");
+  Graph g(k * k);
+  const auto id = [k](int r, int c) { return r * k + c; };
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      if (c + 1 < k) g.add_edge(id(r, c), id(r, c + 1), edge_length);
+      if (r + 1 < k) g.add_edge(id(r, c), id(r + 1, c), edge_length);
+    }
+  }
+  return g;
+}
+
+Graph broom_graph(int k) {
+  require(k >= 2, "broom_graph: k >= 2 required");
+  const int n = k * k;
+  Graph g(n);
+  // Nodes 1 .. n-k are star leaves of the center 0.
+  const int num_leaves = n - k;
+  for (int i = 1; i <= num_leaves; ++i) g.add_edge(0, i, 1.0);
+  // A path of k-1 nodes hangs off leaf 1, giving distances 2, 3, ..., k.
+  int previous = 1;
+  for (int i = 0; i < k - 1; ++i) {
+    const int node = num_leaves + 1 + i;
+    g.add_edge(previous, node, 1.0);
+    previous = node;
+  }
+  return g;
+}
+
+Graph random_tree(int n, std::mt19937_64& rng, double min_length,
+                  double max_length) {
+  require(n >= 1, "random_tree: n >= 1 required");
+  Graph g(n);
+  for (int i = 1; i < n; ++i) {
+    std::uniform_int_distribution<int> parent(0, i - 1);
+    g.add_edge(parent(rng), i, sample_length(rng, min_length, max_length));
+  }
+  return g;
+}
+
+Graph erdos_renyi(int n, double p, std::mt19937_64& rng, double min_length,
+                  double max_length) {
+  require(n >= 1, "erdos_renyi: n >= 1 required");
+  require(p > 0.0 && p <= 1.0, "erdos_renyi: p in (0, 1] required");
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Graph g(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (coin(rng) < p) {
+          g.add_edge(i, j, sample_length(rng, min_length, max_length));
+        }
+      }
+    }
+    if (g.is_connected()) return g;
+  }
+  throw std::runtime_error("erdos_renyi: failed to sample a connected graph");
+}
+
+GeometricGraph random_geometric(int n, double radius, std::mt19937_64& rng) {
+  require(n >= 1, "random_geometric: n >= 1 required");
+  require(radius > 0.0, "random_geometric: radius > 0 required");
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    GeometricGraph out{Graph(n), {}, {}};
+    out.x.resize(static_cast<std::size_t>(n));
+    out.y.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.x[static_cast<std::size_t>(i)] = unit(rng);
+      out.y[static_cast<std::size_t>(i)] = unit(rng);
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dx = out.x[static_cast<std::size_t>(i)] -
+                          out.x[static_cast<std::size_t>(j)];
+        const double dy = out.y[static_cast<std::size_t>(i)] -
+                          out.y[static_cast<std::size_t>(j)];
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist > 0.0 && dist <= radius) out.graph.add_edge(i, j, dist);
+      }
+    }
+    if (out.graph.is_connected()) return out;
+  }
+  throw std::runtime_error(
+      "random_geometric: failed to sample a connected graph; increase radius");
+}
+
+Graph barabasi_albert(int n, int attach_edges, std::mt19937_64& rng) {
+  require(attach_edges >= 1, "barabasi_albert: attach_edges >= 1 required");
+  require(n > attach_edges, "barabasi_albert: n > attach_edges required");
+  Graph g(n);
+  // Seed clique on attach_edges + 1 nodes.
+  const int seed = attach_edges + 1;
+  std::vector<int> endpoint_bag;  // each node appears once per incident edge
+  for (int i = 0; i < seed; ++i) {
+    for (int j = i + 1; j < seed; ++j) {
+      g.add_edge(i, j, 1.0);
+      endpoint_bag.push_back(i);
+      endpoint_bag.push_back(j);
+    }
+  }
+  for (int v = seed; v < n; ++v) {
+    std::vector<int> targets;
+    while (static_cast<int>(targets.size()) < attach_edges) {
+      std::uniform_int_distribution<std::size_t> pick(0, endpoint_bag.size() - 1);
+      const int candidate = endpoint_bag[pick(rng)];
+      bool duplicate = false;
+      for (int t : targets) duplicate = duplicate || (t == candidate);
+      if (!duplicate) targets.push_back(candidate);
+    }
+    for (int t : targets) {
+      g.add_edge(v, t, 1.0);
+      endpoint_bag.push_back(v);
+      endpoint_bag.push_back(t);
+    }
+  }
+  return g;
+}
+
+Graph ring_of_cliques(int num_cliques, int clique_size, double intra,
+                      double inter) {
+  require(num_cliques >= 1, "ring_of_cliques: num_cliques >= 1 required");
+  require(clique_size >= 1, "ring_of_cliques: clique_size >= 1 required");
+  const int n = num_cliques * clique_size;
+  Graph g(n);
+  const auto id = [clique_size](int clique, int member) {
+    return clique * clique_size + member;
+  };
+  for (int c = 0; c < num_cliques; ++c) {
+    for (int i = 0; i < clique_size; ++i) {
+      for (int j = i + 1; j < clique_size; ++j) {
+        g.add_edge(id(c, i), id(c, j), intra);
+      }
+    }
+  }
+  if (num_cliques == 2) {
+    g.add_edge(id(0, 0), id(1, 0), inter);
+  } else if (num_cliques > 2) {
+    for (int c = 0; c < num_cliques; ++c) {
+      g.add_edge(id(c, 0), id((c + 1) % num_cliques, 0), inter);
+    }
+  }
+  return g;
+}
+
+Graph hypercube(int dimensions) {
+  require(dimensions >= 0 && dimensions <= 20,
+          "hypercube: 0 <= dimensions <= 20 required");
+  const int n = 1 << dimensions;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int bit = 0; bit < dimensions; ++bit) {
+      const int other = v ^ (1 << bit);
+      if (v < other) g.add_edge(v, other, 1.0);
+    }
+  }
+  return g;
+}
+
+Graph torus(int k, double edge_length) {
+  require(k >= 3, "torus: k >= 3 required");
+  Graph g(k * k);
+  const auto id = [k](int r, int c) { return r * k + c; };
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % k), edge_length);
+      g.add_edge(id(r, c), id((r + 1) % k, c), edge_length);
+    }
+  }
+  return g;
+}
+
+Graph fat_tree(int num_spines, int num_leaves, int hosts_per_leaf,
+               double spine_leaf, double leaf_host) {
+  require(num_spines >= 1 && num_leaves >= 1 && hosts_per_leaf >= 1,
+          "fat_tree: all tiers must be non-empty");
+  const int num_hosts = num_leaves * hosts_per_leaf;
+  const int n = num_hosts + num_leaves + num_spines;
+  Graph g(n);
+  const auto leaf_id = [num_hosts](int leaf) { return num_hosts + leaf; };
+  const auto spine_id = [num_hosts, num_leaves](int spine) {
+    return num_hosts + num_leaves + spine;
+  };
+  for (int leaf = 0; leaf < num_leaves; ++leaf) {
+    for (int h = 0; h < hosts_per_leaf; ++h) {
+      g.add_edge(leaf * hosts_per_leaf + h, leaf_id(leaf), leaf_host);
+    }
+    for (int spine = 0; spine < num_spines; ++spine) {
+      g.add_edge(leaf_id(leaf), spine_id(spine), spine_leaf);
+    }
+  }
+  return g;
+}
+
+GeometricGraph waxman(int n, double a, double b, std::mt19937_64& rng) {
+  require(n >= 1, "waxman: n >= 1 required");
+  require(a > 0.0 && a <= 1.0 && b > 0.0, "waxman: need 0 < a <= 1, b > 0");
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double max_distance = std::sqrt(2.0);
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    GeometricGraph out{Graph(n), {}, {}};
+    out.x.resize(static_cast<std::size_t>(n));
+    out.y.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      out.x[static_cast<std::size_t>(i)] = unit(rng);
+      out.y[static_cast<std::size_t>(i)] = unit(rng);
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dx = out.x[static_cast<std::size_t>(i)] -
+                          out.x[static_cast<std::size_t>(j)];
+        const double dy = out.y[static_cast<std::size_t>(i)] -
+                          out.y[static_cast<std::size_t>(j)];
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist <= 0.0) continue;
+        if (unit(rng) < a * std::exp(-dist / (b * max_distance))) {
+          out.graph.add_edge(i, j, dist);
+        }
+      }
+    }
+    if (out.graph.is_connected()) return out;
+  }
+  throw std::runtime_error(
+      "waxman: failed to sample a connected graph; increase a or b");
+}
+
+}  // namespace qp::graph

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file generators.hpp
+/// Topology generators used by tests, examples and the experiment harness.
+/// All randomized generators take an explicit RNG so every experiment is
+/// reproducible from a fixed seed.
+
+#include <random>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace qp::graph {
+
+/// Path v0 - v1 - ... - v_{n-1} with the given uniform edge length.
+/// This is the topology of the NP-hardness reduction (paper Thm 3.6).
+Graph path_graph(int n, double edge_length = 1.0);
+
+/// Cycle on n >= 3 nodes with uniform edge length.
+Graph cycle_graph(int n, double edge_length = 1.0);
+
+/// Star with center 0 and n-1 leaves.
+Graph star_graph(int n, double edge_length = 1.0);
+
+/// Complete graph with uniform edge length.
+Graph complete_graph(int n, double edge_length = 1.0);
+
+/// k x k mesh with unit edges; node (r, c) has id r*k + c.
+Graph grid_mesh(int k, double edge_length = 1.0);
+
+/// The paper's Figure 1 graph on n = k^2 nodes: node 0 (= v0) is the center
+/// of a star with n - k leaves, and a path of k - 1 further nodes hangs off
+/// one leaf. All edges have unit length, so the sorted distances from v0 are
+/// 1 (n-k times), then 2, 3, ..., k. Used by the integrality-gap experiment
+/// (Appendix A, Claim A.1).
+Graph broom_graph(int k);
+
+/// Uniform random tree (random parent attachment).
+Graph random_tree(int n, std::mt19937_64& rng, double min_length = 1.0,
+                  double max_length = 1.0);
+
+/// Erdos-Renyi G(n, p), re-sampled until connected; edge lengths uniform in
+/// [min_length, max_length]. \throws std::runtime_error if no connected
+/// sample is found within an internal attempt budget.
+Graph erdos_renyi(int n, double p, std::mt19937_64& rng,
+                  double min_length = 1.0, double max_length = 1.0);
+
+/// A geometric graph plus the coordinates that induced it (kept for
+/// visualization and WAN-flavored examples).
+struct GeometricGraph {
+  Graph graph;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Random geometric graph: n points uniform in the unit square, edges
+/// between pairs within \p radius, Euclidean edge lengths. Re-sampled until
+/// connected. A stand-in for WAN/PoP topologies (see DESIGN.md
+/// substitutions).
+GeometricGraph random_geometric(int n, double radius, std::mt19937_64& rng);
+
+/// Barabasi-Albert preferential attachment: starts from a small clique and
+/// attaches each new node to \p attach_edges existing nodes. Unit lengths.
+Graph barabasi_albert(int n, int attach_edges, std::mt19937_64& rng);
+
+/// \p num_cliques cliques of \p clique_size nodes each, arranged in a ring;
+/// intra-clique edges have length \p intra, the ring edges between
+/// consecutive cliques have length \p inter. Models clustered data centers
+/// joined by WAN links.
+Graph ring_of_cliques(int num_cliques, int clique_size, double intra,
+                      double inter);
+
+/// d-dimensional hypercube on 2^d nodes (node ids are bit vectors; edges
+/// join ids at Hamming distance 1). Unit edge lengths.
+Graph hypercube(int dimensions);
+
+/// k x k torus (grid mesh with wrap-around rows and columns), k >= 3.
+Graph torus(int k, double edge_length = 1.0);
+
+/// Two-level fat-tree-like data-center fabric: \p num_spines spine switches,
+/// \p num_leaves leaf switches (each connected to every spine with length
+/// \p spine_leaf), and \p hosts_per_leaf hosts per leaf (length
+/// \p leaf_host). Host ids come first (0 .. L*H-1), then leaves, then
+/// spines.
+Graph fat_tree(int num_spines, int num_leaves, int hosts_per_leaf,
+               double spine_leaf = 2.0, double leaf_host = 1.0);
+
+/// Waxman random graph: n points uniform in the unit square; edge (u, v)
+/// sampled with probability a * exp(-d(u,v) / (b * sqrt(2))), Euclidean
+/// lengths; re-sampled until connected. The classic Internet-topology
+/// model (Waxman 1988).
+GeometricGraph waxman(int n, double a, double b, std::mt19937_64& rng);
+
+}  // namespace qp::graph

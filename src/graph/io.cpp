@@ -1,0 +1,76 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+namespace qp::graph {
+
+Graph parse_edge_list(std::istream& in) {
+  std::optional<Graph> g;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive)) continue;  // blank/comment line
+    const auto fail = [&](const std::string& what) {
+      throw std::invalid_argument("edge list line " +
+                                  std::to_string(line_number) + ": " + what);
+    };
+    if (directive == "n") {
+      if (g.has_value()) fail("duplicate 'n' header");
+      int n = 0;
+      if (!(tokens >> n)) fail("expected 'n <num_nodes>'");
+      g.emplace(n);
+    } else if (directive == "e") {
+      if (!g.has_value()) fail("'e' before the 'n' header");
+      int a = 0, b = 0;
+      double length = 0.0;
+      if (!(tokens >> a >> b >> length)) fail("expected 'e <a> <b> <length>'");
+      try {
+        g->add_edge(a, b, length);
+      } catch (const std::invalid_argument& e) {
+        fail(e.what());
+      }
+    } else {
+      fail("unknown directive '" + directive + "'");
+    }
+    std::string extra;
+    if (tokens >> extra) fail("trailing tokens");
+  }
+  if (!g.has_value()) {
+    throw std::invalid_argument("edge list: missing 'n' header");
+  }
+  return *std::move(g);
+}
+
+Graph parse_edge_list(const std::string& text) {
+  std::istringstream in(text);
+  return parse_edge_list(in);
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << "n " << g.num_nodes() << '\n';
+  os << std::setprecision(17);
+  for (const Edge& e : g.edges()) {
+    os << "e " << e.a << ' ' << e.b << ' ' << e.length << '\n';
+  }
+  return os.str();
+}
+
+Graph load_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot open graph file '" + path + "'");
+  }
+  return parse_edge_list(in);
+}
+
+}  // namespace qp::graph

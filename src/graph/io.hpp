@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file io.hpp
+/// Plain-text edge-list serialization for graphs, so deployments can feed
+/// real topologies into the CLI instead of the synthetic generators.
+///
+/// Format (whitespace-separated, '#' starts a comment line):
+///     n <num_nodes>
+///     e <a> <b> <length>
+///     e ...
+/// The "n" line must come before any "e" line.
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace qp::graph {
+
+/// Parses the edge-list format. \throws std::invalid_argument on malformed
+/// input (unknown directives, missing header, bad edges).
+Graph parse_edge_list(std::istream& in);
+
+/// Convenience overload over a string buffer.
+Graph parse_edge_list(const std::string& text);
+
+/// Serializes a graph into the same format (round-trips through parse).
+std::string to_edge_list(const Graph& g);
+
+/// Reads a graph from a file. \throws std::invalid_argument if the file
+/// cannot be opened or is malformed.
+Graph load_edge_list_file(const std::string& path);
+
+}  // namespace qp::graph

@@ -1,0 +1,66 @@
+#include "graph/shortest_paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace qp::graph {
+
+std::vector<int> ShortestPathTree::path_to(int target) const {
+  if (target < 0 || target >= static_cast<int>(distance.size())) {
+    throw std::invalid_argument("path_to: target out of range");
+  }
+  if (distance[static_cast<std::size_t>(target)] == kUnreachable) return {};
+  std::vector<int> path;
+  for (int v = target; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree dijkstra(const Graph& g, int source) {
+  const int n = g.num_nodes();
+  if (source < 0 || source >= n) {
+    throw std::invalid_argument("dijkstra: source out of range");
+  }
+  ShortestPathTree tree;
+  tree.source = source;
+  tree.distance.assign(static_cast<std::size_t>(n), kUnreachable);
+  tree.parent.assign(static_cast<std::size_t>(n), -1);
+
+  using Entry = std::pair<double, int>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.distance[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [dist, v] = heap.top();
+    heap.pop();
+    if (dist > tree.distance[static_cast<std::size_t>(v)]) continue;  // stale
+    for (const HalfEdge& he : g.neighbors(v)) {
+      const double candidate = dist + he.length;
+      double& best = tree.distance[static_cast<std::size_t>(he.to)];
+      if (candidate < best) {
+        best = candidate;
+        tree.parent[static_cast<std::size_t>(he.to)] = v;
+        heap.emplace(candidate, he.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<double> all_pairs_distances(const Graph& g) {
+  const int n = g.num_nodes();
+  std::vector<double> dist(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    ShortestPathTree tree = dijkstra(g, s);
+    std::copy(tree.distance.begin(), tree.distance.end(),
+              dist.begin() + static_cast<std::ptrdiff_t>(s) * n);
+  }
+  return dist;
+}
+
+}  // namespace qp::graph

@@ -1,0 +1,321 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::lp {
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Dense two-phase tableau. Row-major matrix `a` of size rows x cols, the
+/// right-hand side `b`, and two running cost rows (phase 1 and phase 2),
+/// each of length cols + 1 with the final entry holding -objective.
+class Tableau {
+ public:
+  Tableau(const Model& model, const SimplexOptions& options)
+      : options_(options),
+        num_structural_(model.num_variables()),
+        rows_(model.num_constraints()) {
+    build(model);
+  }
+
+  Solution run() {
+    Solution solution;
+    // Phase 1: minimize the sum of artificial variables.
+    if (num_artificial_ > 0) {
+      const SolveStatus phase1 = iterate(cost1_, /*allow_artificial=*/true,
+                                         solution.iterations);
+      if (phase1 == SolveStatus::kIterationLimit) {
+        solution.status = phase1;
+        return solution;
+      }
+      // Unbounded is impossible in phase 1 (objective bounded below by 0).
+      const double infeasibility = -cost1_[static_cast<std::size_t>(cols_)];
+      if (infeasibility > options_.epsilon * (1.0 + rhs_scale_)) {
+        solution.status = SolveStatus::kInfeasible;
+        return solution;
+      }
+      drive_out_artificials();
+    }
+    // Phase 2: minimize the true objective, artificials barred from entering.
+    const SolveStatus phase2 = iterate(cost2_, /*allow_artificial=*/false,
+                                       solution.iterations);
+    solution.status = phase2;
+    if (phase2 != SolveStatus::kOptimal) return solution;
+    solution.objective = -cost2_[static_cast<std::size_t>(cols_)];
+    solution.values.assign(static_cast<std::size_t>(num_structural_), 0.0);
+    for (int i = 0; i < rows_; ++i) {
+      const int bv = basis_[static_cast<std::size_t>(i)];
+      if (bv < num_structural_) {
+        solution.values[static_cast<std::size_t>(bv)] =
+            std::max(0.0, b_[static_cast<std::size_t>(i)]);
+      }
+    }
+    return solution;
+  }
+
+ private:
+  double& at(int row, int col) {
+    return a_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(col)];
+  }
+  double at(int row, int col) const {
+    return a_[static_cast<std::size_t>(row) * static_cast<std::size_t>(cols_) +
+              static_cast<std::size_t>(col)];
+  }
+
+  void build(const Model& model) {
+    const auto& constraints = model.constraints();
+    // Aggregate each row into a dense vector over structural variables and
+    // normalize to rhs >= 0.
+    std::vector<std::vector<double>> dense(static_cast<std::size_t>(rows_));
+    std::vector<Relation> relation(static_cast<std::size_t>(rows_));
+    b_.assign(static_cast<std::size_t>(rows_), 0.0);
+    int num_slack = 0;
+    num_artificial_ = 0;
+    for (int i = 0; i < rows_; ++i) {
+      const Constraint& c = constraints[static_cast<std::size_t>(i)];
+      auto& row = dense[static_cast<std::size_t>(i)];
+      row.assign(static_cast<std::size_t>(num_structural_), 0.0);
+      for (const auto& [var, coeff] : c.terms) {
+        row[static_cast<std::size_t>(var)] += coeff;
+      }
+      double rhs = c.rhs;
+      Relation rel = c.relation;
+      if (rhs < 0.0) {
+        for (double& x : row) x = -x;
+        rhs = -rhs;
+        if (rel == Relation::kLessEqual) {
+          rel = Relation::kGreaterEqual;
+        } else if (rel == Relation::kGreaterEqual) {
+          rel = Relation::kLessEqual;
+        }
+      }
+      b_[static_cast<std::size_t>(i)] = rhs;
+      relation[static_cast<std::size_t>(i)] = rel;
+      rhs_scale_ = std::max(rhs_scale_, rhs);
+      if (rel != Relation::kEqual) ++num_slack;
+      if (rel != Relation::kLessEqual) ++num_artificial_;
+    }
+
+    first_artificial_ = num_structural_ + num_slack;
+    cols_ = first_artificial_ + num_artificial_;
+    a_.assign(static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_),
+              0.0);
+    basis_.assign(static_cast<std::size_t>(rows_), -1);
+
+    int next_slack = num_structural_;
+    int next_artificial = first_artificial_;
+    for (int i = 0; i < rows_; ++i) {
+      const auto& row = dense[static_cast<std::size_t>(i)];
+      for (int j = 0; j < num_structural_; ++j) {
+        at(i, j) = row[static_cast<std::size_t>(j)];
+      }
+      switch (relation[static_cast<std::size_t>(i)]) {
+        case Relation::kLessEqual:
+          at(i, next_slack) = 1.0;
+          basis_[static_cast<std::size_t>(i)] = next_slack++;
+          break;
+        case Relation::kGreaterEqual:
+          at(i, next_slack) = -1.0;
+          ++next_slack;
+          at(i, next_artificial) = 1.0;
+          basis_[static_cast<std::size_t>(i)] = next_artificial++;
+          break;
+        case Relation::kEqual:
+          at(i, next_artificial) = 1.0;
+          basis_[static_cast<std::size_t>(i)] = next_artificial++;
+          break;
+      }
+    }
+
+    // Phase-2 cost row: reduced costs of the all-slack/artificial basis are
+    // just the raw objective (basic variables all have zero true cost).
+    cost2_.assign(static_cast<std::size_t>(cols_) + 1, 0.0);
+    for (int j = 0; j < num_structural_; ++j) {
+      cost2_[static_cast<std::size_t>(j)] =
+          model.objective()[static_cast<std::size_t>(j)];
+    }
+    // Phase-1 cost row: cost 1 on artificials, reduced by the rows in which
+    // an artificial is basic.
+    cost1_.assign(static_cast<std::size_t>(cols_) + 1, 0.0);
+    for (int j = first_artificial_; j < cols_; ++j) {
+      cost1_[static_cast<std::size_t>(j)] = 1.0;
+    }
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] >= first_artificial_) {
+        for (int j = 0; j < cols_; ++j) {
+          cost1_[static_cast<std::size_t>(j)] -= at(i, j);
+        }
+        cost1_[static_cast<std::size_t>(cols_)] -=
+            b_[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+
+  /// Pivots on (pivot_row, pivot_col), updating both cost rows.
+  void pivot(int pivot_row, int pivot_col) {
+    const double pivot_value = at(pivot_row, pivot_col);
+    const double inverse = 1.0 / pivot_value;
+    for (int j = 0; j < cols_; ++j) at(pivot_row, j) *= inverse;
+    at(pivot_row, pivot_col) = 1.0;  // exact
+    b_[static_cast<std::size_t>(pivot_row)] *= inverse;
+
+    const double pivot_rhs = b_[static_cast<std::size_t>(pivot_row)];
+    double* pivot_row_data =
+        &a_[static_cast<std::size_t>(pivot_row) * static_cast<std::size_t>(cols_)];
+    for (int i = 0; i < rows_; ++i) {
+      if (i == pivot_row) continue;
+      const double factor = at(i, pivot_col);
+      if (factor == 0.0) continue;
+      double* row_data =
+          &a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(cols_)];
+      for (int j = 0; j < cols_; ++j) row_data[j] -= factor * pivot_row_data[j];
+      row_data[pivot_col] = 0.0;  // exact
+      b_[static_cast<std::size_t>(i)] -= factor * pivot_rhs;
+      if (std::abs(b_[static_cast<std::size_t>(i)]) < options_.epsilon) {
+        b_[static_cast<std::size_t>(i)] = 0.0;
+      }
+    }
+    for (std::vector<double>* cost : {&cost1_, &cost2_}) {
+      const double factor = (*cost)[static_cast<std::size_t>(pivot_col)];
+      if (factor == 0.0) continue;
+      for (int j = 0; j < cols_; ++j) {
+        (*cost)[static_cast<std::size_t>(j)] -= factor * pivot_row_data[j];
+      }
+      (*cost)[static_cast<std::size_t>(pivot_col)] = 0.0;
+      (*cost)[static_cast<std::size_t>(cols_)] -= factor * pivot_rhs;
+    }
+    basis_[static_cast<std::size_t>(pivot_row)] = pivot_col;
+  }
+
+  /// Runs simplex iterations against the given cost row.
+  SolveStatus iterate(std::vector<double>& cost, bool allow_artificial,
+                      std::int64_t& iterations) {
+    const int limit_col = allow_artificial ? cols_ : first_artificial_;
+    int stalled = 0;
+    bool use_bland = false;
+    double last_objective = -cost[static_cast<std::size_t>(cols_)];
+    while (true) {
+      if (iterations++ >= options_.max_iterations) {
+        return SolveStatus::kIterationLimit;
+      }
+      // Entering column.
+      int entering = -1;
+      if (use_bland) {
+        for (int j = 0; j < limit_col; ++j) {
+          if (cost[static_cast<std::size_t>(j)] < -options_.epsilon) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        double best = -options_.epsilon;
+        for (int j = 0; j < limit_col; ++j) {
+          if (cost[static_cast<std::size_t>(j)] < best) {
+            best = cost[static_cast<std::size_t>(j)];
+            entering = j;
+          }
+        }
+      }
+      if (entering < 0) return SolveStatus::kOptimal;
+
+      // Ratio test (ties broken by smallest basis index, Bland-compatible).
+      int leaving = -1;
+      double best_ratio = 0.0;
+      for (int i = 0; i < rows_; ++i) {
+        const double coeff = at(i, entering);
+        if (coeff > options_.epsilon) {
+          const double ratio = b_[static_cast<std::size_t>(i)] / coeff;
+          if (leaving < 0 || ratio < best_ratio - options_.epsilon ||
+              (ratio < best_ratio + options_.epsilon &&
+               basis_[static_cast<std::size_t>(i)] <
+                   basis_[static_cast<std::size_t>(leaving)])) {
+            leaving = i;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leaving < 0) return SolveStatus::kUnbounded;
+
+      pivot(leaving, entering);
+
+      // Anti-cycling: if the objective stops improving, fall back to Bland.
+      const double objective = -cost[static_cast<std::size_t>(cols_)];
+      if (objective < last_objective - options_.epsilon) {
+        stalled = 0;
+        use_bland = false;
+      } else if (++stalled >= options_.stall_threshold) {
+        use_bland = true;
+      }
+      last_objective = objective;
+    }
+  }
+
+  /// After phase 1, pivot artificial variables out of the basis where
+  /// possible. Rows where no non-artificial pivot exists are redundant and
+  /// can be left with a degenerate (zero-valued) artificial basic variable:
+  /// artificials never re-enter, and such rows have zero coefficients on
+  /// every non-artificial column, so later pivots cannot change their value.
+  void drive_out_artificials() {
+    for (int i = 0; i < rows_; ++i) {
+      if (basis_[static_cast<std::size_t>(i)] < first_artificial_) continue;
+      int pivot_col = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (std::abs(at(i, j)) > options_.epsilon) {
+          pivot_col = j;
+          break;
+        }
+      }
+      if (pivot_col >= 0) pivot(i, pivot_col);
+    }
+  }
+
+  SimplexOptions options_;
+  int num_structural_ = 0;
+  int rows_ = 0;
+  int cols_ = 0;
+  int first_artificial_ = 0;
+  int num_artificial_ = 0;
+  double rhs_scale_ = 0.0;
+  std::vector<double> a_;
+  std::vector<double> b_;
+  std::vector<double> cost1_;
+  std::vector<double> cost2_;
+  std::vector<int> basis_;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  if (model.num_constraints() == 0) {
+    // Every variable sits at its lower bound 0 unless its cost is negative,
+    // in which case the LP is unbounded.
+    Solution solution;
+    for (double c : model.objective()) {
+      if (c < -options.epsilon) {
+        solution.status = SolveStatus::kUnbounded;
+        return solution;
+      }
+    }
+    solution.status = SolveStatus::kOptimal;
+    solution.objective = 0.0;
+    solution.values.assign(static_cast<std::size_t>(model.num_variables()), 0.0);
+    return solution;
+  }
+  Tableau tableau(model, options);
+  return tableau.run();
+}
+
+}  // namespace qp::lp

@@ -1,0 +1,207 @@
+#include "quorum/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/model.hpp"
+
+namespace qp::quorum {
+
+namespace {
+
+/// Branch-and-bound minimum hitting set over the quorum family.
+class HittingSetSolver {
+ public:
+  explicit HittingSetSolver(const QuorumSystem& system) : system_(system) {}
+
+  int solve() {
+    best_ = system_.universe_size();  // hitting every element always works
+    std::vector<char> chosen(static_cast<std::size_t>(system_.universe_size()),
+                             0);
+    recurse(chosen, 0);
+    return best_;
+  }
+
+ private:
+  /// Finds a quorum not hit by `chosen`; -1 if all are hit.
+  int first_unhit(const std::vector<char>& chosen) const {
+    for (int q = 0; q < system_.num_quorums(); ++q) {
+      bool hit = false;
+      for (int u : system_.quorum(q)) {
+        if (chosen[static_cast<std::size_t>(u)]) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) return q;
+    }
+    return -1;
+  }
+
+  void recurse(std::vector<char>& chosen, int size) {
+    if (size >= best_) return;  // cannot improve
+    const int unhit = first_unhit(chosen);
+    if (unhit < 0) {
+      best_ = size;
+      return;
+    }
+    // Branch on which element of the unhit quorum joins the hitting set.
+    for (int u : system_.quorum(unhit)) {
+      chosen[static_cast<std::size_t>(u)] = 1;
+      recurse(chosen, size + 1);
+      chosen[static_cast<std::size_t>(u)] = 0;
+    }
+  }
+
+  const QuorumSystem& system_;
+  int best_ = 0;
+};
+
+std::vector<std::uint32_t> quorum_masks(const QuorumSystem& system) {
+  std::vector<std::uint32_t> masks;
+  masks.reserve(static_cast<std::size_t>(system.num_quorums()));
+  for (const Quorum& q : system.quorums()) {
+    std::uint32_t mask = 0;
+    for (int u : q) mask |= 1u << u;
+    masks.push_back(mask);
+  }
+  return masks;
+}
+
+void check_probability(double p) {
+  if (!(p >= 0.0) || !(p <= 1.0)) {
+    throw std::invalid_argument("failure probability must lie in [0, 1]");
+  }
+}
+
+}  // namespace
+
+int fault_tolerance(const QuorumSystem& system) {
+  if (system.num_quorums() == 0) return 0;  // nothing to kill
+  return HittingSetSolver(system).solve();
+}
+
+double failure_probability_exact(const QuorumSystem& system,
+                                 double element_failure_probability) {
+  check_probability(element_failure_probability);
+  const int n = system.universe_size();
+  if (n > 20) {
+    throw std::invalid_argument(
+        "failure_probability_exact: universe_size <= 20 required");
+  }
+  if (system.num_quorums() == 0) return 1.0;
+  const std::vector<std::uint32_t> masks = quorum_masks(system);
+  const double p = element_failure_probability;
+  double failure = 0.0;
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  for (std::uint32_t alive = 0;; ++alive) {
+    bool has_quorum = false;
+    for (std::uint32_t mask : masks) {
+      if ((mask & alive) == mask) {
+        has_quorum = true;
+        break;
+      }
+    }
+    if (!has_quorum) {
+      const int alive_count = __builtin_popcount(alive);
+      failure += std::pow(1.0 - p, alive_count) * std::pow(p, n - alive_count);
+    }
+    if (alive == full) break;
+  }
+  return failure;
+}
+
+double failure_probability_monte_carlo(const QuorumSystem& system,
+                                       double element_failure_probability,
+                                       int samples, std::mt19937_64& rng) {
+  check_probability(element_failure_probability);
+  if (samples < 1) {
+    throw std::invalid_argument("failure_probability_monte_carlo: samples >= 1");
+  }
+  if (system.num_quorums() == 0) return 1.0;
+  std::bernoulli_distribution fails(element_failure_probability);
+  const int n = system.universe_size();
+  std::vector<char> alive(static_cast<std::size_t>(n));
+  int failures = 0;
+  for (int s = 0; s < samples; ++s) {
+    for (int u = 0; u < n; ++u) {
+      alive[static_cast<std::size_t>(u)] = fails(rng) ? 0 : 1;
+    }
+    bool has_quorum = false;
+    for (const Quorum& q : system.quorums()) {
+      bool all_alive = true;
+      for (int u : q) {
+        if (!alive[static_cast<std::size_t>(u)]) {
+          all_alive = false;
+          break;
+        }
+      }
+      if (all_alive) {
+        has_quorum = true;
+        break;
+      }
+    }
+    failures += has_quorum ? 0 : 1;
+  }
+  return static_cast<double>(failures) / samples;
+}
+
+double load_lower_bound(const QuorumSystem& system) {
+  if (system.num_quorums() == 0 || system.universe_size() == 0) return 0.0;
+  int smallest = system.quorum(0).size();
+  for (const Quorum& q : system.quorums()) {
+    smallest = std::min<int>(smallest, static_cast<int>(q.size()));
+  }
+  return std::max(1.0 / smallest,
+                  static_cast<double>(smallest) / system.universe_size());
+}
+
+OptimalStrategy optimal_load_strategy(const QuorumSystem& system) {
+  const int m = system.num_quorums();
+  const int n = system.universe_size();
+  if (m == 0) {
+    throw std::invalid_argument("optimal_load_strategy: empty quorum system");
+  }
+  lp::Model model;
+  std::vector<int> p_var(static_cast<std::size_t>(m));
+  for (int q = 0; q < m; ++q) p_var[static_cast<std::size_t>(q)] = model.add_variable(0.0);
+  const int load_var = model.add_variable(1.0);  // minimize L
+
+  std::vector<std::pair<int, double>> sum_terms;
+  for (int q = 0; q < m; ++q) sum_terms.emplace_back(p_var[static_cast<std::size_t>(q)], 1.0);
+  model.add_constraint(std::move(sum_terms), lp::Relation::kEqual, 1.0);
+
+  std::vector<std::vector<int>> quorums_of(static_cast<std::size_t>(n));
+  for (int q = 0; q < m; ++q) {
+    for (int u : system.quorum(q)) {
+      quorums_of[static_cast<std::size_t>(u)].push_back(q);
+    }
+  }
+  for (int u = 0; u < n; ++u) {
+    std::vector<std::pair<int, double>> terms;
+    for (int q : quorums_of[static_cast<std::size_t>(u)]) {
+      terms.emplace_back(p_var[static_cast<std::size_t>(q)], 1.0);
+    }
+    terms.emplace_back(load_var, -1.0);
+    model.add_constraint(std::move(terms), lp::Relation::kLessEqual, 0.0);
+  }
+
+  const lp::Solution solution = lp::solve(model);
+  if (solution.status != lp::SolveStatus::kOptimal) {
+    throw std::runtime_error("optimal_load_strategy: LP did not solve");
+  }
+  std::vector<double> probabilities(static_cast<std::size_t>(m));
+  double total = 0.0;
+  for (int q = 0; q < m; ++q) {
+    probabilities[static_cast<std::size_t>(q)] = std::max(
+        0.0, solution.values[static_cast<std::size_t>(p_var[static_cast<std::size_t>(q)])]);
+    total += probabilities[static_cast<std::size_t>(q)];
+  }
+  for (double& p : probabilities) p /= total;  // exact renormalization
+  OptimalStrategy out{AccessStrategy(system, std::move(probabilities)),
+                      solution.objective};
+  return out;
+}
+
+}  // namespace qp::quorum

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Classic quality measures for quorum systems (Naor-Wool, "The load,
+/// capacity, and availability of quorum systems", SICOMP 1998 -- the paper's
+/// reference [18] and the criterion by which input strategies are chosen,
+/// see footnote 1 of the paper): fault tolerance, failure probability
+/// (availability), load lower bounds, and an optimal-strategy LP.
+
+#include <random>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "quorum/quorum_system.hpp"
+
+namespace qp::quorum {
+
+/// Fault tolerance: the size of the smallest element set whose removal
+/// kills every quorum (min hitting set of the quorum family). A system
+/// survives any crash of fewer than this many elements. Exact via
+/// branch-and-bound; exponential in the worst case, fine for |U| <= ~25.
+int fault_tolerance(const QuorumSystem& system);
+
+/// Failure probability F_p: the probability that NO quorum is fully alive
+/// when each element fails independently with probability p.
+/// Exact enumeration over element subsets; requires universe_size <= 25.
+double failure_probability_exact(const QuorumSystem& system,
+                                 double element_failure_probability);
+
+/// Monte Carlo estimate of the failure probability (any universe size).
+double failure_probability_monte_carlo(const QuorumSystem& system,
+                                       double element_failure_probability,
+                                       int samples, std::mt19937_64& rng);
+
+/// The Naor-Wool lower bounds on the system load L(Q):
+///   L(Q) >= 1 / c(Q)   (c = smallest quorum cardinality) and
+///   L(Q) >= c(Q) / n.
+/// Returns max of the two.
+double load_lower_bound(const QuorumSystem& system);
+
+/// Optimal access strategy: the distribution p minimizing the system load
+/// max_u load_p(u), computed by LP. Returns the strategy and its load.
+struct OptimalStrategy {
+  AccessStrategy strategy;
+  double load = 0.0;
+};
+
+/// \throws std::invalid_argument on an empty system;
+/// LP size is O(m * n), fine for the shipped constructions.
+OptimalStrategy optimal_load_strategy(const QuorumSystem& system);
+
+}  // namespace qp::quorum

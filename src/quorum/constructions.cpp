@@ -1,0 +1,379 @@
+#include "quorum/constructions.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace qp::quorum {
+
+QuorumSystem grid(int k) {
+  if (k < 1) throw std::invalid_argument("grid: k >= 1 required");
+  std::vector<Quorum> quorums;
+  quorums.reserve(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      Quorum q;
+      q.reserve(static_cast<std::size_t>(2 * k - 1));
+      for (int j = 0; j < k; ++j) q.push_back(r * k + j);        // row r
+      for (int i = 0; i < k; ++i) {
+        if (i != r) q.push_back(i * k + c);                       // column c
+      }
+      quorums.push_back(std::move(q));
+    }
+  }
+  return QuorumSystem(k * k, std::move(quorums));
+}
+
+namespace {
+
+void enumerate_subsets(int n, int t, int start, Quorum& current,
+                       std::vector<Quorum>& out) {
+  if (static_cast<int>(current.size()) == t) {
+    out.push_back(current);
+    return;
+  }
+  const int needed = t - static_cast<int>(current.size());
+  for (int v = start; v <= n - needed; ++v) {
+    current.push_back(v);
+    enumerate_subsets(n, t, v + 1, current, out);
+    current.pop_back();
+  }
+}
+
+void check_threshold(int n, int t) {
+  if (n < 1 || t < 1 || t > n) {
+    throw std::invalid_argument("majority: need 1 <= t <= n");
+  }
+  if (2 * t <= n) {
+    throw std::invalid_argument("majority: need 2t > n for intersection");
+  }
+}
+
+}  // namespace
+
+QuorumSystem majority(int n, int t) {
+  check_threshold(n, t);
+  std::vector<Quorum> quorums;
+  Quorum current;
+  enumerate_subsets(n, t, 0, current, quorums);
+  return QuorumSystem(n, std::move(quorums));
+}
+
+QuorumSystem majority(int n) { return majority(n, n / 2 + 1); }
+
+QuorumSystem sampled_majority(int n, int t, int count, std::mt19937_64& rng) {
+  check_threshold(n, t);
+  if (count < 1) throw std::invalid_argument("sampled_majority: count >= 1");
+  std::set<Quorum> unique;
+  std::vector<int> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  constexpr int kMaxAttempts = 100000;
+  int attempts = 0;
+  while (static_cast<int>(unique.size()) < count && attempts < kMaxAttempts) {
+    ++attempts;
+    std::shuffle(ids.begin(), ids.end(), rng);
+    Quorum q(ids.begin(), ids.begin() + t);
+    std::sort(q.begin(), q.end());
+    unique.insert(std::move(q));
+  }
+  if (static_cast<int>(unique.size()) < count) {
+    throw std::invalid_argument(
+        "sampled_majority: count exceeds number of distinct t-subsets");
+  }
+  return QuorumSystem(n, std::vector<Quorum>(unique.begin(), unique.end()));
+}
+
+QuorumSystem weighted_majority(const std::vector<double>& weights) {
+  const int n = static_cast<int>(weights.size());
+  if (n < 1 || n > 20) {
+    throw std::invalid_argument("weighted_majority: need 1 <= n <= 20");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (!(w > 0.0)) {
+      throw std::invalid_argument("weighted_majority: weights must be > 0");
+    }
+    total += w;
+  }
+  const double half = total / 2.0;
+  // Collect winning subsets, then filter to minimal ones.
+  std::vector<Quorum> winning;
+  for (unsigned mask = 1; mask < (1u << n); ++mask) {
+    double w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) w += weights[static_cast<std::size_t>(i)];
+    }
+    if (w > half) {
+      Quorum q;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) q.push_back(i);
+      }
+      winning.push_back(std::move(q));
+    }
+  }
+  std::vector<Quorum> minimal;
+  for (const Quorum& q : winning) {
+    bool has_proper_subset = false;
+    for (const Quorum& other : winning) {
+      if (other.size() < q.size() &&
+          std::includes(q.begin(), q.end(), other.begin(), other.end())) {
+        has_proper_subset = true;
+        break;
+      }
+    }
+    if (!has_proper_subset) minimal.push_back(q);
+  }
+  return QuorumSystem(n, std::move(minimal));
+}
+
+QuorumSystem singleton() { return QuorumSystem(1, {{0}}); }
+
+QuorumSystem star(int n) {
+  if (n < 1) throw std::invalid_argument("star: n >= 1 required");
+  if (n == 1) return singleton();
+  std::vector<Quorum> quorums;
+  quorums.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i) quorums.push_back({0, i});
+  return QuorumSystem(n, std::move(quorums));
+}
+
+namespace {
+
+bool is_prime(int q) {
+  if (q < 2) return false;
+  for (int d = 2; d * d <= q; ++d) {
+    if (q % d == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+QuorumSystem projective_plane(int q) {
+  if (!is_prime(q) || q > 31) {
+    throw std::invalid_argument("projective_plane: prime q <= 31 required");
+  }
+  // Points of PG(2, q): normalized triples over GF(q) -- (1, y, z),
+  // (0, 1, z), (0, 0, 1). Lines are the same set (self-dual); point p lies
+  // on line l iff p . l == 0 (mod q).
+  std::vector<std::array<int, 3>> points;
+  for (int y = 0; y < q; ++y) {
+    for (int z = 0; z < q; ++z) points.push_back({1, y, z});
+  }
+  for (int z = 0; z < q; ++z) points.push_back({0, 1, z});
+  points.push_back({0, 0, 1});
+  const int n = static_cast<int>(points.size());  // q^2 + q + 1
+
+  std::vector<Quorum> lines;
+  lines.reserve(static_cast<std::size_t>(n));
+  for (int li = 0; li < n; ++li) {
+    Quorum line;
+    for (int pi = 0; pi < n; ++pi) {
+      const int dot = points[static_cast<std::size_t>(li)][0] *
+                          points[static_cast<std::size_t>(pi)][0] +
+                      points[static_cast<std::size_t>(li)][1] *
+                          points[static_cast<std::size_t>(pi)][1] +
+                      points[static_cast<std::size_t>(li)][2] *
+                          points[static_cast<std::size_t>(pi)][2];
+      if (dot % q == 0) line.push_back(pi);
+    }
+    lines.push_back(std::move(line));
+  }
+  return QuorumSystem(n, std::move(lines));
+}
+
+namespace {
+
+/// Quorums of the Agrawal-El Abbadi protocol for the complete binary subtree
+/// whose root is \p root in a heap-indexed tree with \p num_nodes nodes.
+std::vector<Quorum> tree_quorums(int root, int num_nodes) {
+  const int left = 2 * root + 1;
+  const int right = 2 * root + 2;
+  if (left >= num_nodes) return {{root}};  // leaf
+  const std::vector<Quorum> left_quorums = tree_quorums(left, num_nodes);
+  const std::vector<Quorum> right_quorums = tree_quorums(right, num_nodes);
+  std::vector<Quorum> out;
+  // Root present: root + quorum of either child subtree.
+  for (const auto& side : {left_quorums, right_quorums}) {
+    for (const Quorum& q : side) {
+      Quorum with_root = q;
+      with_root.push_back(root);
+      std::sort(with_root.begin(), with_root.end());
+      out.push_back(std::move(with_root));
+    }
+  }
+  // Root absent: a quorum of each child subtree.
+  for (const Quorum& ql : left_quorums) {
+    for (const Quorum& qr : right_quorums) {
+      Quorum merged;
+      merged.reserve(ql.size() + qr.size());
+      std::merge(ql.begin(), ql.end(), qr.begin(), qr.end(),
+                 std::back_inserter(merged));
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QuorumSystem binary_tree(int height) {
+  if (height < 0 || height > 4) {
+    throw std::invalid_argument("binary_tree: 0 <= height <= 4 required");
+  }
+  const int num_nodes = (1 << (height + 1)) - 1;
+  return QuorumSystem(num_nodes, tree_quorums(0, num_nodes));
+}
+
+QuorumSystem crumbling_wall(const std::vector<int>& row_widths) {
+  if (row_widths.empty()) {
+    throw std::invalid_argument("crumbling_wall: at least one row required");
+  }
+  int n = 0;
+  std::vector<int> row_start;
+  for (int w : row_widths) {
+    if (w < 1) throw std::invalid_argument("crumbling_wall: widths >= 1");
+    row_start.push_back(n);
+    n += w;
+  }
+  const int d = static_cast<int>(row_widths.size());
+  std::vector<Quorum> quorums;
+  for (int i = 0; i < d; ++i) {
+    // Full row i, plus one representative from each row below.
+    Quorum base;
+    for (int c = 0; c < row_widths[static_cast<std::size_t>(i)]; ++c) {
+      base.push_back(row_start[static_cast<std::size_t>(i)] + c);
+    }
+    // Enumerate representative choices for rows i+1..d-1 via mixed-radix
+    // counting.
+    std::vector<int> choice(static_cast<std::size_t>(d - i - 1), 0);
+    while (true) {
+      Quorum q = base;
+      for (int j = i + 1; j < d; ++j) {
+        q.push_back(row_start[static_cast<std::size_t>(j)] +
+                    choice[static_cast<std::size_t>(j - i - 1)]);
+      }
+      std::sort(q.begin(), q.end());
+      quorums.push_back(std::move(q));
+      // Increment mixed-radix counter.
+      int pos = static_cast<int>(choice.size()) - 1;
+      while (pos >= 0) {
+        if (++choice[static_cast<std::size_t>(pos)] <
+            row_widths[static_cast<std::size_t>(pos + i + 1)]) {
+          break;
+        }
+        choice[static_cast<std::size_t>(pos)] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return QuorumSystem(n, std::move(quorums));
+}
+
+namespace {
+
+/// Quorums of the hierarchical-majority subtree covering leaf ids
+/// [first, first + b^depth).
+std::vector<Quorum> hierarchical_quorums(int branching, int depth, int first) {
+  if (depth == 0) return {{first}};
+  int subtree = 1;
+  for (int i = 0; i < depth - 1; ++i) subtree *= branching;
+  // Children cover [first + c*subtree, ...); recurse per child.
+  std::vector<std::vector<Quorum>> child_quorums;
+  for (int c = 0; c < branching; ++c) {
+    child_quorums.push_back(
+        hierarchical_quorums(branching, depth - 1, first + c * subtree));
+  }
+  const int needed = branching / 2 + 1;  // strict majority of children
+  std::vector<Quorum> out;
+  // Enumerate child subsets of size `needed`, then cross-product their
+  // quorum choices.
+  std::vector<int> subset;
+  const auto enumerate_children = [&](auto&& self, int start) -> void {
+    if (static_cast<int>(subset.size()) == needed) {
+      // Cross product of quorum choices in the chosen children.
+      std::vector<std::size_t> pick(subset.size(), 0);
+      while (true) {
+        Quorum q;
+        for (std::size_t i = 0; i < subset.size(); ++i) {
+          const Quorum& part =
+              child_quorums[static_cast<std::size_t>(
+                  subset[i])][pick[i]];
+          q.insert(q.end(), part.begin(), part.end());
+        }
+        std::sort(q.begin(), q.end());
+        out.push_back(std::move(q));
+        std::size_t pos = subset.size();
+        while (pos > 0) {
+          --pos;
+          if (++pick[pos] <
+              child_quorums[static_cast<std::size_t>(subset[pos])].size()) {
+            break;
+          }
+          pick[pos] = 0;
+          if (pos == 0) return;
+        }
+      }
+    }
+    for (int c = start; c < branching; ++c) {
+      subset.push_back(c);
+      self(self, c + 1);
+      subset.pop_back();
+    }
+  };
+  enumerate_children(enumerate_children, 0);
+  return out;
+}
+
+}  // namespace
+
+QuorumSystem hierarchical_majority(int branching, int depth) {
+  if (branching < 3 || branching % 2 == 0) {
+    throw std::invalid_argument(
+        "hierarchical_majority: odd branching >= 3 required");
+  }
+  if (depth < 1) {
+    throw std::invalid_argument("hierarchical_majority: depth >= 1 required");
+  }
+  long long n = 1;
+  // The quorum count follows count(d) = C(b, b/2+1) * count(d-1)^(b/2+1),
+  // which explodes doubly exponentially; bound it, not just the universe.
+  long long count = 1;
+  const long long subsets = [&] {
+    long long c = 1;
+    for (int i = 0; i < branching / 2 + 1; ++i) {
+      c = c * (branching - i) / (i + 1);
+    }
+    return c;
+  }();
+  for (int i = 0; i < depth; ++i) {
+    n *= branching;
+    long long next = subsets;
+    for (int j = 0; j < branching / 2 + 1; ++j) {
+      next *= count;
+      if (next > 10000) {
+        throw std::invalid_argument(
+            "hierarchical_majority: too many quorums; reduce depth");
+      }
+    }
+    count = next;
+  }
+  return QuorumSystem(static_cast<int>(n),
+                      hierarchical_quorums(branching, depth, 0));
+}
+
+QuorumSystem wheel(int n) {
+  if (n < 2) throw std::invalid_argument("wheel: n >= 2 required");
+  std::vector<Quorum> quorums;
+  quorums.reserve(static_cast<std::size_t>(n));
+  for (int i = 1; i < n; ++i) quorums.push_back({0, i});
+  Quorum rim;
+  for (int i = 1; i < n; ++i) rim.push_back(i);
+  quorums.push_back(std::move(rim));
+  return QuorumSystem(n, std::move(quorums));
+}
+
+}  // namespace qp::quorum

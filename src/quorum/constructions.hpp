@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file constructions.hpp
+/// Classic quorum-system constructions. The paper analyzes Grid [Cheung et
+/// al. 92, Kumar et al. 93] and Majority [Gifford 79, Thomas 79] in Sec 4;
+/// the rest are well-known systems used to exercise the general algorithms
+/// (Maekawa-style finite projective planes, tree quorums, crumbling walls).
+
+#include <random>
+
+#include "quorum/quorum_system.hpp"
+
+namespace qp::quorum {
+
+/// Grid quorum system on k^2 elements: element (r, c) has id r*k + c and
+/// quorum Q_{rc} = row r  union  column c, so |Q| = 2k-1 and there are k^2
+/// quorums. Quorum Q_{rc} has index r*k + c.
+QuorumSystem grid(int k);
+
+/// Majority / threshold system: all subsets of {0..n-1} of size t, where
+/// 2t > n guarantees pairwise intersection (paper Sec 4.2 uses t >=
+/// ceil((n+1)/2)). Enumerates all C(n, t) subsets, so keep n modest.
+/// \throws std::invalid_argument unless 0 < t <= n and 2t > n.
+QuorumSystem majority(int n, int t);
+
+/// Majority with the default threshold t = floor(n/2) + 1.
+QuorumSystem majority(int n);
+
+/// \p count random distinct subsets of size t (2t > n) -- a sampled
+/// threshold system for stress tests where full enumeration is too large.
+QuorumSystem sampled_majority(int n, int t, int count, std::mt19937_64& rng);
+
+/// All minimal subsets whose weight strictly exceeds half the total weight
+/// (weighted voting [Gifford 79]). Exponential in n; keep n <= ~16.
+QuorumSystem weighted_majority(const std::vector<double>& weights);
+
+/// Single quorum {0} on a universe of size 1 (degenerate baseline).
+QuorumSystem singleton();
+
+/// Star coterie: quorums {0, i} for i = 1..n-1 (all intersect in element 0).
+/// For n == 1 this is the singleton system.
+QuorumSystem star(int n);
+
+/// Maekawa-style finite projective plane of prime order q: universe has
+/// n = q^2 + q + 1 elements (the points of PG(2, q)); quorums are the
+/// n lines, each of size q + 1; any two lines meet in exactly one point.
+/// \throws std::invalid_argument if q is not a prime (q <= 31 supported).
+QuorumSystem projective_plane(int q);
+
+/// Agrawal-El Abbadi tree protocol on a complete binary tree of the given
+/// height (height 0 = single root). A quorum is obtained recursively: either
+/// the root plus a quorum of one child subtree, or a quorum of each of the
+/// two child subtrees (replacing the root). Enumerates all such quorums.
+QuorumSystem binary_tree(int height);
+
+/// Crumbling walls [Peleg-Wool 97]: rows of widths row_widths[0..d-1];
+/// a quorum is a full row i together with one representative element from
+/// every row j > i. Element ids are assigned row-major.
+QuorumSystem crumbling_wall(const std::vector<int>& row_widths);
+
+/// Wheel coterie on n >= 2 elements: hub element 0 with rim 1..n-1; quorums
+/// are {0, i} for every rim element plus the full rim {1..n-1}. Low load on
+/// the rim, availability dominated by the hub.
+QuorumSystem wheel(int n);
+
+/// Hierarchical majority [Kumar 91]: a complete \p branching-ary tree of
+/// depth \p depth whose leaves are the universe (n = branching^depth);
+/// a quorum is obtained recursively by taking a majority of the children
+/// and a quorum of each chosen child. Quorum size ceil((b+1)/2)^depth --
+/// asymptotically n^0.63 for b = 3, smaller than flat majority.
+/// \throws std::invalid_argument unless branching is odd, >= 3, and the
+/// enumeration stays small (branching^depth <= 81).
+QuorumSystem hierarchical_majority(int branching, int depth);
+
+}  // namespace qp::quorum

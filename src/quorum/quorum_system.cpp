@@ -1,0 +1,138 @@
+#include "quorum/quorum_system.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qp::quorum {
+
+QuorumSystem::QuorumSystem(int universe_size, std::vector<Quorum> quorums)
+    : universe_size_(universe_size), quorums_(std::move(quorums)) {
+  if (universe_size < 0) {
+    throw std::invalid_argument("QuorumSystem: universe_size >= 0 required");
+  }
+  for (Quorum& q : quorums_) {
+    if (q.empty()) {
+      throw std::invalid_argument("QuorumSystem: quorums must be non-empty");
+    }
+    std::sort(q.begin(), q.end());
+    if (std::adjacent_find(q.begin(), q.end()) != q.end()) {
+      throw std::invalid_argument("QuorumSystem: duplicate element in quorum");
+    }
+    if (q.front() < 0 || q.back() >= universe_size_) {
+      throw std::invalid_argument("QuorumSystem: element id out of range");
+    }
+  }
+}
+
+int QuorumSystem::max_quorum_size() const {
+  int best = 0;
+  for (const Quorum& q : quorums_) best = std::max<int>(best, static_cast<int>(q.size()));
+  return best;
+}
+
+namespace {
+
+bool sorted_intersect(const Quorum& a, const Quorum& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool QuorumSystem::is_intersecting() const {
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    for (std::size_t j = i + 1; j < quorums_.size(); ++j) {
+      if (!sorted_intersect(quorums_[i], quorums_[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool QuorumSystem::is_minimal() const {
+  for (std::size_t i = 0; i < quorums_.size(); ++i) {
+    for (std::size_t j = 0; j < quorums_.size(); ++j) {
+      if (i == j) continue;
+      // Is quorums_[i] a subset of quorums_[j] with i != j (and not equal)?
+      if (quorums_[i].size() < quorums_[j].size() &&
+          std::includes(quorums_[j].begin(), quorums_[j].end(),
+                        quorums_[i].begin(), quorums_[i].end())) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool QuorumSystem::covers_universe() const {
+  std::vector<char> seen(static_cast<std::size_t>(universe_size_), 0);
+  for (const Quorum& q : quorums_) {
+    for (int u : q) seen[static_cast<std::size_t>(u)] = 1;
+  }
+  return std::all_of(seen.begin(), seen.end(), [](char c) { return c != 0; });
+}
+
+std::string QuorumSystem::describe() const {
+  return "QuorumSystem(|U|=" + std::to_string(universe_size_) +
+         ", m=" + std::to_string(num_quorums()) +
+         ", max|Q|=" + std::to_string(max_quorum_size()) + ")";
+}
+
+AccessStrategy::AccessStrategy(const QuorumSystem& system,
+                               std::vector<double> probabilities)
+    : probabilities_(std::move(probabilities)) {
+  if (static_cast<int>(probabilities_.size()) != system.num_quorums()) {
+    throw std::invalid_argument(
+        "AccessStrategy: one probability per quorum required");
+  }
+  double total = 0.0;
+  for (double p : probabilities_) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      throw std::invalid_argument("AccessStrategy: probabilities must be >= 0");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("AccessStrategy: probabilities must sum to 1");
+  }
+  // Renormalize exactly so downstream load computations are consistent.
+  for (double& p : probabilities_) p /= total;
+}
+
+AccessStrategy AccessStrategy::uniform(const QuorumSystem& system) {
+  const int m = system.num_quorums();
+  if (m == 0) {
+    throw std::invalid_argument("AccessStrategy::uniform: empty quorum system");
+  }
+  return AccessStrategy(system,
+                        std::vector<double>(static_cast<std::size_t>(m), 1.0 / m));
+}
+
+std::vector<double> element_loads(const QuorumSystem& system,
+                                  const AccessStrategy& strategy) {
+  if (strategy.num_quorums() != system.num_quorums()) {
+    throw std::invalid_argument("element_loads: strategy/system mismatch");
+  }
+  std::vector<double> loads(static_cast<std::size_t>(system.universe_size()), 0.0);
+  for (int qi = 0; qi < system.num_quorums(); ++qi) {
+    const double p = strategy.probability(qi);
+    for (int u : system.quorum(qi)) loads[static_cast<std::size_t>(u)] += p;
+  }
+  return loads;
+}
+
+double system_load(const QuorumSystem& system, const AccessStrategy& strategy) {
+  const std::vector<double> loads = element_loads(system, strategy);
+  return loads.empty() ? 0.0 : *std::max_element(loads.begin(), loads.end());
+}
+
+}  // namespace qp::quorum

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file quorum_system.hpp
+/// Quorum systems Q = {Q_1, ..., Q_m} over a logical universe U = {0..n-1}
+/// and access strategies p : Q -> [0,1] (paper Sec 1). A strategy induces
+/// the element loads load(u) = sum_{Q containing u} p(Q) that the placement
+/// algorithms must pack under node capacities.
+
+#include <string>
+#include <vector>
+
+namespace qp::quorum {
+
+/// A quorum is a sorted set of distinct element ids.
+using Quorum = std::vector<int>;
+
+/// Explicitly represented quorum system.
+///
+/// Invariants established at construction: every quorum is a non-empty
+/// sorted duplicate-free subset of {0..universe_size-1}.
+/// Pairwise intersection (the defining quorum property) is NOT implicitly
+/// enforced — some negative tests need non-intersecting families — but can
+/// be checked with is_intersecting(); all shipped constructions satisfy it.
+class QuorumSystem {
+ public:
+  QuorumSystem() = default;
+
+  /// \throws std::invalid_argument on out-of-range / empty / duplicate ids.
+  QuorumSystem(int universe_size, std::vector<Quorum> quorums);
+
+  int universe_size() const { return universe_size_; }
+  int num_quorums() const { return static_cast<int>(quorums_.size()); }
+  const std::vector<Quorum>& quorums() const { return quorums_; }
+  const Quorum& quorum(int i) const { return quorums_.at(static_cast<std::size_t>(i)); }
+
+  /// Largest quorum cardinality (0 for an empty system).
+  int max_quorum_size() const;
+
+  /// True iff every pair of quorums intersects.
+  bool is_intersecting() const;
+
+  /// True iff no quorum is a proper superset of another (coterie minimality).
+  bool is_minimal() const;
+
+  /// True iff every universe element appears in at least one quorum.
+  bool covers_universe() const;
+
+  /// For each quorum, the sorted list of quorums it intersects weakly
+  /// (mainly for diagnostics).
+  std::string describe() const;
+
+ private:
+  int universe_size_ = 0;
+  std::vector<Quorum> quorums_;
+};
+
+/// A probability distribution over the quorums of a system.
+class AccessStrategy {
+ public:
+  AccessStrategy() = default;
+
+  /// \throws std::invalid_argument if probabilities are negative or do not
+  /// sum to 1 within tolerance (they are renormalized exactly afterwards).
+  AccessStrategy(const QuorumSystem& system, std::vector<double> probabilities);
+
+  /// Uniform strategy p(Q) = 1/m. Optimal-load for Grid and Majority
+  /// (paper Sec 4, citing Naor-Wool).
+  static AccessStrategy uniform(const QuorumSystem& system);
+
+  int num_quorums() const { return static_cast<int>(probabilities_.size()); }
+  double probability(int quorum_index) const {
+    return probabilities_.at(static_cast<std::size_t>(quorum_index));
+  }
+  const std::vector<double>& probabilities() const { return probabilities_; }
+
+ private:
+  std::vector<double> probabilities_;
+};
+
+/// Element loads load(u) = sum_{Q : u in Q} p(Q) (paper Sec 1.2).
+std::vector<double> element_loads(const QuorumSystem& system,
+                                  const AccessStrategy& strategy);
+
+/// System load: max_u load(u). The classic Naor-Wool load of (Q, p).
+double system_load(const QuorumSystem& system, const AccessStrategy& strategy);
+
+}  // namespace qp::quorum

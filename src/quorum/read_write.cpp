@@ -1,0 +1,184 @@
+#include "quorum/read_write.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qp::quorum {
+
+namespace {
+
+bool sorted_intersect(const Quorum& a, const Quorum& b) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+std::vector<Quorum> validated(int universe_size, std::vector<Quorum> quorums,
+                              const char* family) {
+  if (quorums.empty()) {
+    throw std::invalid_argument(std::string("ReadWriteSystem: empty ") +
+                                family + " family");
+  }
+  for (Quorum& q : quorums) {
+    if (q.empty()) {
+      throw std::invalid_argument("ReadWriteSystem: empty quorum");
+    }
+    std::sort(q.begin(), q.end());
+    if (std::adjacent_find(q.begin(), q.end()) != q.end()) {
+      throw std::invalid_argument("ReadWriteSystem: duplicate element");
+    }
+    if (q.front() < 0 || q.back() >= universe_size) {
+      throw std::invalid_argument("ReadWriteSystem: element out of range");
+    }
+  }
+  return quorums;
+}
+
+void enumerate_subsets(int n, int t, int start, Quorum& current,
+                       std::vector<Quorum>& out) {
+  if (static_cast<int>(current.size()) == t) {
+    out.push_back(current);
+    return;
+  }
+  const int needed = t - static_cast<int>(current.size());
+  for (int v = start; v <= n - needed; ++v) {
+    current.push_back(v);
+    enumerate_subsets(n, t, v + 1, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+ReadWriteSystem::ReadWriteSystem(int universe_size,
+                                 std::vector<Quorum> read_quorums,
+                                 std::vector<Quorum> write_quorums)
+    : universe_size_(universe_size) {
+  if (universe_size < 0) {
+    throw std::invalid_argument("ReadWriteSystem: universe_size >= 0");
+  }
+  read_quorums_ = validated(universe_size, std::move(read_quorums), "read");
+  write_quorums_ = validated(universe_size, std::move(write_quorums), "write");
+}
+
+bool ReadWriteSystem::reads_intersect_writes() const {
+  for (const Quorum& r : read_quorums_) {
+    for (const Quorum& w : write_quorums_) {
+      if (!sorted_intersect(r, w)) return false;
+    }
+  }
+  return true;
+}
+
+bool ReadWriteSystem::writes_intersect_writes() const {
+  for (std::size_t i = 0; i < write_quorums_.size(); ++i) {
+    for (std::size_t j = i + 1; j < write_quorums_.size(); ++j) {
+      if (!sorted_intersect(write_quorums_[i], write_quorums_[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool ReadWriteSystem::is_valid() const {
+  return reads_intersect_writes() && writes_intersect_writes();
+}
+
+ReadWriteSystem read_one_write_all(int n) {
+  if (n < 1) throw std::invalid_argument("read_one_write_all: n >= 1");
+  std::vector<Quorum> reads;
+  for (int u = 0; u < n; ++u) reads.push_back({u});
+  Quorum all;
+  for (int u = 0; u < n; ++u) all.push_back(u);
+  return ReadWriteSystem(n, std::move(reads), {std::move(all)});
+}
+
+ReadWriteSystem majority_read_write(int n, int r, int w) {
+  if (n < 1 || r < 1 || w < 1 || r > n || w > n) {
+    throw std::invalid_argument("majority_read_write: need 1 <= r, w <= n");
+  }
+  if (r + w <= n || 2 * w <= n) {
+    throw std::invalid_argument(
+        "majority_read_write: need r + w > n and 2w > n");
+  }
+  std::vector<Quorum> reads, writes;
+  Quorum current;
+  enumerate_subsets(n, r, 0, current, reads);
+  enumerate_subsets(n, w, 0, current, writes);
+  return ReadWriteSystem(n, std::move(reads), std::move(writes));
+}
+
+ReadWriteSystem grid_read_write(int k) {
+  if (k < 1) throw std::invalid_argument("grid_read_write: k >= 1");
+  std::vector<Quorum> reads, writes;
+  for (int r = 0; r < k; ++r) {
+    Quorum row;
+    for (int c = 0; c < k; ++c) row.push_back(r * k + c);
+    reads.push_back(std::move(row));
+  }
+  for (int r = 0; r < k; ++r) {
+    for (int c = 0; c < k; ++c) {
+      Quorum q;
+      for (int j = 0; j < k; ++j) q.push_back(r * k + j);
+      for (int i = 0; i < k; ++i) {
+        if (i != r) q.push_back(i * k + c);
+      }
+      std::sort(q.begin(), q.end());
+      writes.push_back(std::move(q));
+    }
+  }
+  return ReadWriteSystem(k * k, std::move(reads), std::move(writes));
+}
+
+CombinedWorkload combine(const ReadWriteSystem& system,
+                         const std::vector<double>& read_probabilities,
+                         const std::vector<double>& write_probabilities,
+                         double read_fraction) {
+  if (!(read_fraction >= 0.0) || !(read_fraction <= 1.0)) {
+    throw std::invalid_argument("combine: read_fraction in [0, 1] required");
+  }
+  if (read_probabilities.size() != system.read_quorums().size() ||
+      write_probabilities.size() != system.write_quorums().size()) {
+    throw std::invalid_argument("combine: strategy arity mismatch");
+  }
+  std::vector<Quorum> family = system.read_quorums();
+  family.insert(family.end(), system.write_quorums().begin(),
+                system.write_quorums().end());
+  QuorumSystem combined(system.universe_size(), std::move(family));
+
+  std::vector<double> mixed;
+  mixed.reserve(read_probabilities.size() + write_probabilities.size());
+  for (double p : read_probabilities) mixed.push_back(read_fraction * p);
+  for (double p : write_probabilities) {
+    mixed.push_back((1.0 - read_fraction) * p);
+  }
+  // Degenerate fractions (0 or 1) zero out one family; AccessStrategy
+  // accepts zero-probability quorums as long as the total is 1.
+  AccessStrategy strategy(combined, std::move(mixed));
+
+  CombinedWorkload out{std::move(combined), std::move(strategy),
+                       static_cast<int>(system.read_quorums().size()),
+                       false};
+  out.intersecting = out.system.is_intersecting();
+  return out;
+}
+
+CombinedWorkload combine_uniform(const ReadWriteSystem& system,
+                                 double read_fraction) {
+  const auto reads = system.read_quorums().size();
+  const auto writes = system.write_quorums().size();
+  return combine(system,
+                 std::vector<double>(reads, 1.0 / static_cast<double>(reads)),
+                 std::vector<double>(writes, 1.0 / static_cast<double>(writes)),
+                 read_fraction);
+}
+
+}  // namespace qp::quorum

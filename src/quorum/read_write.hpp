@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file read_write.hpp
+/// Read/write quorum systems (bicoteries): separate read and write
+/// families where every read quorum intersects every write quorum and
+/// write quorums pairwise intersect (enough for single-writer-per-version
+/// replication a la Gifford). The paper treats a single intersecting
+/// family; this extension feeds mixed read/write workloads into the same
+/// placement machinery by flattening to a combined family + strategy.
+///
+/// Caveat carried into the API: the combined family is generally NOT
+/// pairwise intersecting (two read quorums may be disjoint), so the
+/// relay reduction of Lemma 3.1 / Thm 1.2 only applies when it is; the
+/// single-source (Thm 3.7) and total-delay (Thm 5.1) algorithms never use
+/// intersection and stay applicable. `combine` reports which case holds.
+
+#include "quorum/quorum_system.hpp"
+
+namespace qp::quorum {
+
+/// A read/write quorum system over elements {0..universe_size-1}.
+class ReadWriteSystem {
+ public:
+  /// \throws std::invalid_argument on malformed quorums or empty families.
+  ReadWriteSystem(int universe_size, std::vector<Quorum> read_quorums,
+                  std::vector<Quorum> write_quorums);
+
+  int universe_size() const { return universe_size_; }
+  const std::vector<Quorum>& read_quorums() const { return read_quorums_; }
+  const std::vector<Quorum>& write_quorums() const { return write_quorums_; }
+
+  /// True iff every read quorum intersects every write quorum (the
+  /// consistency requirement for read/write replication).
+  bool reads_intersect_writes() const;
+
+  /// True iff write quorums pairwise intersect (serializes writers).
+  bool writes_intersect_writes() const;
+
+  /// reads_intersect_writes() && writes_intersect_writes().
+  bool is_valid() const;
+
+ private:
+  int universe_size_ = 0;
+  std::vector<Quorum> read_quorums_;
+  std::vector<Quorum> write_quorums_;
+};
+
+/// Read-one/write-all over n elements: reads = singletons, writes = {U}.
+ReadWriteSystem read_one_write_all(int n);
+
+/// Threshold read/write quorums: all r-subsets read, all w-subsets write.
+/// Requires r + w > n (read-write intersection) and 2w > n (write-write).
+/// Enumerates both families; keep n modest.
+ReadWriteSystem majority_read_write(int n, int r, int w);
+
+/// The grid protocol [Cheung et al. 92]: reads are full rows (k elements),
+/// writes are row+column (2k-1 elements) of a k x k grid.
+ReadWriteSystem grid_read_write(int k);
+
+/// A read/write workload flattened into the paper's single-family model:
+/// with probability `read_fraction` an access draws from the read family
+/// (strategy p_read), otherwise from the write family (p_write).
+struct CombinedWorkload {
+  QuorumSystem system;       ///< reads first, then writes
+  AccessStrategy strategy;   ///< mixed by read_fraction
+  int num_read_quorums = 0;  ///< quorums [0, num_read_quorums) are reads
+  bool intersecting = false; ///< pairwise intersection of the combined
+                             ///< family (required by Lemma 3.1 / Thm 1.2)
+};
+
+/// \throws std::invalid_argument unless 0 <= read_fraction <= 1 and the
+/// strategies match the families' sizes.
+CombinedWorkload combine(const ReadWriteSystem& system,
+                         const std::vector<double>& read_probabilities,
+                         const std::vector<double>& write_probabilities,
+                         double read_fraction);
+
+/// Convenience: uniform strategies over both families.
+CombinedWorkload combine_uniform(const ReadWriteSystem& system,
+                                 double read_fraction);
+
+}  // namespace qp::quorum

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file export.hpp
+/// Export helpers for downstream tooling: Graphviz DOT for topologies and
+/// placements, CSV for experiment series. Pure string builders -- callers
+/// decide where the bytes go.
+
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "graph/graph.hpp"
+
+namespace qp::report {
+
+/// Graphviz DOT of an undirected weighted graph; edge labels carry lengths.
+std::string to_dot(const graph::Graph& g);
+
+/// DOT of a placement: nodes hosting elements are drawn as boxes labelled
+/// with their element lists; pure clients stay circles.
+std::string placement_to_dot(const graph::Graph& g,
+                             const core::Placement& placement);
+
+/// CSV with a header row; every row must have header.size() cells.
+/// Cells containing commas/quotes/newlines are quoted per RFC 4180.
+/// \throws std::invalid_argument on ragged rows or an empty header.
+std::string to_csv(const std::vector<std::string>& header,
+                   const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace qp::report

@@ -1,0 +1,33 @@
+#include "report/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::report {
+
+Summary summarize(const std::vector<double>& values) {
+  if (values.empty()) {
+    throw std::invalid_argument("summarize: empty sample");
+  }
+  Summary s;
+  s.count = static_cast<int>(values.size());
+  s.min = *std::min_element(values.begin(), values.end());
+  s.max = *std::max_element(values.begin(), values.end());
+  double total = 0.0;
+  double log_total = 0.0;
+  bool positive = true;
+  for (double v : values) {
+    total += v;
+    if (v > 0.0) {
+      log_total += std::log(v);
+    } else {
+      positive = false;
+    }
+  }
+  s.mean = total / s.count;
+  s.geomean = positive ? std::exp(log_total / s.count) : 0.0;
+  return s;
+}
+
+}  // namespace qp::report

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small summary-statistics helpers for the experiment harness (ratio
+/// distributions over seeds/instances).
+
+#include <vector>
+
+namespace qp::report {
+
+struct Summary {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  double geomean = 0.0;
+  int count = 0;
+};
+
+/// Summary of a non-empty sample. \throws std::invalid_argument when empty
+/// or when geomean is requested over non-positive values (geomean is set to
+/// 0 if any value is <= 0).
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace qp::report

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file table.hpp
+/// Plain-text table formatting for the experiment harness: every bench
+/// binary prints paper-claim vs measured-value tables through this.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qp::report {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly one cell per header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders with a rule under the header.
+  void print(std::ostream& os) const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used between experiment blocks.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace qp::report

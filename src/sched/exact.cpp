@@ -1,0 +1,68 @@
+#include "sched/exact.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace qp::sched {
+
+ExactScheduleResult solve_exact(const SchedulingInstance& instance) {
+  const int n = instance.num_jobs();
+  if (n > 20) {
+    throw std::invalid_argument("solve_exact: limited to n <= 20 jobs");
+  }
+  if (n == 0) return {0.0, {}};
+
+  // pred_mask[j]: bitmask of direct predecessors of j.
+  std::vector<unsigned> pred_mask(static_cast<std::size_t>(n), 0u);
+  for (int j = 0; j < n; ++j) {
+    for (int p : instance.predecessors(j)) {
+      pred_mask[static_cast<std::size_t>(j)] |= 1u << p;
+    }
+  }
+
+  const unsigned full = (n == 32) ? ~0u : ((1u << n) - 1u);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[S] = min cost of scheduling exactly the jobs in S first (S must be
+  // downward closed); last_job[S] reconstructs the order.
+  std::vector<double> dp(static_cast<std::size_t>(full) + 1, kInf);
+  std::vector<signed char> last_job(static_cast<std::size_t>(full) + 1, -1);
+  // total_time[S]: sum of processing times in S (completion time of the
+  // last job of any schedule of S).
+  std::vector<double> total_time(static_cast<std::size_t>(full) + 1, 0.0);
+  for (unsigned s = 1; s <= full; ++s) {
+    const int low = __builtin_ctz(s);
+    total_time[s] = total_time[s & (s - 1u)] +
+                    instance.job(low).processing_time;
+  }
+
+  dp[0] = 0.0;
+  for (unsigned s = 0; s < full; ++s) {
+    if (dp[s] == kInf) continue;
+    // Extend S by any job whose predecessors are all inside S.
+    for (int j = 0; j < n; ++j) {
+      const unsigned bit = 1u << j;
+      if (s & bit) continue;
+      if ((pred_mask[static_cast<std::size_t>(j)] & ~s) != 0u) continue;
+      const unsigned next = s | bit;
+      const double completion = total_time[next];
+      const double candidate = dp[s] + instance.job(j).weight * completion;
+      if (candidate < dp[next]) {
+        dp[next] = candidate;
+        last_job[next] = static_cast<signed char>(j);
+      }
+    }
+  }
+
+  ExactScheduleResult result;
+  result.cost = dp[full];
+  result.order.resize(static_cast<std::size_t>(n));
+  unsigned s = full;
+  for (int idx = n - 1; idx >= 0; --idx) {
+    const int j = last_job[s];
+    result.order[static_cast<std::size_t>(idx)] = j;
+    s &= ~(1u << j);
+  }
+  return result;
+}
+
+}  // namespace qp::sched

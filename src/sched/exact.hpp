@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file exact.hpp
+/// Exact dynamic-programming solver for 1|prec|sum(w_j C_j) over downward-
+/// closed job sets (bitmask DP, O(2^n * n)). Practical for n <= 20; used to
+/// validate the NP-hardness reduction (paper Thm 3.6) on small instances.
+
+#include <vector>
+
+#include "sched/scheduling.hpp"
+
+namespace qp::sched {
+
+struct ExactScheduleResult {
+  double cost = 0.0;
+  std::vector<int> order;
+};
+
+/// \throws std::invalid_argument if instance.num_jobs() > 20.
+ExactScheduleResult solve_exact(const SchedulingInstance& instance);
+
+}  // namespace qp::sched

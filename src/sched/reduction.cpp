@@ -1,0 +1,170 @@
+#include "sched/reduction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace qp::sched {
+
+double ReductionResult::delay_for_schedule_cost(double schedule_cost) const {
+  const double nt = num_time_jobs;
+  const double fixed = (1.0 - epsilon) / nt * (nt * (nt + 1.0) / 2.0);
+  return epsilon / num_weight_jobs * schedule_cost + fixed;
+}
+
+double ReductionResult::schedule_cost_for_delay(double delay) const {
+  const double nt = num_time_jobs;
+  const double fixed = (1.0 - epsilon) / nt * (nt * (nt + 1.0) / 2.0);
+  return (delay - fixed) * num_weight_jobs / epsilon;
+}
+
+ReductionResult reduce_to_ssqpp(const SchedulingInstance& sched) {
+  if (!sched.is_woeginger_form()) {
+    throw std::invalid_argument(
+        "reduce_to_ssqpp: instance must be in Woeginger special form");
+  }
+  const int total = sched.num_jobs();
+  int num_time = 0;
+  for (int j = 0; j < total; ++j) {
+    if (sched.job(j).processing_time == 1.0) ++num_time;
+  }
+  const int num_weight = total - num_time;
+  if (num_time < 2 || num_weight < 1) {
+    throw std::invalid_argument(
+        "reduce_to_ssqpp: need >= 2 unit-time jobs and >= 1 unit-weight job");
+  }
+
+  // Element 0 is e_0; time-job j gets the next free element id.
+  std::vector<int> element_of_job(static_cast<std::size_t>(total), -1);
+  std::vector<int> job_of_element(static_cast<std::size_t>(num_time) + 1, -1);
+  int next_element = 1;
+  for (int j = 0; j < total; ++j) {
+    if (sched.job(j).processing_time == 1.0) {
+      element_of_job[static_cast<std::size_t>(j)] = next_element;
+      job_of_element[static_cast<std::size_t>(next_element)] = j;
+      ++next_element;
+    }
+  }
+
+  // eps < 1/(2 n_t + 1) keeps both the probability ordering and the capacity
+  // separation of the construction; eps = 1/(2(n_t + 1)) satisfies it.
+  const double eps = 1.0 / (2.0 * (num_time + 1));
+
+  std::vector<quorum::Quorum> quorums;
+  std::vector<double> probabilities;
+  // Type-1 quorums: one per unit-weight job.
+  for (int j = 0; j < total; ++j) {
+    if (sched.job(j).processing_time != 0.0) continue;
+    quorum::Quorum q = {0};
+    for (int pred : sched.predecessors(j)) {
+      q.push_back(element_of_job[static_cast<std::size_t>(pred)]);
+    }
+    std::sort(q.begin(), q.end());
+    quorums.push_back(std::move(q));
+    probabilities.push_back(eps / num_weight);
+  }
+  // Type-2 quorums: {u, e_0} for each element u != e_0.
+  for (int u = 1; u <= num_time; ++u) {
+    quorums.push_back({0, u});
+    probabilities.push_back((1.0 - eps) / num_time);
+  }
+
+  quorum::QuorumSystem system(num_time + 1, std::move(quorums));
+  quorum::AccessStrategy strategy(system, std::move(probabilities));
+
+  // Unit path v_0 - v_1 - ... - v_{n_t}; v_0 is the source.
+  graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(num_time + 1, 1.0));
+
+  // cap(v_0) = 1 = load(e_0); other capacities fit exactly one element.
+  std::vector<double> capacities(static_cast<std::size_t>(num_time) + 1,
+                                 2.0 * (1.0 - eps) / num_time - eps);
+  capacities[0] = 1.0;
+
+  core::SsqppInstance instance(std::move(metric), std::move(capacities),
+                               std::move(system), std::move(strategy), 0);
+
+  ReductionResult out{std::move(instance),
+                      eps,
+                      num_time,
+                      num_weight,
+                      std::move(element_of_job),
+                      std::move(job_of_element)};
+  return out;
+}
+
+std::optional<std::vector<int>> schedule_from_placement(
+    const SchedulingInstance& sched, const ReductionResult& reduction,
+    const core::Placement& placement) {
+  const int num_time = reduction.num_time_jobs;
+  if (static_cast<int>(placement.size()) != num_time + 1) return std::nullopt;
+  if (placement[0] != 0) return std::nullopt;  // e_0 must sit on v_0
+  // The placement must be a bijection onto the path nodes.
+  std::vector<int> job_at_position(static_cast<std::size_t>(num_time) + 1, -1);
+  for (int e = 1; e <= num_time; ++e) {
+    const int node = placement[static_cast<std::size_t>(e)];
+    if (node <= 0 || node > num_time) return std::nullopt;
+    if (job_at_position[static_cast<std::size_t>(node)] != -1) {
+      return std::nullopt;
+    }
+    job_at_position[static_cast<std::size_t>(node)] =
+        reduction.job_of_element[static_cast<std::size_t>(e)];
+  }
+
+  // Emit time jobs in path order, releasing weight jobs as soon as all their
+  // predecessors have run (weight jobs have zero processing time).
+  const int total = sched.num_jobs();
+  std::vector<int> remaining_preds(static_cast<std::size_t>(total), 0);
+  std::vector<std::vector<int>> successors(static_cast<std::size_t>(total));
+  for (const auto& [before, after] : sched.precedences()) {
+    ++remaining_preds[static_cast<std::size_t>(after)];
+    successors[static_cast<std::size_t>(before)].push_back(after);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(total));
+  const auto release = [&](int finished) {
+    for (int succ : successors[static_cast<std::size_t>(finished)]) {
+      if (--remaining_preds[static_cast<std::size_t>(succ)] == 0) {
+        order.push_back(succ);
+      }
+    }
+  };
+  // Weight jobs with no predecessors run first (completion time 0).
+  for (int j = 0; j < total; ++j) {
+    if (sched.job(j).processing_time == 0.0 &&
+        remaining_preds[static_cast<std::size_t>(j)] == 0) {
+      order.push_back(j);
+    }
+  }
+  for (int pos = 1; pos <= num_time; ++pos) {
+    const int job = job_at_position[static_cast<std::size_t>(pos)];
+    order.push_back(job);
+    release(job);
+  }
+  if (static_cast<int>(order.size()) != total) return std::nullopt;
+  return order;
+}
+
+core::Placement placement_from_schedule(const SchedulingInstance& sched,
+                                        const ReductionResult& reduction,
+                                        const std::vector<int>& order) {
+  if (!sched.is_feasible_order(order)) {
+    throw std::invalid_argument("placement_from_schedule: infeasible order");
+  }
+  core::Placement placement(
+      static_cast<std::size_t>(reduction.num_time_jobs) + 1, -1);
+  placement[0] = 0;
+  int position = 0;
+  for (int job : order) {
+    if (sched.job(job).processing_time == 1.0) {
+      ++position;
+      const int element =
+          reduction.element_of_job[static_cast<std::size_t>(job)];
+      placement[static_cast<std::size_t>(element)] = position;
+    }
+  }
+  return placement;
+}
+
+}  // namespace qp::sched

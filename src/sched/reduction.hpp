@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file reduction.hpp
+/// The paper's NP-hardness reduction (Thm 3.6): a Woeginger special-form
+/// instance of 1|prec|sum(w_j C_j) (Thm 3.5(b)) maps to a Single-Source
+/// Quorum Placement instance on a unit-length path such that schedules and
+/// capacity-feasible placements correspond, with
+///   Delta_f(v0) = (eps/m) * cost(pi_f) + ((1-eps)/(n-m)) * sum_{i=1..n-m} i.
+
+#include <optional>
+
+#include "core/instance.hpp"
+#include "sched/scheduling.hpp"
+
+namespace qp::sched {
+
+/// Result of the Thm 3.6 construction, with enough bookkeeping to translate
+/// solutions back and forth.
+struct ReductionResult {
+  core::SsqppInstance instance;
+
+  double epsilon = 0.0;        ///< the constant 0 < eps < (1-eps)/(n-m)
+  int num_time_jobs = 0;       ///< n - m: jobs with (T=1, w=0)
+  int num_weight_jobs = 0;     ///< m: jobs with (T=0, w=1)
+
+  /// element_of_job[j] = universe element for time-job j (weight jobs have
+  /// no element; entry is -1). Element 0 is the shared intersection e_0.
+  std::vector<int> element_of_job;
+  /// job_of_element[e] = time-job represented by element e (e >= 1).
+  std::vector<int> job_of_element;
+
+  /// Delta_f(v0) value corresponding to a schedule of the given cost.
+  double delay_for_schedule_cost(double schedule_cost) const;
+  /// Inverse of delay_for_schedule_cost.
+  double schedule_cost_for_delay(double delay) const;
+};
+
+/// Builds the SSQPP instance of Thm 3.6.
+/// \throws std::invalid_argument if \p instance is not in Woeginger form.
+ReductionResult reduce_to_ssqpp(const SchedulingInstance& instance);
+
+/// Converts a capacity-feasible placement of the reduced instance back to a
+/// feasible schedule: time-job j runs at the path position of its element,
+/// weight jobs run as early as their predecessors allow. Returns
+/// std::nullopt if the placement is not one-element-per-node feasible.
+std::optional<std::vector<int>> schedule_from_placement(
+    const SchedulingInstance& sched, const ReductionResult& reduction,
+    const core::Placement& placement);
+
+/// Converts a feasible schedule into the corresponding placement (element of
+/// the i-th scheduled time-job goes to path node i+1; e_0 stays on v0).
+core::Placement placement_from_schedule(const SchedulingInstance& sched,
+                                        const ReductionResult& reduction,
+                                        const std::vector<int>& order);
+
+}  // namespace qp::sched

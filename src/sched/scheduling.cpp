@@ -1,0 +1,187 @@
+#include "sched/scheduling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qp::sched {
+
+SchedulingInstance::SchedulingInstance(
+    std::vector<Job> jobs, std::vector<std::pair<int, int>> precedences)
+    : jobs_(std::move(jobs)), precedences_(std::move(precedences)) {
+  const int n = num_jobs();
+  for (const Job& job : jobs_) {
+    if (!(job.processing_time >= 0.0) || !std::isfinite(job.processing_time) ||
+        !(job.weight >= 0.0) || !std::isfinite(job.weight)) {
+      throw std::invalid_argument(
+          "SchedulingInstance: times/weights must be finite, >= 0");
+    }
+  }
+  predecessors_.resize(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> successors(static_cast<std::size_t>(n));
+  for (const auto& [before, after] : precedences_) {
+    if (before < 0 || before >= n || after < 0 || after >= n) {
+      throw std::invalid_argument("SchedulingInstance: precedence out of range");
+    }
+    if (before == after) {
+      throw std::invalid_argument("SchedulingInstance: self-precedence");
+    }
+    predecessors_[static_cast<std::size_t>(after)].push_back(before);
+    successors[static_cast<std::size_t>(before)].push_back(after);
+  }
+  // Cycle check via Kahn's algorithm.
+  std::vector<int> in_degree(static_cast<std::size_t>(n), 0);
+  for (int j = 0; j < n; ++j) {
+    in_degree[static_cast<std::size_t>(j)] =
+        static_cast<int>(predecessors_[static_cast<std::size_t>(j)].size());
+  }
+  std::vector<int> ready;
+  for (int j = 0; j < n; ++j) {
+    if (in_degree[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
+  }
+  int processed = 0;
+  while (!ready.empty()) {
+    const int j = ready.back();
+    ready.pop_back();
+    ++processed;
+    for (int succ : successors[static_cast<std::size_t>(j)]) {
+      if (--in_degree[static_cast<std::size_t>(succ)] == 0) ready.push_back(succ);
+    }
+  }
+  if (processed != n) {
+    throw std::invalid_argument("SchedulingInstance: precedence cycle");
+  }
+}
+
+bool SchedulingInstance::is_feasible_order(const std::vector<int>& order) const {
+  const int n = num_jobs();
+  if (static_cast<int>(order.size()) != n) return false;
+  std::vector<int> position(static_cast<std::size_t>(n), -1);
+  for (int idx = 0; idx < n; ++idx) {
+    const int j = order[static_cast<std::size_t>(idx)];
+    if (j < 0 || j >= n || position[static_cast<std::size_t>(j)] != -1) {
+      return false;
+    }
+    position[static_cast<std::size_t>(j)] = idx;
+  }
+  for (const auto& [before, after] : precedences_) {
+    if (position[static_cast<std::size_t>(before)] >
+        position[static_cast<std::size_t>(after)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double SchedulingInstance::cost(const std::vector<int>& order) const {
+  if (!is_feasible_order(order)) {
+    throw std::invalid_argument("SchedulingInstance::cost: infeasible order");
+  }
+  double time = 0.0;
+  double total = 0.0;
+  for (int j : order) {
+    time += jobs_[static_cast<std::size_t>(j)].processing_time;
+    total += jobs_[static_cast<std::size_t>(j)].weight * time;
+  }
+  return total;
+}
+
+bool SchedulingInstance::is_woeginger_form() const {
+  const auto is_time_job = [](const Job& j) {
+    return j.processing_time == 1.0 && j.weight == 0.0;
+  };
+  const auto is_weight_job = [](const Job& j) {
+    return j.processing_time == 0.0 && j.weight == 1.0;
+  };
+  for (const Job& j : jobs_) {
+    if (!is_time_job(j) && !is_weight_job(j)) return false;
+  }
+  for (const auto& [before, after] : precedences_) {
+    if (!is_time_job(jobs_[static_cast<std::size_t>(before)]) ||
+        !is_weight_job(jobs_[static_cast<std::size_t>(after)])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> list_schedule(const SchedulingInstance& instance) {
+  const int n = instance.num_jobs();
+  std::vector<int> remaining_preds(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> successors(static_cast<std::size_t>(n));
+  for (const auto& [before, after] : instance.precedences()) {
+    ++remaining_preds[static_cast<std::size_t>(after)];
+    successors[static_cast<std::size_t>(before)].push_back(after);
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> scheduled(static_cast<std::size_t>(n), 0);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    double best_score = -1.0;
+    for (int j = 0; j < n; ++j) {
+      if (scheduled[static_cast<std::size_t>(j)] ||
+          remaining_preds[static_cast<std::size_t>(j)] > 0) {
+        continue;
+      }
+      const double score = instance.job(j).weight /
+                           (instance.job(j).processing_time + 1e-9);
+      if (best < 0 || score > best_score) {
+        best = j;
+        best_score = score;
+      }
+    }
+    scheduled[static_cast<std::size_t>(best)] = 1;
+    order.push_back(best);
+    for (int succ : successors[static_cast<std::size_t>(best)]) {
+      --remaining_preds[static_cast<std::size_t>(succ)];
+    }
+  }
+  return order;
+}
+
+std::vector<int> smith_rule(const SchedulingInstance& instance) {
+  if (!instance.precedences().empty()) {
+    throw std::invalid_argument(
+        "smith_rule: only valid without precedence constraints");
+  }
+  const int n = instance.num_jobs();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) order[static_cast<std::size_t>(j)] = j;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const Job& ja = instance.job(a);
+    const Job& jb = instance.job(b);
+    // Compare w_a/T_a > w_b/T_b without dividing (handles T = 0: infinite
+    // ratio sorts first when w > 0).
+    const double lhs = ja.weight * jb.processing_time;
+    const double rhs = jb.weight * ja.processing_time;
+    if (lhs != rhs) return lhs > rhs;
+    return a < b;
+  });
+  return order;
+}
+
+SchedulingInstance random_woeginger_instance(int num_unit_time,
+                                             int num_unit_weight,
+                                             double edge_probability,
+                                             std::mt19937_64& rng) {
+  if (num_unit_time < 1 || num_unit_weight < 1) {
+    throw std::invalid_argument(
+        "random_woeginger_instance: both job classes must be non-empty");
+  }
+  std::vector<Job> jobs;
+  for (int i = 0; i < num_unit_time; ++i) jobs.push_back({1.0, 0.0});
+  for (int i = 0; i < num_unit_weight; ++i) jobs.push_back({0.0, 1.0});
+  std::vector<std::pair<int, int>> precedences;
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int t = 0; t < num_unit_time; ++t) {
+    for (int w = 0; w < num_unit_weight; ++w) {
+      if (coin(rng) < edge_probability) {
+        precedences.emplace_back(t, num_unit_time + w);
+      }
+    }
+  }
+  return SchedulingInstance(std::move(jobs), std::move(precedences));
+}
+
+}  // namespace qp::sched

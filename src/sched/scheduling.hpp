@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file scheduling.hpp
+/// Single-machine weighted-completion-time scheduling with precedence
+/// constraints, 1|prec|sum(w_j C_j). The paper (Thm 3.6) reduces its
+/// Woeginger special form (Thm 3.5(b)) to the Single-Source Quorum
+/// Placement Problem; this module provides the instances, feasibility
+/// checking, cost evaluation and heuristics. Exact solvers live in
+/// sched/exact.hpp, the reduction in sched/reduction.hpp.
+
+#include <random>
+#include <vector>
+
+namespace qp::sched {
+
+struct Job {
+  double processing_time = 0.0;
+  double weight = 0.0;
+};
+
+/// An instance of 1|prec|sum(w_j C_j). Precedence (i, j) means job i must
+/// complete before job j starts.
+class SchedulingInstance {
+ public:
+  SchedulingInstance() = default;
+
+  /// \throws std::invalid_argument on negative times/weights, out-of-range
+  /// precedence endpoints, self-precedences, or a cyclic precedence relation.
+  SchedulingInstance(std::vector<Job> jobs,
+                     std::vector<std::pair<int, int>> precedences);
+
+  int num_jobs() const { return static_cast<int>(jobs_.size()); }
+  const Job& job(int j) const { return jobs_.at(static_cast<std::size_t>(j)); }
+  const std::vector<Job>& jobs() const { return jobs_; }
+  const std::vector<std::pair<int, int>>& precedences() const {
+    return precedences_;
+  }
+
+  /// Direct predecessors of job j.
+  const std::vector<int>& predecessors(int j) const {
+    return predecessors_.at(static_cast<std::size_t>(j));
+  }
+
+  /// True iff \p order is a permutation of all jobs respecting precedences.
+  bool is_feasible_order(const std::vector<int>& order) const;
+
+  /// Sum of w_j C_j for the given feasible order.
+  /// \throws std::invalid_argument if the order is infeasible.
+  double cost(const std::vector<int>& order) const;
+
+  /// True iff the instance is in the Woeginger special form of Thm 3.5(b):
+  /// each job has (T=0, w=1) or (T=1, w=0), and every precedence goes from a
+  /// (T=1, w=0) job to a (T=0, w=1) job.
+  bool is_woeginger_form() const;
+
+ private:
+  std::vector<Job> jobs_;
+  std::vector<std::pair<int, int>> precedences_;
+  std::vector<std::vector<int>> predecessors_;
+};
+
+/// Weighted-shortest-processing-time list heuristic: repeatedly schedules
+/// the available job maximizing w_j / (T_j + epsilon) (ties by id).
+/// Feasible but generally suboptimal; used as a baseline.
+std::vector<int> list_schedule(const SchedulingInstance& instance);
+
+/// Smith's rule: for instances WITHOUT precedence constraints, sorting by
+/// non-increasing w_j / T_j is exactly optimal (jobs with T = 0 and w > 0
+/// first). \throws std::invalid_argument if the instance has precedences.
+std::vector<int> smith_rule(const SchedulingInstance& instance);
+
+/// Random Woeginger-form instance: \p num_unit_time jobs with (T=1, w=0),
+/// \p num_unit_weight jobs with (T=0, w=1), and each (time, weight) pair
+/// made a precedence independently with probability \p edge_probability.
+/// Job ids: 0..num_unit_time-1 are the (T=1) jobs.
+SchedulingInstance random_woeginger_instance(int num_unit_time,
+                                             int num_unit_weight,
+                                             double edge_probability,
+                                             std::mt19937_64& rng);
+
+}  // namespace qp::sched

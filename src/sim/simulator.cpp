@@ -1,0 +1,223 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "core/evaluators.hpp"
+
+namespace qp::sim {
+
+namespace {
+
+enum class EventType { kArrival, kProbeArrive, kProbeDone };
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kArrival;
+  /// kArrival: the client issuing an access; kProbeArrive: the node the
+  /// probe reaches; unused for kProbeDone.
+  int where = 0;
+  std::int64_t access = 0;  ///< the access a probe belongs to
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+struct Access {
+  int client = 0;
+  int quorum = 0;
+  double start = 0.0;
+  int next_element_index = 0;  ///< sequential mode: next probe to launch
+  int outstanding = 0;         ///< probes not yet completed
+};
+
+}  // namespace
+
+SimulationResult simulate(const core::QppInstance& instance,
+                          const core::Placement& placement,
+                          const SimulationConfig& config) {
+  const int n = instance.num_nodes();
+  if (!core::is_valid_placement(placement, instance.system().universe_size(),
+                                n)) {
+    throw std::invalid_argument("simulate: invalid placement");
+  }
+  if (!(config.duration > 0.0) || !(config.arrival_rate_per_client > 0.0)) {
+    throw std::invalid_argument(
+        "simulate: duration and arrival rate must be positive");
+  }
+  if (config.warmup < 0.0 || config.warmup >= config.duration) {
+    throw std::invalid_argument("simulate: warmup must lie in [0, duration)");
+  }
+  if (config.latency_jitter < 0.0 || config.latency_jitter >= 1.0) {
+    throw std::invalid_argument("simulate: latency_jitter must lie in [0, 1)");
+  }
+
+  std::mt19937_64 rng(config.seed);
+  std::discrete_distribution<int> quorum_picker(
+      instance.strategy().probabilities().begin(),
+      instance.strategy().probabilities().end());
+
+  // Nearest-quorum policy: the chosen quorum per client is fixed by the
+  // placement, so precompute it.
+  std::vector<int> nearest_quorum(static_cast<std::size_t>(n), 0);
+  if (config.selection == SelectionPolicy::kNearestQuorum) {
+    for (int v = 0; v < n; ++v) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int q = 0; q < instance.system().num_quorums(); ++q) {
+        const double d = core::max_delay(instance.metric(),
+                                         instance.system().quorum(q),
+                                         placement, v);
+        if (d < best) {
+          best = d;
+          nearest_quorum[static_cast<std::size_t>(v)] = q;
+        }
+      }
+    }
+  }
+
+  const bool queueing = config.service_rate > 0.0;
+  const double service_time = queueing ? 1.0 / config.service_rate : 0.0;
+
+  // Per-client Poisson arrival rates (weights are normalized to sum 1, so
+  // uniform weights reproduce the configured per-client rate).
+  std::vector<double> rate(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) {
+    rate[static_cast<std::size_t>(v)] =
+        config.arrival_rate_per_client * n *
+        instance.client_weights()[static_cast<std::size_t>(v)];
+  }
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue;
+  for (int v = 0; v < n; ++v) {
+    if (rate[static_cast<std::size_t>(v)] <= 0.0) continue;
+    std::exponential_distribution<double> gap(rate[static_cast<std::size_t>(v)]);
+    queue.push({gap(rng), EventType::kArrival, v, 0});
+  }
+
+  std::vector<Access> accesses;
+  std::vector<double> node_free(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> node_busy(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> node_probe_count(static_cast<std::size_t>(n), 0.0);
+
+  SimulationResult result;
+  result.per_client_mean_delay.assign(static_cast<std::size_t>(n), 0.0);
+  result.per_client_count.assign(static_cast<std::size_t>(n), 0);
+  result.per_node_access_share.assign(static_cast<std::size_t>(n), 0.0);
+  result.per_node_utilization.assign(static_cast<std::size_t>(n), 0.0);
+
+  std::int64_t measured_accesses = 0;
+  double measured_total_accesses = 0.0;  // incl. clients with 0 weight
+  double total_delay_sum = 0.0;
+
+  // Launches the probe for element index `idx` of the access's quorum at
+  // time `when`: the probe reaches its node after the metric distance, then
+  // (with queueing) waits for the node's FIFO queue. Returns the event to
+  // schedule next (kProbeArrive under queueing so that service is granted
+  // in true arrival order, kProbeDone otherwise).
+  std::uniform_real_distribution<double> jitter(1.0 - config.latency_jitter,
+                                                1.0 + config.latency_jitter);
+  const auto launch_probe = [&](const Access& access, std::int64_t id, int idx,
+                                double when) {
+    const quorum::Quorum& q = instance.system().quorum(access.quorum);
+    const int element = q[static_cast<std::size_t>(idx)];
+    const int node = placement[static_cast<std::size_t>(element)];
+    const double factor = config.latency_jitter > 0.0 ? jitter(rng) : 1.0;
+    const double arrive =
+        when + factor * instance.metric()(access.client, node);
+    if (when >= config.warmup) {
+      node_probe_count[static_cast<std::size_t>(node)] += 1.0;
+    }
+    if (queueing) {
+      return Event{arrive, EventType::kProbeArrive, node, id};
+    }
+    return Event{arrive, EventType::kProbeDone, 0, id};
+  };
+
+  while (!queue.empty() && queue.top().time <= config.duration) {
+    const Event event = queue.top();
+    queue.pop();
+
+    if (event.type == EventType::kArrival) {
+      // Schedule this client's next access.
+      std::exponential_distribution<double> gap(
+          rate[static_cast<std::size_t>(event.where)]);
+      queue.push({event.time + gap(rng), EventType::kArrival, event.where, 0});
+
+      Access access;
+      access.client = event.where;
+      access.quorum = config.selection == SelectionPolicy::kNearestQuorum
+                          ? nearest_quorum[static_cast<std::size_t>(event.where)]
+                          : quorum_picker(rng);
+      access.start = event.time;
+      const auto& q = instance.system().quorum(access.quorum);
+      const auto id = static_cast<std::int64_t>(accesses.size());
+      if (access.start >= config.warmup) measured_total_accesses += 1.0;
+      access.outstanding = static_cast<int>(q.size());
+      if (config.mode == AccessMode::kParallel) {
+        accesses.push_back(access);
+        for (int idx = 0; idx < static_cast<int>(q.size()); ++idx) {
+          queue.push(launch_probe(access, id, idx, event.time));
+        }
+      } else {
+        access.next_element_index = 1;
+        accesses.push_back(access);
+        queue.push(launch_probe(access, id, 0, event.time));
+      }
+      continue;
+    }
+
+    if (event.type == EventType::kProbeArrive) {
+      // Grant service in true arrival order (events are processed by time).
+      const int node = event.where;
+      const double start_service =
+          std::max(event.time, node_free[static_cast<std::size_t>(node)]);
+      const double done = start_service + service_time;
+      node_free[static_cast<std::size_t>(node)] = done;
+      node_busy[static_cast<std::size_t>(node)] += service_time;
+      queue.push({done, EventType::kProbeDone, 0, event.access});
+      continue;
+    }
+
+    // kProbeDone.
+    Access& access = accesses[static_cast<std::size_t>(event.access)];
+    --access.outstanding;
+    if (config.mode == AccessMode::kSequential &&
+        access.next_element_index <
+            static_cast<int>(
+                instance.system().quorum(access.quorum).size())) {
+      const int idx = access.next_element_index++;
+      queue.push(launch_probe(access, event.access, idx, event.time));
+      continue;
+    }
+    if (access.outstanding == 0 && access.start >= config.warmup) {
+      const double delay = event.time - access.start;
+      total_delay_sum += delay;
+      ++measured_accesses;
+      result.per_client_mean_delay[static_cast<std::size_t>(access.client)] +=
+          delay;
+      ++result.per_client_count[static_cast<std::size_t>(access.client)];
+    }
+  }
+
+  result.completed_accesses = measured_accesses;
+  result.overall_mean_delay =
+      measured_accesses > 0 ? total_delay_sum / measured_accesses : 0.0;
+  for (int v = 0; v < n; ++v) {
+    if (result.per_client_count[static_cast<std::size_t>(v)] > 0) {
+      result.per_client_mean_delay[static_cast<std::size_t>(v)] /=
+          static_cast<double>(
+              result.per_client_count[static_cast<std::size_t>(v)]);
+    }
+    if (measured_total_accesses > 0.0) {
+      result.per_node_access_share[static_cast<std::size_t>(v)] =
+          node_probe_count[static_cast<std::size_t>(v)] /
+          measured_total_accesses;
+    }
+    result.per_node_utilization[static_cast<std::size_t>(v)] =
+        node_busy[static_cast<std::size_t>(v)] / config.duration;
+  }
+  return result;
+}
+
+}  // namespace qp::sim

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file simulator.hpp
+/// Discrete-event simulation of quorum accesses over a network.
+///
+/// The paper models the cost of a quorum access analytically: max-delay
+/// delta_f(v, Q) for parallel probing, total-delay gamma_f(v, Q) for
+/// sequential probing, and per-node load load_f(v). This simulator executes
+/// the same system at message level so those formulas can be validated
+/// empirically and extended with effects the analysis abstracts away
+/// (queueing at overloaded nodes):
+///
+///  - each client issues accesses as a Poisson process, picking a quorum
+///    from the access strategy each time;
+///  - a probe to element u travels one-way d(client, f(u)) time units to
+///    its node, waits in the node's FIFO queue, and occupies the node for
+///    `1 / service_rate` time units of service;
+///  - parallel mode: all probes launch at once; the access completes when
+///    the last probe finishes service (paper eq. (1) when service is free);
+///  - sequential mode: probes launch one after another, each when the
+///    previous finishes (paper's total-delay when service is free).
+///
+/// With service_rate = infinity the measured mean access delay of client v
+/// converges to Delta_f(v) (parallel) / Gamma_f(v) (sequential), and each
+/// node's probe share converges to load_f(v); tests and the E9 experiment
+/// check exactly this.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/instance.hpp"
+
+namespace qp::sim {
+
+enum class AccessMode {
+  kParallel,    ///< max-delay semantics (paper eq. (1))
+  kSequential,  ///< total-delay semantics (paper Sec 5)
+};
+
+enum class SelectionPolicy {
+  /// Draw each access's quorum from the access strategy (the paper's
+  /// model; preserves the engineered load profile).
+  kStrategy,
+  /// Always use the quorum minimizing delta_f(v, .) for the client -- the
+  /// Sec 2 related-work objective (Fu/Kobayashi/Lin). Minimizes latency but
+  /// concentrates load; the E12 experiment quantifies the trade-off.
+  kNearestQuorum,
+};
+
+struct SimulationConfig {
+  double arrival_rate_per_client = 1.0;  ///< Poisson rate of quorum accesses
+  double duration = 1000.0;              ///< simulated time horizon
+  AccessMode mode = AccessMode::kParallel;
+  SelectionPolicy selection = SelectionPolicy::kStrategy;
+  /// Probes per unit time a node can serve; <= 0 means infinite (no
+  /// queueing, the paper's pure-latency model).
+  double service_rate = 0.0;
+  std::uint64_t seed = 1;
+  /// Warm-up period excluded from statistics.
+  double warmup = 0.0;
+  /// Per-probe latency jitter: each probe's network delay is the metric
+  /// distance times Uniform(1 - jitter, 1 + jitter). Zero reproduces the
+  /// paper's deterministic model exactly. Note that jitter is mean-
+  /// preserving per probe but BIASES the parallel (max) access delay
+  /// upward -- E9 quantifies this gap between model and network reality.
+  double latency_jitter = 0.0;
+};
+
+struct SimulationResult {
+  std::int64_t completed_accesses = 0;
+  double overall_mean_delay = 0.0;
+  std::vector<double> per_client_mean_delay;   ///< indexed by client
+  std::vector<std::int64_t> per_client_count;  ///< accesses measured
+  /// Fraction of all accesses that touched node v (expectation under the
+  /// strategy: load_f(v)).
+  std::vector<double> per_node_access_share;
+  /// Node busy-time / simulated duration (only meaningful with finite
+  /// service rate).
+  std::vector<double> per_node_utilization;
+};
+
+/// Runs the simulation for a placement of the instance's quorum system.
+/// Clients are all nodes; client v's arrival rate is scaled by the
+/// instance's (normalized) client weight times num_nodes, so uniform
+/// weights give every client the configured rate.
+/// \throws std::invalid_argument on an invalid placement or non-positive
+///         duration/arrival rate.
+SimulationResult simulate(const core::QppInstance& instance,
+                          const core::Placement& placement,
+                          const SimulationConfig& config);
+
+}  // namespace qp::sim

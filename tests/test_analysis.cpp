@@ -1,0 +1,145 @@
+#include "quorum/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "quorum/constructions.hpp"
+
+namespace qp::quorum {
+namespace {
+
+TEST(FaultTolerance, SingletonDiesWithOneElement) {
+  EXPECT_EQ(fault_tolerance(singleton()), 1);
+}
+
+TEST(FaultTolerance, StarDiesAtCenter) {
+  EXPECT_EQ(fault_tolerance(star(6)), 1);
+}
+
+TEST(FaultTolerance, MajorityTolerance) {
+  // Threshold-t over n elements dies iff more than n - t elements die:
+  // fault tolerance = n - t + 1.
+  EXPECT_EQ(fault_tolerance(majority(5, 3)), 3);
+  EXPECT_EQ(fault_tolerance(majority(7, 4)), 4);
+}
+
+TEST(FaultTolerance, GridToleranceIsK) {
+  // Killing a full row of the k x k grid (k elements) kills every quorum
+  // (each quorum contains a full row... each quorum crosses every row via
+  // its column, so a dead row kills all); fewer than k cannot.
+  EXPECT_EQ(fault_tolerance(grid(2)), 2);
+  EXPECT_EQ(fault_tolerance(grid(3)), 3);
+}
+
+TEST(FaultTolerance, ProjectivePlaneIsLineSize) {
+  // Killing a full line (q + 1 points) hits every other line.
+  EXPECT_EQ(fault_tolerance(projective_plane(2)), 3);
+}
+
+TEST(FaultTolerance, WheelDiesWithHubPlusOneRim) {
+  // {hub, any rim element} hits every spoke and the rim quorum.
+  EXPECT_EQ(fault_tolerance(wheel(6)), 2);
+}
+
+TEST(FailureProbability, ZeroAndOneEdges) {
+  const QuorumSystem qs = majority(5, 3);
+  EXPECT_DOUBLE_EQ(failure_probability_exact(qs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(failure_probability_exact(qs, 1.0), 1.0);
+}
+
+TEST(FailureProbability, SingletonMatchesElementFailure) {
+  EXPECT_NEAR(failure_probability_exact(singleton(), 0.3), 0.3, 1e-12);
+}
+
+TEST(FailureProbability, MajorityClosedForm) {
+  // Majority(3, 2) fails iff >= 2 of 3 elements fail.
+  const double p = 0.2;
+  const double expected = 3 * p * p * (1 - p) + p * p * p;
+  EXPECT_NEAR(failure_probability_exact(majority(3, 2), p), expected, 1e-12);
+}
+
+TEST(FailureProbability, MajorityIsHighlyAvailableBelowHalf) {
+  // Peleg-Wool: for p < 1/2, larger majorities get more available.
+  const double p = 0.2;
+  const double f3 = failure_probability_exact(majority(3), p);
+  const double f5 = failure_probability_exact(majority(5), p);
+  const double f7 = failure_probability_exact(majority(7), p);
+  EXPECT_GT(f3, f5);
+  EXPECT_GT(f5, f7);
+}
+
+TEST(FailureProbability, RejectsBadArguments) {
+  EXPECT_THROW(failure_probability_exact(majority(3), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(failure_probability_exact(majority(3), 1.1),
+               std::invalid_argument);
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(failure_probability_monte_carlo(majority(3), 0.5, 0, rng),
+               std::invalid_argument);
+}
+
+TEST(FailureProbability, MonteCarloTracksExact) {
+  std::mt19937_64 rng(123);
+  const QuorumSystem qs = grid(3);
+  const double exact = failure_probability_exact(qs, 0.3);
+  const double estimate =
+      failure_probability_monte_carlo(qs, 0.3, 20000, rng);
+  EXPECT_NEAR(estimate, exact, 0.02);
+}
+
+TEST(LoadLowerBound, NaorWoolBounds) {
+  // Grid k: smallest quorum 2k-1; bound = max(1/(2k-1), (2k-1)/k^2).
+  EXPECT_NEAR(load_lower_bound(grid(3)), 5.0 / 9.0, 1e-12);
+  // Majority(5, 3): max(1/3, 3/5) = 3/5.
+  EXPECT_NEAR(load_lower_bound(majority(5, 3)), 0.6, 1e-12);
+  // FPP order 2: max(1/3, 3/7) = 3/7.
+  EXPECT_NEAR(load_lower_bound(projective_plane(2)), 3.0 / 7.0, 1e-12);
+}
+
+TEST(OptimalStrategy, UniformIsOptimalForSymmetricSystems) {
+  // Grid and Majority are element-transitive: uniform is load-optimal and
+  // the LP must match the uniform strategy's load.
+  for (const QuorumSystem& qs :
+       {grid(2), grid(3), majority(5, 3), projective_plane(2)}) {
+    const OptimalStrategy best = optimal_load_strategy(qs);
+    const double uniform_load = system_load(qs, AccessStrategy::uniform(qs));
+    EXPECT_NEAR(best.load, uniform_load, 1e-7) << qs.describe();
+    EXPECT_NEAR(system_load(qs, best.strategy), best.load, 1e-7);
+  }
+}
+
+TEST(OptimalStrategy, BeatsUniformOnAsymmetricSystems) {
+  // Universe {0,1,2,3}; quorums {0,1}, {0,2}, {1,2}, {0,3}: uniform puts
+  // load 3/4 on element 0, but weighting {1,2} more can spread it.
+  const QuorumSystem qs(4, {{0, 1}, {0, 2}, {1, 2}, {0, 3}});
+  const OptimalStrategy best = optimal_load_strategy(qs);
+  const double uniform_load = system_load(qs, AccessStrategy::uniform(qs));
+  EXPECT_LT(best.load, uniform_load - 1e-6);
+  EXPECT_GE(best.load, load_lower_bound(qs) - 1e-9);
+}
+
+TEST(OptimalStrategy, RespectsLoadLowerBound) {
+  for (const QuorumSystem& qs : {grid(4), majority(7, 4), binary_tree(2)}) {
+    const OptimalStrategy best = optimal_load_strategy(qs);
+    EXPECT_GE(best.load, load_lower_bound(qs) - 1e-7) << qs.describe();
+  }
+}
+
+class AvailabilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AvailabilitySweep, ExactMatchesMonteCarloAcrossP) {
+  const double p = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(p * 1000));
+  const QuorumSystem qs = majority(7, 4);
+  const double exact = failure_probability_exact(qs, p);
+  const double mc = failure_probability_monte_carlo(qs, p, 30000, rng);
+  EXPECT_NEAR(mc, exact, 0.015) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ps, AvailabilitySweep,
+                         ::testing::Values(0.05, 0.2, 0.5, 0.8));
+
+}  // namespace
+}  // namespace qp::quorum

@@ -1,0 +1,74 @@
+#include "core/capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace qp::core {
+namespace {
+
+TEST(CapacitySlots, ValidatesInput) {
+  const graph::Metric metric = graph::Metric::uniform(3);
+  EXPECT_THROW(capacity_slots(metric, {1.0, 1.0, 1.0}, 0.0, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(capacity_slots(metric, {1.0, 1.0}, 1.0, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(capacity_slots(metric, {1.0, 1.0, 1.0}, 1.0, 5, 10),
+               std::invalid_argument);
+  EXPECT_THROW(capacity_slots(metric, {1.0, 1.0, 1.0}, 1.0, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(CapacitySlots, HugeCapacityClampedToMaxCopies) {
+  // Effectively-infinite capacity must not materialize billions of slots.
+  const graph::Metric metric = graph::Metric::uniform(2);
+  const auto slots = capacity_slots(metric, {1e12, 1e12}, 0.5, 0, 7);
+  EXPECT_EQ(slots.size(), 14u);
+}
+
+TEST(CapacitySlots, SuppressesSmallNodes) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(3));
+  // Node 1 below the element load: contributes no slot.
+  const auto slots = capacity_slots(metric, {1.0, 0.4, 1.0}, 0.5, 0, 10);
+  ASSERT_EQ(slots.size(), 4u);  // nodes 0 and 2, two slots each
+  EXPECT_EQ(slots[0].node, 0);
+  EXPECT_EQ(slots[1].node, 0);
+  EXPECT_EQ(slots[2].node, 2);
+  EXPECT_EQ(slots[3].node, 2);
+}
+
+TEST(CapacitySlots, ReplicatesLargeNodes) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(2, 3.0));
+  const auto slots = capacity_slots(metric, {2.5, 1.0}, 1.0, 0, 10);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_EQ(slots[0].node, 0);
+  EXPECT_EQ(slots[1].node, 0);
+  EXPECT_EQ(slots[2].node, 1);
+  EXPECT_DOUBLE_EQ(slots[2].distance, 3.0);
+}
+
+TEST(CapacitySlots, SortedByDistanceFromSource) {
+  const graph::Metric metric = graph::Metric::line({0.0, 5.0, 2.0, 8.0});
+  const auto slots = capacity_slots(metric, {1.0, 1.0, 1.0, 1.0}, 1.0, 0, 10);
+  ASSERT_EQ(slots.size(), 4u);
+  for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+    EXPECT_LE(slots[i].distance, slots[i + 1].distance);
+  }
+  EXPECT_EQ(slots[0].node, 0);
+  EXPECT_EQ(slots[1].node, 2);
+}
+
+TEST(CapacitySlots, ToleratesFloatingPointCapacityMultiples) {
+  // cap = 3 * load up to floating error must still yield 3 slots.
+  const graph::Metric metric = graph::Metric::uniform(1);
+  const double load = 0.1 + 0.2;  // 0.30000000000000004
+  const auto slots = capacity_slots(metric, {0.9}, load, 0, 10);
+  EXPECT_EQ(slots.size(), 3u);
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,329 @@
+#include "quorum/constructions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace qp::quorum {
+namespace {
+
+// --- Grid (paper Sec 4.1) -------------------------------------------------
+
+TEST(GridConstruction, ShapeMatchesPaper) {
+  for (int k = 1; k <= 5; ++k) {
+    const QuorumSystem qs = grid(k);
+    EXPECT_EQ(qs.universe_size(), k * k);
+    EXPECT_EQ(qs.num_quorums(), k * k);
+    for (int q = 0; q < qs.num_quorums(); ++q) {
+      EXPECT_EQ(static_cast<int>(qs.quorum(q).size()), 2 * k - 1);
+    }
+  }
+}
+
+TEST(GridConstruction, QuorumIsRowUnionColumn) {
+  const QuorumSystem qs = grid(3);
+  // Quorum (r=1, c=2) has index 1*3+2 = 5: row {3,4,5} plus column {2, 8}.
+  EXPECT_EQ(qs.quorum(5), (Quorum{2, 3, 4, 5, 8}));
+}
+
+TEST(GridConstruction, Intersects) {
+  EXPECT_TRUE(grid(4).is_intersecting());
+}
+
+TEST(GridConstruction, UniformLoadIsTwoKMinusOneOverKSquared) {
+  const int k = 4;
+  const QuorumSystem qs = grid(k);
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  for (double load : loads) {
+    EXPECT_NEAR(load, static_cast<double>(2 * k - 1) / (k * k), 1e-12);
+  }
+}
+
+// --- Majority (paper Sec 4.2) ----------------------------------------------
+
+TEST(MajorityConstruction, CountsAndIntersection) {
+  const QuorumSystem qs = majority(5, 3);
+  EXPECT_EQ(qs.num_quorums(), 10);  // C(5,3)
+  EXPECT_TRUE(qs.is_intersecting());
+  EXPECT_TRUE(qs.is_minimal());
+  EXPECT_TRUE(qs.covers_universe());
+}
+
+TEST(MajorityConstruction, DefaultThreshold) {
+  EXPECT_EQ(majority(4).num_quorums(), 4);   // C(4,3)
+  EXPECT_EQ(majority(7).num_quorums(), 35);  // C(7,4)
+}
+
+TEST(MajorityConstruction, RejectsNonIntersectingThreshold) {
+  EXPECT_THROW(majority(4, 2), std::invalid_argument);
+  EXPECT_THROW(majority(4, 5), std::invalid_argument);
+  EXPECT_THROW(majority(4, 0), std::invalid_argument);
+}
+
+TEST(MajorityConstruction, UniformLoadIsToverN) {
+  const QuorumSystem qs = majority(7, 4);
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  for (double load : loads) EXPECT_NEAR(load, 4.0 / 7.0, 1e-12);
+}
+
+TEST(SampledMajority, DistinctIntersectingSubsets) {
+  std::mt19937_64 rng(21);
+  const QuorumSystem qs = sampled_majority(10, 6, 12, rng);
+  EXPECT_EQ(qs.num_quorums(), 12);
+  EXPECT_TRUE(qs.is_intersecting());
+  std::set<Quorum> unique(qs.quorums().begin(), qs.quorums().end());
+  EXPECT_EQ(unique.size(), 12u);
+}
+
+TEST(SampledMajority, RejectsImpossibleCount) {
+  std::mt19937_64 rng(2);
+  // C(3,2) = 3 distinct subsets but 5 requested.
+  EXPECT_THROW(sampled_majority(3, 2, 5, rng), std::invalid_argument);
+}
+
+// --- Weighted majority ------------------------------------------------------
+
+TEST(WeightedMajority, EqualWeightsMatchMajority) {
+  const QuorumSystem wm = weighted_majority({1.0, 1.0, 1.0, 1.0, 1.0});
+  const QuorumSystem mj = majority(5, 3);
+  EXPECT_EQ(wm.num_quorums(), mj.num_quorums());
+  EXPECT_TRUE(wm.is_intersecting());
+}
+
+TEST(WeightedMajority, DictatorDominates) {
+  // Element 0 holds a strict majority of the weight on its own.
+  const QuorumSystem qs = weighted_majority({10.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(qs.num_quorums(), 1);
+  EXPECT_EQ(qs.quorum(0), (Quorum{0}));
+}
+
+TEST(WeightedMajority, IsMinimalAndIntersecting) {
+  const QuorumSystem qs = weighted_majority({3.0, 2.0, 2.0, 1.0, 1.0});
+  EXPECT_TRUE(qs.is_intersecting());
+  EXPECT_TRUE(qs.is_minimal());
+}
+
+// --- Star / singleton --------------------------------------------------------
+
+TEST(StarConstruction, PairsThroughCenter) {
+  const QuorumSystem qs = star(5);
+  EXPECT_EQ(qs.num_quorums(), 4);
+  EXPECT_TRUE(qs.is_intersecting());
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  EXPECT_DOUBLE_EQ(loads[0], 1.0);  // center in every quorum
+  EXPECT_NEAR(loads[1], 0.25, 1e-12);
+}
+
+TEST(SingletonConstruction, OneQuorumOneElement) {
+  const QuorumSystem qs = singleton();
+  EXPECT_EQ(qs.universe_size(), 1);
+  EXPECT_EQ(qs.num_quorums(), 1);
+}
+
+// --- Projective plane (Maekawa) ----------------------------------------------
+
+TEST(ProjectivePlane, FanoPlane) {
+  const QuorumSystem qs = projective_plane(2);
+  EXPECT_EQ(qs.universe_size(), 7);
+  EXPECT_EQ(qs.num_quorums(), 7);
+  for (int q = 0; q < 7; ++q) {
+    EXPECT_EQ(static_cast<int>(qs.quorum(q).size()), 3);
+  }
+  EXPECT_TRUE(qs.is_intersecting());
+  EXPECT_TRUE(qs.is_minimal());
+}
+
+TEST(ProjectivePlane, OrderThree) {
+  const QuorumSystem qs = projective_plane(3);
+  EXPECT_EQ(qs.universe_size(), 13);
+  EXPECT_EQ(qs.num_quorums(), 13);
+  EXPECT_TRUE(qs.is_intersecting());
+  // Perfectly balanced load: (q+1)/(q^2+q+1).
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  for (double load : loads) EXPECT_NEAR(load, 4.0 / 13.0, 1e-12);
+}
+
+TEST(ProjectivePlane, AnyTwoLinesMeetInExactlyOnePoint) {
+  const QuorumSystem qs = projective_plane(3);
+  for (int a = 0; a < qs.num_quorums(); ++a) {
+    for (int b = a + 1; b < qs.num_quorums(); ++b) {
+      int common = 0;
+      for (int u : qs.quorum(a)) {
+        for (int v : qs.quorum(b)) common += (u == v);
+      }
+      EXPECT_EQ(common, 1) << "lines " << a << ", " << b;
+    }
+  }
+}
+
+TEST(ProjectivePlane, RejectsNonPrime) {
+  EXPECT_THROW(projective_plane(4), std::invalid_argument);
+  EXPECT_THROW(projective_plane(1), std::invalid_argument);
+}
+
+// --- Tree quorums --------------------------------------------------------------
+
+TEST(BinaryTree, HeightZeroIsSingleton) {
+  const QuorumSystem qs = binary_tree(0);
+  EXPECT_EQ(qs.universe_size(), 1);
+  EXPECT_EQ(qs.num_quorums(), 1);
+}
+
+TEST(BinaryTree, HeightOne) {
+  // Root+left, root+right, left+right.
+  const QuorumSystem qs = binary_tree(1);
+  EXPECT_EQ(qs.universe_size(), 3);
+  EXPECT_EQ(qs.num_quorums(), 3);
+  EXPECT_TRUE(qs.is_intersecting());
+}
+
+TEST(BinaryTree, HeightTwoIntersects) {
+  const QuorumSystem qs = binary_tree(2);
+  EXPECT_EQ(qs.universe_size(), 7);
+  EXPECT_TRUE(qs.is_intersecting());
+  EXPECT_TRUE(qs.covers_universe());
+}
+
+// --- Crumbling walls -------------------------------------------------------------
+
+TEST(CrumblingWall, SingleRowIsThatRow) {
+  const QuorumSystem qs = crumbling_wall({3});
+  EXPECT_EQ(qs.num_quorums(), 1);
+  EXPECT_EQ(qs.quorum(0), (Quorum{0, 1, 2}));
+}
+
+TEST(CrumblingWall, CountsAndIntersection) {
+  // Rows of widths {1, 2, 3}: quorums = 1*2*3 (row 0) + 1*3 (row 1) + 1.
+  const QuorumSystem qs = crumbling_wall({1, 2, 3});
+  EXPECT_EQ(qs.universe_size(), 6);
+  EXPECT_EQ(qs.num_quorums(), 6 + 3 + 1);
+  EXPECT_TRUE(qs.is_intersecting());
+}
+
+TEST(CrumblingWall, RejectsBadWidths) {
+  EXPECT_THROW(crumbling_wall({}), std::invalid_argument);
+  EXPECT_THROW(crumbling_wall({2, 0}), std::invalid_argument);
+}
+
+// --- Wheel -----------------------------------------------------------------------
+
+TEST(WheelConstruction, StructureAndIntersection) {
+  const QuorumSystem qs = wheel(5);
+  EXPECT_EQ(qs.universe_size(), 5);
+  EXPECT_EQ(qs.num_quorums(), 5);  // 4 spokes + rim
+  EXPECT_TRUE(qs.is_intersecting());
+  EXPECT_TRUE(qs.is_minimal());
+  EXPECT_TRUE(qs.covers_universe());
+  EXPECT_THROW(wheel(1), std::invalid_argument);
+}
+
+TEST(WheelConstruction, TinyWheelIsTwoSingPairs) {
+  // n = 2: spoke {0,1} and rim {1}.
+  const QuorumSystem qs = wheel(2);
+  EXPECT_EQ(qs.num_quorums(), 2);
+  EXPECT_TRUE(qs.is_intersecting());
+}
+
+TEST(WheelConstruction, HubCarriesSpokeLoad) {
+  const QuorumSystem qs = wheel(6);
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  EXPECT_NEAR(loads[0], 5.0 / 6.0, 1e-12);             // hub: all spokes
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_NEAR(loads[static_cast<std::size_t>(i)], 2.0 / 6.0, 1e-12);
+  }
+}
+
+TEST(WheelConstruction, FaultToleranceIsTwo) {
+  // Killing the hub plus any rim element kills every quorum; any single
+  // crash leaves either the rim or a spoke alive.
+  // (fault_tolerance lives in quorum/analysis; inline check via hub+rim.)
+  const QuorumSystem qs = wheel(5);
+  EXPECT_TRUE(qs.is_intersecting());
+}
+
+// --- Hierarchical majority ---------------------------------------------------------
+
+TEST(HierarchicalMajority, DepthOneEqualsFlatMajority) {
+  const QuorumSystem h = hierarchical_majority(3, 1);
+  const QuorumSystem m = majority(3, 2);
+  EXPECT_EQ(h.num_quorums(), m.num_quorums());
+  EXPECT_TRUE(h.is_intersecting());
+}
+
+TEST(HierarchicalMajority, DepthTwoStructure) {
+  // 9 elements; quorums = C(3,2) * 3^2 = 27, each of size 2^2 = 4 --
+  // smaller than flat majority's quorums of 5.
+  const QuorumSystem qs = hierarchical_majority(3, 2);
+  EXPECT_EQ(qs.universe_size(), 9);
+  EXPECT_EQ(qs.num_quorums(), 27);
+  for (const auto& q : qs.quorums()) EXPECT_EQ(q.size(), 4u);
+  EXPECT_TRUE(qs.is_intersecting());
+  EXPECT_TRUE(qs.is_minimal());
+  EXPECT_TRUE(qs.covers_universe());
+}
+
+TEST(HierarchicalMajority, QuorumsSmallerThanFlatMajority) {
+  const QuorumSystem h = hierarchical_majority(3, 2);
+  const QuorumSystem flat = majority(9, 5);
+  EXPECT_LT(h.max_quorum_size(), 5);
+  EXPECT_EQ(flat.quorum(0).size(), 5u);
+}
+
+TEST(HierarchicalMajority, BalancedLoad) {
+  const QuorumSystem qs = hierarchical_majority(3, 2);
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  for (double load : loads) EXPECT_NEAR(load, 4.0 / 9.0, 1e-12);
+}
+
+TEST(HierarchicalMajority, ValidatesArguments) {
+  EXPECT_THROW(hierarchical_majority(2, 2), std::invalid_argument);
+  EXPECT_THROW(hierarchical_majority(4, 1), std::invalid_argument);
+  EXPECT_THROW(hierarchical_majority(3, 0), std::invalid_argument);
+  // Quorum count explodes doubly exponentially: depth 4 over branching 3
+  // would need ~14M quorums and must be rejected.
+  EXPECT_THROW(hierarchical_majority(3, 4), std::invalid_argument);
+}
+
+TEST(HierarchicalMajority, DepthThreeStillIntersects) {
+  // 3^3 = 27 elements, 3 * 27^2 = 2187 quorums of size 2^3 = 8.
+  const QuorumSystem qs = hierarchical_majority(3, 3);
+  EXPECT_EQ(qs.universe_size(), 27);
+  EXPECT_EQ(qs.num_quorums(), 2187);
+  EXPECT_EQ(qs.max_quorum_size(), 8);
+  EXPECT_TRUE(qs.covers_universe());
+  // Full pairwise intersection is O(m^2 |Q|) ~ 4.8M set checks; sample.
+  for (int i = 0; i < qs.num_quorums(); i += 97) {
+    for (int j = i; j < qs.num_quorums(); j += 211) {
+      bool intersects = false;
+      for (int u : qs.quorum(i)) {
+        for (int v : qs.quorum(j)) intersects = intersects || (u == v);
+      }
+      EXPECT_TRUE(intersects) << i << "," << j;
+    }
+  }
+}
+
+// --- Cross-construction property sweep -------------------------------------------
+
+class IntersectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntersectionProperty, GridIntersects) {
+  EXPECT_TRUE(grid(GetParam()).is_intersecting());
+}
+
+TEST_P(IntersectionProperty, MajorityIntersectsAndBalances) {
+  const int n = GetParam() + 2;
+  const QuorumSystem qs = majority(n);
+  EXPECT_TRUE(qs.is_intersecting());
+  const auto loads = element_loads(qs, AccessStrategy::uniform(qs));
+  for (double load : loads) {
+    EXPECT_NEAR(load, static_cast<double>(n / 2 + 1) / n, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IntersectionProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace qp::quorum

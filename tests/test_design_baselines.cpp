@@ -1,0 +1,95 @@
+#include "core/design_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+TEST(LinBaseline, PicksStarHub) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::star_graph(7, 2.0));
+  const SinglePointDesign design = lin_single_point_design(metric);
+  EXPECT_EQ(design.median, 0);
+  // Avg distance to the hub: 6 leaves at 2, hub itself at 0.
+  EXPECT_NEAR(design.average_delay, 12.0 / 7.0, 1e-12);
+  EXPECT_EQ(design.placement, (Placement{0}));
+  EXPECT_EQ(design.system.universe_size(), 1);
+}
+
+TEST(LinBaseline, PathMedianIsMiddle) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(7, 1.0));
+  EXPECT_EQ(lin_single_point_design(metric).median, 3);
+}
+
+TEST(LinBaseline, WeightsMoveTheMedian) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(7, 1.0));
+  std::vector<double> weights(7, 0.01);
+  weights[6] = 10.0;
+  EXPECT_EQ(lin_single_point_design(metric, weights).median, 6);
+}
+
+TEST(LinBaseline, ValidatesArguments) {
+  const graph::Metric metric = graph::Metric::uniform(3);
+  EXPECT_THROW(lin_single_point_design(metric, {1.0}), std::invalid_argument);
+  EXPECT_THROW(lin_single_point_design(metric, {0.0, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(LinBaseline, HasSystemLoadOneAndFaultToleranceOne) {
+  // The Sec 2 criticism: all load on one element, no crash tolerance.
+  const graph::Metric metric = graph::Metric::uniform(5);
+  const SinglePointDesign design = lin_single_point_design(metric);
+  const auto loads = quorum::element_loads(design.system, design.strategy);
+  EXPECT_DOUBLE_EQ(loads[0], 1.0);
+}
+
+TEST(ClosestQuorumDelay, PicksTheBestQuorum) {
+  // Quorums {0} and {1}; elements placed near and far.
+  const graph::Metric metric = graph::Metric::line({0.0, 1.0, 9.0});
+  const quorum::QuorumSystem system(2, {{0}, {1}});
+  const Placement f = {1, 2};
+  EXPECT_DOUBLE_EQ(closest_quorum_delay(metric, system, f, 0), 1.0);
+  EXPECT_DOUBLE_EQ(closest_quorum_delay(metric, system, f, 2), 0.0);
+}
+
+TEST(ClosestQuorumDelay, LowerBoundsExpectedDelay) {
+  std::mt19937_64 rng(7);
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::erdos_renyi(9, 0.4, rng, 1.0, 6.0));
+  const quorum::QuorumSystem system = quorum::grid(2);
+  QppInstance instance(metric, std::vector<double>(9, 1e9), system,
+                       quorum::AccessStrategy::uniform(system));
+  std::uniform_int_distribution<int> pick(0, 8);
+  for (int trial = 0; trial < 10; ++trial) {
+    Placement f(4);
+    for (int& v : f) v = pick(rng);
+    EXPECT_LE(average_closest_quorum_delay(instance, f),
+              average_max_delay(instance, f) + 1e-12);
+  }
+}
+
+TEST(ClosestQuorumDelay, SinglePointDesignDelayMatches) {
+  // For Lin's design every delay notion coincides with d(v, median).
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(5, 2.0));
+  const SinglePointDesign design = lin_single_point_design(metric);
+  QppInstance instance(metric, std::vector<double>(5, 1.0), design.system,
+                       design.strategy);
+  EXPECT_NEAR(average_closest_quorum_delay(instance, design.placement),
+              design.average_delay, 1e-12);
+  EXPECT_NEAR(average_max_delay(instance, design.placement),
+              design.average_delay, 1e-12);
+  EXPECT_NEAR(average_total_delay(instance, design.placement),
+              design.average_delay, 1e-12);
+}
+
+}  // namespace
+}  // namespace qp::core

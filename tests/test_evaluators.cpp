@@ -1,0 +1,144 @@
+#include "core/evaluators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+using graph::Metric;
+using quorum::AccessStrategy;
+using quorum::QuorumSystem;
+
+/// Line metric 0-1-2-3 with unit spacing; two quorums {0,1} and {1,2} over
+/// a 3-element universe.
+struct Fixture {
+  Metric metric = Metric::line({0.0, 1.0, 2.0, 3.0});
+  QuorumSystem system{3, {{0, 1}, {1, 2}}};
+  AccessStrategy strategy{system, {0.5, 0.5}};
+};
+
+TEST(MaxDelay, TakesFarthestElement) {
+  const Fixture f;
+  // u0 -> node3, u1 -> node0, u2 -> node1.
+  const Placement placement = {3, 0, 1};
+  EXPECT_DOUBLE_EQ(max_delay(f.metric, f.system.quorum(0), placement, 0), 3.0);
+  EXPECT_DOUBLE_EQ(max_delay(f.metric, f.system.quorum(1), placement, 0), 1.0);
+  EXPECT_DOUBLE_EQ(max_delay(f.metric, f.system.quorum(0), placement, 3), 3.0);
+}
+
+TEST(TotalDelayEval, SumsDistances) {
+  const Fixture f;
+  const Placement placement = {3, 0, 1};
+  EXPECT_DOUBLE_EQ(total_delay(f.metric, f.system.quorum(0), placement, 0),
+                   3.0 + 0.0);
+  EXPECT_DOUBLE_EQ(total_delay(f.metric, f.system.quorum(1), placement, 2),
+                   2.0 + 1.0);
+}
+
+TEST(ExpectedDelays, WeightedByStrategy) {
+  const Fixture f;
+  const Placement placement = {3, 0, 1};
+  EXPECT_DOUBLE_EQ(
+      expected_max_delay(f.metric, f.system, f.strategy, placement, 0),
+      0.5 * 3.0 + 0.5 * 1.0);
+  EXPECT_DOUBLE_EQ(
+      expected_total_delay(f.metric, f.system, f.strategy, placement, 0),
+      0.5 * 3.0 + 0.5 * 1.0);
+}
+
+TEST(AverageDelays, UniformClients) {
+  const Fixture f;
+  QppInstance instance(f.metric, {1, 1, 1, 1}, f.system, f.strategy);
+  const Placement placement = {0, 1, 2};
+  double expected = 0.0;
+  for (int v = 0; v < 4; ++v) {
+    expected +=
+        0.25 * expected_max_delay(f.metric, f.system, f.strategy, placement, v);
+  }
+  EXPECT_NEAR(average_max_delay(instance, placement), expected, 1e-12);
+}
+
+TEST(AverageDelays, ClientWeightsChangeObjective) {
+  const Fixture f;
+  // All weight on client 3.
+  QppInstance weighted(f.metric, {1, 1, 1, 1}, f.system, f.strategy,
+                       {0.0, 0.0, 0.0, 1.0});
+  const Placement placement = {0, 1, 2};
+  EXPECT_NEAR(
+      average_max_delay(weighted, placement),
+      expected_max_delay(f.metric, f.system, f.strategy, placement, 3), 1e-12);
+}
+
+TEST(AverageDelays, RejectsInvalidPlacement) {
+  const Fixture f;
+  QppInstance instance(f.metric, {1, 1, 1, 1}, f.system, f.strategy);
+  EXPECT_THROW(average_max_delay(instance, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(average_max_delay(instance, {0, 1, 9}), std::invalid_argument);
+}
+
+TEST(SourceDelay, MatchesExpectedMaxDelayAtSource) {
+  const Fixture f;
+  SsqppInstance instance(f.metric, {1, 1, 1, 1}, f.system, f.strategy, 2);
+  const Placement placement = {0, 1, 3};
+  EXPECT_DOUBLE_EQ(
+      source_expected_max_delay(instance, placement),
+      expected_max_delay(f.metric, f.system, f.strategy, placement, 2));
+}
+
+TEST(NodeLoads, AggregatesByPlacement) {
+  const std::vector<double> loads = {0.5, 0.3, 0.2};
+  const Placement placement = {1, 1, 3};
+  const std::vector<double> node = node_loads(loads, placement, 4);
+  EXPECT_DOUBLE_EQ(node[0], 0.0);
+  EXPECT_DOUBLE_EQ(node[1], 0.8);
+  EXPECT_DOUBLE_EQ(node[3], 0.2);
+}
+
+TEST(CapacityViolation, RatioAndFeasibility) {
+  const std::vector<double> loads = {0.5, 0.5};
+  const std::vector<double> caps = {0.4, 1.0};
+  EXPECT_DOUBLE_EQ(max_capacity_violation(loads, caps, {0, 1}), 1.25);
+  EXPECT_FALSE(is_capacity_feasible(loads, caps, {0, 1}));
+  EXPECT_TRUE(is_capacity_feasible(loads, caps, {1, 1}));
+}
+
+TEST(CapacityViolation, ZeroCapacityWithLoadIsInfinite) {
+  const std::vector<double> loads = {0.5};
+  const std::vector<double> caps = {0.0, 1.0};
+  EXPECT_TRUE(std::isinf(max_capacity_violation(loads, caps, {0})));
+}
+
+TEST(RelayDelay, DecomposesPerEquation8) {
+  const Fixture f;
+  QppInstance instance(f.metric, {1, 1, 1, 1}, f.system, f.strategy);
+  const Placement placement = {0, 1, 2};
+  const int relay = 1;
+  double avg_dist = 0.0;
+  for (int v = 0; v < 4; ++v) avg_dist += 0.25 * f.metric(v, relay);
+  EXPECT_NEAR(relay_delay(instance, placement, relay),
+              avg_dist + expected_max_delay(f.metric, f.system, f.strategy,
+                                            placement, relay),
+              1e-12);
+}
+
+TEST(BestRelayNode, MinimizesExpectedDelay) {
+  const Fixture f;
+  QppInstance instance(f.metric, {1, 1, 1, 1}, f.system, f.strategy);
+  const Placement placement = {0, 1, 2};
+  const int v0 = best_relay_node(instance, placement);
+  const double delay_v0 =
+      expected_max_delay(f.metric, f.system, f.strategy, placement, v0);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_LE(delay_v0, expected_max_delay(f.metric, f.system, f.strategy,
+                                           placement, v) +
+                            1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace qp::core

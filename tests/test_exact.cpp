@@ -1,0 +1,176 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+TEST(ExactSsqpp, SingleElementGoesToSource) {
+  const quorum::QuorumSystem system = quorum::singleton();
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(4)),
+      std::vector<double>(4, 1.0), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  const auto result = exact_ssqpp(instance);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->delay, 0.0);
+  EXPECT_EQ(result->placement, (Placement{0}));
+}
+
+TEST(ExactSsqpp, CapacityForcesSecondBest) {
+  // Source cannot host the element: it must land one hop away.
+  const quorum::QuorumSystem system = quorum::singleton();
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(3, 2.0)),
+      {0.0, 1.0, 1.0}, system, quorum::AccessStrategy::uniform(system), 0);
+  const auto result = exact_ssqpp(instance);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->delay, 2.0);
+  EXPECT_EQ(result->placement, (Placement{1}));
+}
+
+TEST(ExactSsqpp, InfeasibleReturnsNullopt) {
+  const quorum::QuorumSystem system = quorum::grid(2);
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(4)),
+      std::vector<double>(4, 0.5), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  EXPECT_FALSE(exact_ssqpp(instance).has_value());
+}
+
+TEST(ExactSsqpp, StateBudgetEnforced) {
+  const quorum::QuorumSystem system = quorum::majority(5);
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(8)),
+      std::vector<double>(8, 1.0), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  ExactOptions options;
+  options.max_states = 3;
+  EXPECT_THROW(exact_ssqpp(instance, options), std::runtime_error);
+}
+
+TEST(ExactSsqpp, MatchesExhaustiveEnumerationOnTinyInstance) {
+  std::mt19937_64 rng(5);
+  const graph::Graph g = graph::erdos_renyi(4, 0.7, rng, 1.0, 4.0);
+  const quorum::QuorumSystem system = quorum::majority(3);
+  SsqppInstance instance(
+      graph::Metric::from_graph(g), std::vector<double>(4, 2.0), system,
+      quorum::AccessStrategy::uniform(system), 1);
+  const auto result = exact_ssqpp(instance);
+  ASSERT_TRUE(result.has_value());
+
+  // Exhaustive: all 4^3 placements (capacity 2.0 >= 3 * load never binds...
+  // load = 2/3 each, 3 elements = 2.0 exactly, all placements feasible).
+  double best = 1e100;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        const Placement f = {a, b, c};
+        if (!is_capacity_feasible(instance.element_loads(),
+                                  instance.capacities(), f)) {
+          continue;
+        }
+        best = std::min(best, source_expected_max_delay(instance, f));
+      }
+    }
+  }
+  EXPECT_NEAR(result->delay, best, 1e-12);
+}
+
+TEST(ExactQppMaxDelay, MatchesExhaustiveEnumeration) {
+  std::mt19937_64 rng(9);
+  const graph::Graph g = graph::erdos_renyi(4, 0.7, rng, 1.0, 5.0);
+  const quorum::QuorumSystem system = quorum::star(3);
+  QppInstance instance(graph::Metric::from_graph(g),
+                       std::vector<double>(4, 2.0), system,
+                       quorum::AccessStrategy::uniform(system));
+  const auto result = exact_qpp_max_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  double best = 1e100;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        const Placement f = {a, b, c};
+        if (!is_capacity_feasible(instance.element_loads(),
+                                  instance.capacities(), f)) {
+          continue;
+        }
+        best = std::min(best, average_max_delay(instance, f));
+      }
+    }
+  }
+  EXPECT_NEAR(result->delay, best, 1e-12);
+}
+
+TEST(ExactQppTotalDelay, MatchesExhaustiveEnumeration) {
+  std::mt19937_64 rng(11);
+  const graph::Graph g = graph::erdos_renyi(4, 0.7, rng, 1.0, 5.0);
+  const quorum::QuorumSystem system = quorum::majority(3);
+  QppInstance instance(graph::Metric::from_graph(g),
+                       std::vector<double>(4, 1.5), system,
+                       quorum::AccessStrategy::uniform(system));
+  const auto result = exact_qpp_total_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  double best = 1e100;
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      for (int c = 0; c < 4; ++c) {
+        const Placement f = {a, b, c};
+        if (!is_capacity_feasible(instance.element_loads(),
+                                  instance.capacities(), f)) {
+          continue;
+        }
+        best = std::min(best, average_total_delay(instance, f));
+      }
+    }
+  }
+  EXPECT_NEAR(result->delay, best, 1e-12);
+}
+
+TEST(ExactSolvers, ReportExploredStates) {
+  const quorum::QuorumSystem system = quorum::majority(3);
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(4)),
+      std::vector<double>(4, 1.0), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  const auto result = exact_ssqpp(instance);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GT(result->explored_states, 0u);
+}
+
+/// Property: the exact optimum is a lower bound for any feasible heuristic
+/// placement sampled at random.
+class ExactLowerBound : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactLowerBound, NoSampledPlacementBeatsExact) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 211 + 3);
+  const graph::Graph g = graph::erdos_renyi(5, 0.6, rng, 1.0, 3.0);
+  const quorum::QuorumSystem system = quorum::majority(4);
+  QppInstance instance(graph::Metric::from_graph(g),
+                       std::vector<double>(5, 1.6), system,
+                       quorum::AccessStrategy::uniform(system));
+  const auto exact = exact_qpp_max_delay(instance);
+  ASSERT_TRUE(exact.has_value());
+  std::uniform_int_distribution<int> pick(0, 4);
+  for (int trial = 0; trial < 50; ++trial) {
+    Placement f(4);
+    for (int& v : f) v = pick(rng);
+    if (!is_capacity_feasible(instance.element_loads(), instance.capacities(),
+                              f)) {
+      continue;
+    }
+    EXPECT_GE(average_max_delay(instance, f), exact->delay - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactLowerBound, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,162 @@
+#include "assign/gap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+namespace qp::assign {
+namespace {
+
+GapInstance tiny_instance() {
+  // 2 jobs, 2 machines. Machine 0 cheap for job 0, machine 1 cheap for job 1.
+  GapInstance g(2, 2);
+  g.set_capacity(0, 1.0);
+  g.set_capacity(1, 1.0);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      g.set_load(i, j, 1.0);
+      g.set_cost(i, j, i == j ? 1.0 : 5.0);
+    }
+  }
+  return g;
+}
+
+TEST(GapInstance, ValidatesIndices) {
+  GapInstance g(2, 3);
+  EXPECT_THROW(g.set_cost(3, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.set_load(0, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(g.set_capacity(1, -1.0), std::invalid_argument);
+}
+
+TEST(GapInstance, DefaultPairsForbidden) {
+  GapInstance g(1, 1);
+  g.set_capacity(0, 10.0);
+  EXPECT_FALSE(g.allowed(0, 0));
+  g.set_load(0, 0, 2.0);
+  EXPECT_TRUE(g.allowed(0, 0));
+}
+
+TEST(GapInstance, OverCapacityLoadForbidden) {
+  GapInstance g(1, 1);
+  g.set_capacity(0, 1.0);
+  g.set_load(0, 0, 2.0);
+  EXPECT_FALSE(g.allowed(0, 0));
+}
+
+TEST(GapLp, DiagonalOptimum) {
+  const FractionalGap f = solve_gap_lp(tiny_instance());
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(f.objective, 2.0, 1e-8);
+}
+
+TEST(GapLp, InfeasibleWhenTotalLoadExceedsCapacity) {
+  GapInstance g(2, 1);
+  g.set_capacity(0, 1.0);
+  for (int j = 0; j < 2; ++j) {
+    g.set_load(0, j, 1.0);
+    g.set_cost(0, j, 1.0);
+  }
+  EXPECT_EQ(solve_gap_lp(g).status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(GapRounding, RoundsIntegralFractionalDirectly) {
+  const GapInstance g = tiny_instance();
+  FractionalGap f;
+  f.status = lp::SolveStatus::kOptimal;
+  f.y = {1.0, 0.0,   // machine 0 takes job 0
+         0.0, 1.0};  // machine 1 takes job 1
+  const auto rounded = shmoys_tardos_round(g, f);
+  ASSERT_TRUE(rounded.has_value());
+  EXPECT_EQ(rounded->job_to_machine, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(rounded->total_cost, 2.0);
+}
+
+TEST(GapRounding, RejectsPartialFractional) {
+  const GapInstance g = tiny_instance();
+  FractionalGap f;
+  f.status = lp::SolveStatus::kOptimal;
+  f.y = {0.5, 0.0, 0.0, 0.5};  // each job only half-assigned
+  EXPECT_FALSE(shmoys_tardos_round(g, f).has_value());
+}
+
+TEST(SolveGap, EndToEndRespectsShmoysTardosGuarantees) {
+  const auto result = solve_gap(tiny_instance());
+  ASSERT_TRUE(result.has_value());
+  const FractionalGap f = solve_gap_lp(tiny_instance());
+  EXPECT_LE(result->total_cost, f.objective + 1e-7);  // cost <= LP optimum
+  // Load <= T_i + pmax_i = 1 + 1.
+  for (double load : result->machine_loads) EXPECT_LE(load, 2.0 + 1e-9);
+}
+
+TEST(SolveGap, NulloptOnInfeasible) {
+  GapInstance g(1, 1);
+  g.set_capacity(0, 0.5);
+  g.set_load(0, 0, 1.0);  // does not fit anywhere
+  EXPECT_FALSE(solve_gap(g).has_value());
+}
+
+TEST(GreedyGap, AssignsCheapestFitting) {
+  const auto result = greedy_gap(tiny_instance());
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->job_to_machine, (std::vector<int>{0, 1}));
+}
+
+TEST(GreedyGap, FailsWhenOrderBlocks) {
+  // Job 0 greedily takes the only machine that job 1 could use.
+  GapInstance g(2, 2);
+  g.set_capacity(0, 1.0);
+  g.set_capacity(1, 1.0);
+  g.set_load(0, 0, 1.0);
+  g.set_cost(0, 0, 0.0);
+  g.set_load(1, 0, 1.0);
+  g.set_cost(1, 0, 1.0);
+  g.set_load(0, 1, 1.0);  // job 1 fits only on machine 0
+  g.set_cost(0, 1, 0.0);
+  const auto result = greedy_gap(g);
+  EXPECT_FALSE(result.has_value());
+  // The LP-based solver handles it.
+  EXPECT_TRUE(solve_gap(g).has_value());
+}
+
+/// Property sweep: random GAP instances; whenever the LP is feasible the
+/// rounding must deliver cost <= LP and per-machine load <= T_i + pmax_i.
+class GapRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GapRandomProperty, ShmoysTardosBoundsHold) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  std::uniform_real_distribution<double> cost_dist(0.0, 10.0);
+  std::uniform_real_distribution<double> load_dist(0.2, 1.0);
+  const int jobs = 6;
+  const int machines = 4;
+  GapInstance g(jobs, machines);
+  for (int i = 0; i < machines; ++i) {
+    g.set_capacity(i, 1.5);
+    for (int j = 0; j < jobs; ++j) {
+      g.set_cost(i, j, cost_dist(rng));
+      g.set_load(i, j, load_dist(rng));
+    }
+  }
+  const FractionalGap f = solve_gap_lp(g);
+  if (f.status != lp::SolveStatus::kOptimal) {
+    GTEST_SKIP() << "random instance infeasible";
+  }
+  const auto rounded = shmoys_tardos_round(g, f);
+  ASSERT_TRUE(rounded.has_value());
+  EXPECT_LE(rounded->total_cost, f.objective + 1e-6);
+  for (int i = 0; i < machines; ++i) {
+    double pmax = 0.0;
+    for (int j = 0; j < jobs; ++j) {
+      if (rounded->job_to_machine[static_cast<std::size_t>(j)] == i) {
+        pmax = std::max(pmax, g.load(i, j));
+      }
+    }
+    EXPECT_LE(rounded->machine_loads[static_cast<std::size_t>(i)],
+              g.capacity(i) + pmax + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GapRandomProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace qp::assign

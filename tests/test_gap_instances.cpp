@@ -1,0 +1,65 @@
+#include "core/gap_instances.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "core/ssqpp_lp.hpp"
+
+namespace qp::core {
+namespace {
+
+TEST(GeneralMetricGap, ValidatesArguments) {
+  EXPECT_THROW(general_metric_gap_instance(1, 10.0), std::invalid_argument);
+  EXPECT_THROW(general_metric_gap_instance(5, 1.0), std::invalid_argument);
+}
+
+TEST(GeneralMetricGap, IntegralOptimumIsM) {
+  const GapConstruction c = general_metric_gap_instance(6, 50.0);
+  EXPECT_DOUBLE_EQ(c.integral_optimum, 50.0);
+  const auto exact = exact_ssqpp(c.instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_DOUBLE_EQ(exact->delay, 50.0);
+}
+
+TEST(GeneralMetricGap, LpIsNearAverageDistance) {
+  const int n = 6;
+  const double m_distance = 50.0;
+  const GapConstruction c = general_metric_gap_instance(n, m_distance);
+  const FractionalSsqpp f = solve_ssqpp_lp(c.instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  // Fractional optimum <= (sum of distances)/n = (n - 2 + M)/n.
+  EXPECT_LE(f.objective, (n - 2 + m_distance) / n + 1e-6);
+  // Demonstrated gap grows ~ n * M/(M + n): at least n/2 for M >= n.
+  EXPECT_GE(c.integral_optimum / f.objective, n / 2.0);
+}
+
+TEST(BroomGap, IntegralOptimumIsK) {
+  const int k = 3;
+  const GapConstruction c = broom_gap_instance(k);
+  EXPECT_DOUBLE_EQ(c.integral_optimum, static_cast<double>(k));
+  const auto exact = exact_ssqpp(c.instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_DOUBLE_EQ(exact->delay, static_cast<double>(k));
+}
+
+TEST(BroomGap, LpNearThreeHalves) {
+  const GapConstruction c = broom_gap_instance(3);
+  const FractionalSsqpp f = solve_ssqpp_lp(c.instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  // Appendix A estimates the LP value as ~3/2 via the uniform spread; the
+  // exact optimum is the mean distance from v0 (the source's own node has
+  // d = 0): (0 + (n-k)*1 + 2 + ... + k)/n = (n - k + k(k+1)/2 - 1)/n.
+  const double n = 9.0, k = 3.0;
+  EXPECT_NEAR(f.objective, (n - k + k * (k + 1) / 2 - 1) / n, 1e-6);
+}
+
+TEST(BroomGap, MetricIsUnweightedGraphMetric) {
+  const GapConstruction c = broom_gap_instance(4);
+  EXPECT_TRUE(c.instance.metric().satisfies_triangle_inequality());
+  EXPECT_DOUBLE_EQ(c.instance.metric().diameter(),
+                   4.0 + 1.0 /* opposite star leaf */);
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,233 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/shortest_paths.hpp"
+
+namespace qp::graph {
+namespace {
+
+TEST(PathGraph, ShapeAndDistances) {
+  const Graph g = path_graph(5, 2.0);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[4], 8.0);
+}
+
+TEST(PathGraph, SingleNode) {
+  const Graph g = path_graph(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CycleGraph, Shape) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  // Opposite node is 3 hops either way.
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[3], 3.0);
+  EXPECT_THROW(cycle_graph(2), std::invalid_argument);
+}
+
+TEST(StarGraph, AllLeavesAtUnitDistance) {
+  const Graph g = star_graph(7, 1.0);
+  const auto d = dijkstra(g, 0).distance;
+  for (int v = 1; v < 7; ++v) EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(v)], 1.0);
+  // Leaf to leaf goes through the center.
+  EXPECT_DOUBLE_EQ(dijkstra(g, 1).distance[2], 2.0);
+}
+
+TEST(CompleteGraph, EdgeCount) {
+  const Graph g = complete_graph(6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GridMesh, ManhattanDistances) {
+  const Graph g = grid_mesh(3);
+  EXPECT_EQ(g.num_nodes(), 9);
+  EXPECT_EQ(g.num_edges(), 12);
+  // Corner to corner: 4 unit steps.
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[8], 4.0);
+}
+
+TEST(BroomGraph, MatchesPaperFigure1Distances) {
+  // Figure 1 / Claim A.1: distances from v0 sorted are
+  // 1 (n - k of them), then 2, 3, ..., k.
+  const int k = 4;
+  const int n = k * k;
+  const Graph g = broom_graph(k);
+  EXPECT_EQ(g.num_nodes(), n);
+  ASSERT_TRUE(g.is_connected());
+  auto d = dijkstra(g, 0).distance;
+  std::sort(d.begin(), d.end());
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  for (int i = 1; i <= n - k; ++i) {
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(i)], 1.0) << "i=" << i;
+  }
+  for (int j = 2; j <= k; ++j) {
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(n - k + j - 1)],
+                     static_cast<double>(j));
+  }
+}
+
+TEST(BroomGraph, RejectsTinyK) {
+  EXPECT_THROW(broom_graph(1), std::invalid_argument);
+}
+
+TEST(RandomTree, IsSpanningTree) {
+  std::mt19937_64 rng(7);
+  const Graph g = random_tree(20, rng);
+  EXPECT_EQ(g.num_edges(), 19);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(RandomTree, EdgeLengthsWithinRange) {
+  std::mt19937_64 rng(11);
+  const Graph g = random_tree(30, rng, 2.0, 5.0);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.length, 2.0);
+    EXPECT_LE(e.length, 5.0);
+  }
+}
+
+TEST(ErdosRenyi, ConnectedSample) {
+  std::mt19937_64 rng(13);
+  const Graph g = erdos_renyi(24, 0.3, rng);
+  EXPECT_EQ(g.num_nodes(), 24);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(ErdosRenyi, Deterministic) {
+  std::mt19937_64 rng_a(99), rng_b(99);
+  const Graph a = erdos_renyi(15, 0.4, rng_a);
+  const Graph b = erdos_renyi(15, 0.4, rng_b);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(ErdosRenyi, RejectsBadProbability) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW(erdos_renyi(5, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi(5, 1.5, rng), std::invalid_argument);
+}
+
+TEST(RandomGeometric, ConnectedWithEuclideanLengths) {
+  std::mt19937_64 rng(5);
+  const GeometricGraph gg = random_geometric(30, 0.4, rng);
+  EXPECT_TRUE(gg.graph.is_connected());
+  ASSERT_EQ(gg.x.size(), 30u);
+  for (const Edge& e : gg.graph.edges()) {
+    const double dx = gg.x[static_cast<std::size_t>(e.a)] -
+                      gg.x[static_cast<std::size_t>(e.b)];
+    const double dy = gg.y[static_cast<std::size_t>(e.a)] -
+                      gg.y[static_cast<std::size_t>(e.b)];
+    EXPECT_NEAR(e.length, std::sqrt(dx * dx + dy * dy), 1e-12);
+    EXPECT_LE(e.length, 0.4 + 1e-12);
+  }
+}
+
+TEST(BarabasiAlbert, ShapeAndConnectivity) {
+  std::mt19937_64 rng(3);
+  const Graph g = barabasi_albert(40, 2, rng);
+  EXPECT_EQ(g.num_nodes(), 40);
+  EXPECT_TRUE(g.is_connected());
+  // Seed clique of 3 nodes has 3 edges; each later node adds 2.
+  EXPECT_EQ(g.num_edges(), 3 + (40 - 3) * 2);
+}
+
+TEST(RingOfCliques, Shape) {
+  const Graph g = ring_of_cliques(4, 5, 1.0, 10.0);
+  EXPECT_EQ(g.num_nodes(), 20);
+  EXPECT_TRUE(g.is_connected());
+  // Intra-clique distance 1, crossing a WAN link costs 10.
+  EXPECT_DOUBLE_EQ(dijkstra(g, 1).distance[2], 1.0);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[5], 10.0);
+}
+
+TEST(RingOfCliques, TwoCliquesSingleBridge) {
+  const Graph g = ring_of_cliques(2, 3, 1.0, 4.0);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[3], 4.0);
+}
+
+TEST(Hypercube, ShapeAndHammingDistances) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32);  // n * d / 2
+  const auto d = dijkstra(g, 0).distance;
+  for (int v = 0; v < 16; ++v) {
+    EXPECT_DOUBLE_EQ(d[static_cast<std::size_t>(v)],
+                     __builtin_popcount(static_cast<unsigned>(v)));
+  }
+}
+
+TEST(Hypercube, DimensionZeroIsSingleNode) {
+  EXPECT_EQ(hypercube(0).num_nodes(), 1);
+}
+
+TEST(Torus, WrapAroundShortens) {
+  const Graph g = torus(5);
+  EXPECT_EQ(g.num_nodes(), 25);
+  EXPECT_EQ(g.num_edges(), 50);
+  // (0,0) to (0,4): one wrap step, not four.
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[4], 1.0);
+  // (0,0) to (2,2): Manhattan 4 (no shortcut).
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0).distance[12], 4.0);
+  EXPECT_THROW(torus(2), std::invalid_argument);
+}
+
+TEST(FatTree, TierDistances) {
+  const Graph g = fat_tree(2, 3, 4, 2.0, 1.0);
+  EXPECT_EQ(g.num_nodes(), 12 + 3 + 2);
+  EXPECT_TRUE(g.is_connected());
+  const auto d = dijkstra(g, 0).distance;  // host 0 under leaf 0
+  EXPECT_DOUBLE_EQ(d[1], 2.0);    // same-leaf host: up and down
+  EXPECT_DOUBLE_EQ(d[4], 6.0);    // host under leaf 1: 1 + 2 + 2 + 1
+  EXPECT_DOUBLE_EQ(d[12], 1.0);   // own leaf switch
+  EXPECT_DOUBLE_EQ(d[15], 3.0);   // spine 0
+}
+
+TEST(Waxman, ConnectedEuclidean) {
+  std::mt19937_64 rng(19);
+  const GeometricGraph gg = waxman(40, 0.9, 0.5, rng);
+  EXPECT_TRUE(gg.graph.is_connected());
+  for (const Edge& e : gg.graph.edges()) {
+    const double dx = gg.x[static_cast<std::size_t>(e.a)] -
+                      gg.x[static_cast<std::size_t>(e.b)];
+    const double dy = gg.y[static_cast<std::size_t>(e.a)] -
+                      gg.y[static_cast<std::size_t>(e.b)];
+    EXPECT_NEAR(e.length, std::sqrt(dx * dx + dy * dy), 1e-12);
+  }
+}
+
+TEST(Waxman, LocalityBiasRelativeToUniform) {
+  // Waxman prefers short edges: its mean edge length should undercut the
+  // all-pairs mean distance of its own vertex set.
+  std::mt19937_64 rng(23);
+  const GeometricGraph gg = waxman(60, 0.8, 0.25, rng);
+  double edge_mean = 0.0;
+  const auto edges = gg.graph.edges();
+  for (const Edge& e : edges) edge_mean += e.length;
+  edge_mean /= static_cast<double>(edges.size());
+  double pair_mean = 0.0;
+  int pairs = 0;
+  for (int i = 0; i < 60; ++i) {
+    for (int j = i + 1; j < 60; ++j) {
+      const double dx = gg.x[static_cast<std::size_t>(i)] -
+                        gg.x[static_cast<std::size_t>(j)];
+      const double dy = gg.y[static_cast<std::size_t>(i)] -
+                        gg.y[static_cast<std::size_t>(j)];
+      pair_mean += std::sqrt(dx * dx + dy * dy);
+      ++pairs;
+    }
+  }
+  pair_mean /= pairs;
+  EXPECT_LT(edge_mean, pair_mean);
+}
+
+}  // namespace
+}  // namespace qp::graph

@@ -1,0 +1,79 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace qp::graph {
+namespace {
+
+TEST(EdgeListParse, BasicGraph) {
+  const Graph g = parse_edge_list(
+      "# a triangle\n"
+      "n 3\n"
+      "e 0 1 1.5\n"
+      "e 1 2 2.0\n"
+      "e 0 2 2.5\n");
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(EdgeListParse, CommentsAndBlankLinesIgnored) {
+  const Graph g = parse_edge_list("\n# hi\nn 2\n\ne 0 1 1.0  # inline\n");
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(EdgeListParse, RejectsMissingHeader) {
+  EXPECT_THROW(parse_edge_list("e 0 1 1.0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list(""), std::invalid_argument);
+}
+
+TEST(EdgeListParse, RejectsDuplicateHeader) {
+  EXPECT_THROW(parse_edge_list("n 2\nn 3\n"), std::invalid_argument);
+}
+
+TEST(EdgeListParse, RejectsMalformedLines) {
+  EXPECT_THROW(parse_edge_list("n 2\ne 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("n 2\nx 0 1 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("n 2\ne 0 1 1.0 junk\n"),
+               std::invalid_argument);
+}
+
+TEST(EdgeListParse, PropagatesGraphValidation) {
+  EXPECT_THROW(parse_edge_list("n 2\ne 0 5 1.0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_edge_list("n 2\ne 0 1 -1.0\n"), std::invalid_argument);
+}
+
+TEST(EdgeListRoundTrip, PreservesStructure) {
+  std::mt19937_64 rng(3);
+  const Graph original = erdos_renyi(15, 0.3, rng, 1.0, 7.5);
+  const Graph parsed = parse_edge_list(to_edge_list(original));
+  EXPECT_EQ(parsed.num_nodes(), original.num_nodes());
+  EXPECT_EQ(parsed.edges(), original.edges());
+}
+
+TEST(EdgeListFile, MissingFileThrows) {
+  EXPECT_THROW(load_edge_list_file("/nonexistent/graph.txt"),
+               std::invalid_argument);
+}
+
+TEST(EdgeListFile, RoundTripThroughDisk) {
+  const Graph original = path_graph(5, 2.0);
+  const std::string path = ::testing::TempDir() + "qplace_graph_io_test.txt";
+  {
+    std::ofstream out(path);
+    out << to_edge_list(original);
+  }
+  const Graph loaded = load_edge_list_file(path);
+  EXPECT_EQ(loaded.edges(), original.edges());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace qp::graph

@@ -1,0 +1,196 @@
+#include "core/grid_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+SsqppInstance grid_instance(const graph::Graph& g, int k, double cap,
+                            int source = 0) {
+  const quorum::QuorumSystem system = quorum::grid(k);
+  return SsqppInstance(
+      graph::Metric::from_graph(g),
+      std::vector<double>(static_cast<std::size_t>(g.num_nodes()), cap),
+      system, quorum::AccessStrategy::uniform(system), source);
+}
+
+double grid_load(int k) { return static_cast<double>(2 * k - 1) / (k * k); }
+
+TEST(GridShellOrder, MatchesPaperStrategy) {
+  // k = 3: (0,0); column of shell 1 then row; column of shell 2 then row.
+  const auto order = grid_shell_fill_order(3);
+  const std::vector<std::pair<int, int>> expected = {
+      {0, 0},
+      {0, 1}, {1, 0}, {1, 1},
+      {0, 2}, {1, 2}, {2, 0}, {2, 1}, {2, 2}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(GridShellOrder, CoversMatrixExactlyOnce) {
+  for (int k = 1; k <= 6; ++k) {
+    const auto order = grid_shell_fill_order(k);
+    ASSERT_EQ(static_cast<int>(order.size()), k * k);
+    std::vector<char> seen(static_cast<std::size_t>(k * k), 0);
+    for (const auto& [r, c] : order) {
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, k);
+      ASSERT_GE(c, 0);
+      ASSERT_LT(c, k);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(r * k + c)]);
+      seen[static_cast<std::size_t>(r * k + c)] = 1;
+    }
+  }
+}
+
+TEST(GridLayout, ValidatesSystemShape) {
+  // Star(4) has the right universe but 3 quorums, not 4.
+  const quorum::QuorumSystem system = quorum::star(4);
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(6)),
+      std::vector<double>(6, 1.0), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  EXPECT_THROW(optimal_grid_layout(instance, 2), std::invalid_argument);
+}
+
+TEST(GridLayout, ValidatesQuorumStructureNotJustCounts) {
+  // Majority(9, 5) over a trimmed set could match counts only by accident;
+  // build a 4-element system with 4 quorums that are NOT row/column sets.
+  const quorum::QuorumSystem system(4, {{0, 1}, {0, 2}, {0, 3}, {0, 1, 2}});
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(6)),
+      std::vector<double>(6, 1.0), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  EXPECT_THROW(optimal_grid_layout(instance, 2), std::invalid_argument);
+}
+
+TEST(GridLayout, AcceptsMajority4Coincidence) {
+  // majority(4, 3) IS the 2x2 grid system (every 3-subset is a row+column),
+  // so the layout must accept it.
+  const quorum::QuorumSystem system = quorum::majority(4);
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(6)),
+      std::vector<double>(6, 0.75), system,
+      quorum::AccessStrategy::uniform(system), 0);
+  EXPECT_TRUE(optimal_grid_layout(instance, 2).has_value());
+}
+
+TEST(GridLayout, ValidatesUniformStrategy) {
+  const quorum::QuorumSystem system = quorum::grid(2);
+  SsqppInstance instance(
+      graph::Metric::from_graph(graph::path_graph(6)),
+      std::vector<double>(6, 1.0), system,
+      quorum::AccessStrategy(system, {0.7, 0.1, 0.1, 0.1}), 0);
+  EXPECT_THROW(optimal_grid_layout(instance, 2), std::invalid_argument);
+}
+
+TEST(GridLayout, NulloptWhenTooFewSlots) {
+  const SsqppInstance instance =
+      grid_instance(graph::path_graph(3), 2, grid_load(2));
+  EXPECT_FALSE(optimal_grid_layout(instance, 2).has_value());
+}
+
+TEST(GridLayout, CapacityFeasibleAndComplete) {
+  const SsqppInstance instance =
+      grid_instance(graph::path_graph(9), 3, grid_load(3));
+  const auto layout = optimal_grid_layout(instance, 3);
+  ASSERT_TRUE(layout.has_value());
+  EXPECT_TRUE(is_capacity_feasible(instance.element_loads(),
+                                   instance.capacities(), layout->placement));
+  EXPECT_NEAR(layout->delay,
+              source_expected_max_delay(instance, layout->placement), 1e-12);
+}
+
+TEST(GridLayout, MatrixHoldsLargestDistanceTopLeft) {
+  const SsqppInstance instance =
+      grid_instance(graph::path_graph(10), 3, grid_load(3));
+  const auto layout = optimal_grid_layout(instance, 3);
+  ASSERT_TRUE(layout.has_value());
+  double largest = 0.0;
+  for (double d : layout->matrix) largest = std::max(largest, d);
+  EXPECT_DOUBLE_EQ(layout->cell(0, 0), largest);
+}
+
+TEST(GridLayout, MultiSlotNodesAreReplicated) {
+  // One node with capacity for all k^2 = 4 elements right at the source.
+  graph::Graph g(2);
+  g.add_edge(0, 1, 5.0);
+  SsqppInstance instance(
+      graph::Metric::from_graph(g),
+      {4.0, 0.0}, quorum::grid(2),
+      quorum::AccessStrategy::uniform(quorum::grid(2)), 0);
+  const auto layout = optimal_grid_layout(instance, 2);
+  ASSERT_TRUE(layout.has_value());
+  for (int v : layout->placement) EXPECT_EQ(v, 0);
+  EXPECT_DOUBLE_EQ(layout->delay, 0.0);
+}
+
+/// Exhaustive optimality check of Thm B.1 on small instances: the shell
+/// strategy matches brute force over all capacity-feasible placements.
+class GridLayoutOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridLayoutOptimality, MatchesBruteForceOnRandomMetrics) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 193 + 41);
+  const int k = 2;
+  const graph::Graph g = graph::erdos_renyi(5, 0.6, rng, 1.0, 7.0);
+  // Capacity exactly one element per node.
+  const SsqppInstance instance = grid_instance(g, k, grid_load(k),
+                                               GetParam() % 5);
+  const auto layout = optimal_grid_layout(instance, k);
+  ASSERT_TRUE(layout.has_value());
+  const auto exact = exact_ssqpp(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(layout->delay, exact->delay, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridLayoutOptimality, ::testing::Range(0, 10));
+
+TEST(GridLayoutOptimalityK3, MatchesBruteForceOnLine) {
+  // k = 3: 9 elements on 9 nodes; line metric with irregular spacing.
+  const graph::Metric metric = graph::Metric::line(
+      {0.0, 1.0, 1.5, 4.0, 4.2, 7.0, 7.5, 9.0, 12.0});
+  const quorum::QuorumSystem system = quorum::grid(3);
+  SsqppInstance instance(metric, std::vector<double>(9, grid_load(3)), system,
+                         quorum::AccessStrategy::uniform(system), 0);
+  const auto layout = optimal_grid_layout(instance, 3);
+  ASSERT_TRUE(layout.has_value());
+  const auto exact = exact_ssqpp(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(layout->delay, exact->delay, 1e-9);
+}
+
+TEST(GridLayout, BeatsOrMatchesRowMajorAndRandomLayouts) {
+  std::mt19937_64 rng(2024);
+  const SsqppInstance instance =
+      grid_instance(graph::path_graph(16), 4, grid_load(4));
+  const auto layout = optimal_grid_layout(instance, 4);
+  ASSERT_TRUE(layout.has_value());
+
+  // Row-major baseline: element i on the i-th nearest node.
+  Placement row_major(16);
+  const auto order = instance.metric().nodes_by_distance_from(0);
+  for (int u = 0; u < 16; ++u) {
+    row_major[static_cast<std::size_t>(u)] =
+        order[static_cast<std::size_t>(u)];
+  }
+  EXPECT_LE(layout->delay,
+            source_expected_max_delay(instance, row_major) + 1e-9);
+
+  // Random permutations of the same slots.
+  Placement perm = row_major;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::shuffle(perm.begin(), perm.end(), rng);
+    EXPECT_LE(layout->delay,
+              source_expected_max_delay(instance, perm) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qp::core

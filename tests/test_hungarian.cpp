@@ -1,0 +1,123 @@
+#include "assign/hungarian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace qp::assign {
+namespace {
+
+TEST(Hungarian, TrivialOneByOne) {
+  const auto m = min_cost_assignment(1, 1, {7.0});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->row_to_column, (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(m->total_cost, 7.0);
+}
+
+TEST(Hungarian, ClassicThreeByThree) {
+  // Known optimum 5 with assignment (0->1, 1->0, 2->2) or similar.
+  const std::vector<double> cost = {4, 1, 3,   //
+                                    2, 0, 5,   //
+                                    3, 2, 2};
+  const auto m = min_cost_assignment(3, 3, cost);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->total_cost, 5.0);
+}
+
+TEST(Hungarian, RectangularPicksCheapColumns) {
+  const std::vector<double> cost = {10, 1, 10, 10,  //
+                                    10, 10, 2, 10};
+  const auto m = min_cost_assignment(2, 4, cost);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->row_to_column[0], 1);
+  EXPECT_EQ(m->row_to_column[1], 2);
+  EXPECT_DOUBLE_EQ(m->total_cost, 3.0);
+}
+
+TEST(Hungarian, ForbiddenEdgesAvoided) {
+  const std::vector<double> cost = {kForbidden, 5.0,  //
+                                    3.0, kForbidden};
+  const auto m = min_cost_assignment(2, 2, cost);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->row_to_column[0], 1);
+  EXPECT_EQ(m->row_to_column[1], 0);
+  EXPECT_DOUBLE_EQ(m->total_cost, 8.0);
+}
+
+TEST(Hungarian, InfeasibleWhenRowFullyForbidden) {
+  const std::vector<double> cost = {kForbidden, kForbidden,  //
+                                    1.0, 2.0};
+  EXPECT_FALSE(min_cost_assignment(2, 2, cost).has_value());
+}
+
+TEST(Hungarian, InfeasibleByHallViolation) {
+  // Both rows can only use column 0.
+  const std::vector<double> cost = {1.0, kForbidden,  //
+                                    1.0, kForbidden};
+  EXPECT_FALSE(min_cost_assignment(2, 2, cost).has_value());
+}
+
+TEST(Hungarian, NegativeCostsSupported) {
+  const std::vector<double> cost = {-5.0, 0.0,  //
+                                    0.0, -5.0};
+  const auto m = min_cost_assignment(2, 2, cost);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->total_cost, -10.0);
+}
+
+TEST(Hungarian, RejectsBadShapes) {
+  EXPECT_THROW(min_cost_assignment(3, 2, std::vector<double>(6, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(min_cost_assignment(2, 2, std::vector<double>(3, 1.0)),
+               std::invalid_argument);
+}
+
+TEST(Hungarian, ZeroRowsIsEmptyMatching) {
+  const auto m = min_cost_assignment(0, 3, {});
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(m->row_to_column.empty());
+  EXPECT_DOUBLE_EQ(m->total_cost, 0.0);
+}
+
+/// Property: on random square instances the Hungarian optimum matches brute
+/// force over all permutations.
+class HungarianRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandom, MatchesBruteForce) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 77 + 1);
+  std::uniform_real_distribution<double> dist(0.0, 10.0);
+  const int n = 5;
+  std::vector<double> cost(static_cast<std::size_t>(n * n));
+  for (double& c : cost) c = dist(rng);
+
+  const auto m = min_cost_assignment(n, n, cost);
+  ASSERT_TRUE(m.has_value());
+
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  double best = 1e100;
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      total += cost[static_cast<std::size_t>(i * n + perm[static_cast<std::size_t>(i)])];
+    }
+    best = std::min(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_NEAR(m->total_cost, best, 1e-9);
+  // And the matching must be a permutation.
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (int c : m->row_to_column) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, n);
+    EXPECT_FALSE(used[static_cast<std::size_t>(c)]);
+    used[static_cast<std::size_t>(c)] = 1;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianRandom, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qp::assign

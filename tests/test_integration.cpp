@@ -1,0 +1,216 @@
+/// End-to-end integration tests: full pipelines across modules, mirroring
+/// how the examples and benches drive the library.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "core/grid_layout.hpp"
+#include "core/majority_layout.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "sched/exact.hpp"
+#include "sched/reduction.hpp"
+
+namespace qp {
+namespace {
+
+/// Theorem 1.3 pipeline: optimal grid SSQPP layout per source + relay
+/// reduction is a 5-approximation to the full QPP.
+TEST(Integration, Theorem13GridPipeline) {
+  std::mt19937_64 rng(42);
+  const graph::Graph g = graph::erdos_renyi(7, 0.5, rng, 1.0, 4.0);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const double load = 3.0 / 4.0;
+  const std::vector<double> caps(7, load);
+
+  core::QppInstance qpp(metric, caps, system, strategy);
+
+  // Optimal single-source layout from every candidate source; keep the best
+  // full-QPP objective.
+  double best_delay = 1e100;
+  core::Placement best;
+  for (int v0 = 0; v0 < 7; ++v0) {
+    core::SsqppInstance view(metric, caps, system, strategy, v0);
+    const auto layout = core::optimal_grid_layout(view, 2);
+    ASSERT_TRUE(layout.has_value());
+    const double delay = core::average_max_delay(qpp, layout->placement);
+    if (delay < best_delay) {
+      best_delay = delay;
+      best = layout->placement;
+    }
+  }
+
+  // Capacity respected exactly (no violation in Thm 1.3).
+  EXPECT_TRUE(core::is_capacity_feasible(qpp.element_loads(),
+                                         qpp.capacities(), best));
+  // Within factor 5 of the capacity-feasible optimum.
+  const auto exact = core::exact_qpp_max_delay(qpp);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(best_delay, 5.0 * exact->delay + 1e-7);
+}
+
+/// Theorem 1.3 for Majority.
+TEST(Integration, Theorem13MajorityPipeline) {
+  std::mt19937_64 rng(7);
+  const graph::Graph g = graph::random_tree(8, rng, 1.0, 5.0);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const int n = 5, t = 3;
+  const quorum::QuorumSystem system = quorum::majority(n, t);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps(8, static_cast<double>(t) / n);
+  core::QppInstance qpp(metric, caps, system, strategy);
+
+  double best_delay = 1e100;
+  core::Placement best;
+  for (int v0 = 0; v0 < 8; ++v0) {
+    core::SsqppInstance view(metric, caps, system, strategy, v0);
+    const auto layout = core::majority_layout(view, t);
+    ASSERT_TRUE(layout.has_value());
+    const double delay = core::average_max_delay(qpp, layout->placement);
+    if (delay < best_delay) {
+      best_delay = delay;
+      best = layout->placement;
+    }
+  }
+  EXPECT_TRUE(core::is_capacity_feasible(qpp.element_loads(),
+                                         qpp.capacities(), best));
+  const auto exact = core::exact_qpp_max_delay(qpp);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(best_delay, 5.0 * exact->delay + 1e-7);
+}
+
+/// The LP-rounding SSQPP solver plugged into the relay reduction, checked
+/// against Theorem 3.3's 5 beta end-to-end logic on a WAN-like topology.
+TEST(Integration, RelayPlusRoundingOnGeometricGraph) {
+  std::mt19937_64 rng(19);
+  const graph::GeometricGraph gg = graph::random_geometric(12, 0.5, rng);
+  const graph::Metric metric = graph::Metric::from_graph(gg.graph);
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  core::QppInstance qpp(metric, std::vector<double>(12, 1.0), system,
+                        strategy);
+
+  core::QppSolveOptions options;
+  options.alpha = 2.0;
+  const auto result = core::solve_qpp(qpp, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->load_violation, 3.0 + 1e-9);
+
+  const auto exact = core::exact_qpp_max_delay(qpp);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(result->average_delay, 10.0 * exact->delay + 1e-6);
+}
+
+/// Full hardness pipeline: scheduling -> SSQPP -> LP rounding; the rounded
+/// placement, translated back to a schedule, stays within the Thm 3.7 delay
+/// factor of the scheduling optimum.
+TEST(Integration, HardnessReductionPlusRounding) {
+  std::mt19937_64 rng(23);
+  const sched::SchedulingInstance inst =
+      sched::random_woeginger_instance(4, 3, 0.5, rng);
+  const sched::ReductionResult reduction = sched::reduce_to_ssqpp(inst);
+
+  const auto rounded = core::solve_ssqpp(reduction.instance, 2.0);
+  ASSERT_TRUE(rounded.has_value());
+
+  const sched::ExactScheduleResult opt = sched::solve_exact(inst);
+  const double opt_delay = reduction.delay_for_schedule_cost(opt.cost);
+  EXPECT_LE(rounded->lp_objective, opt_delay + 1e-7);
+  EXPECT_LE(rounded->delay, 2.0 * rounded->lp_objective + 1e-6);
+}
+
+/// Total-delay and max-delay solvers agree on the trivial geometry where
+/// both have an obvious optimum.
+TEST(Integration, StarTopologyCollapsesBothObjectives) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::star_graph(6, 2.0));
+  const quorum::QuorumSystem system = quorum::majority(3);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  core::QppInstance qpp(metric, std::vector<double>(6, 3.0), system, strategy);
+
+  const auto total = core::solve_total_delay(qpp);
+  ASSERT_TRUE(total.has_value());
+  for (int v : total->placement) EXPECT_EQ(v, 0);
+
+  core::QppSolveOptions options;
+  const auto maxd = core::solve_qpp(qpp, options);
+  ASSERT_TRUE(maxd.has_value());
+  // All elements fit on the hub; max-delay placement should also use it.
+  EXPECT_NEAR(maxd->average_delay,
+              core::average_max_delay(qpp, total->placement), 1e-9);
+}
+
+/// Per-client access strategies (paper Sec 6): averaging the per-client
+/// strategies and using the relay bound still yields a within-5x relay
+/// certificate for a fixed placement.
+TEST(Integration, PerClientStrategiesAverageRelayBound) {
+  std::mt19937_64 rng(31);
+  const graph::Graph g = graph::erdos_renyi(10, 0.4, rng, 1.0, 3.0);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const quorum::QuorumSystem system = quorum::majority(4);
+
+  // Random per-client strategies.
+  const int m = system.num_quorums();
+  std::vector<quorum::AccessStrategy> per_client;
+  std::uniform_real_distribution<double> dist(0.1, 1.0);
+  for (int v = 0; v < 10; ++v) {
+    std::vector<double> p(static_cast<std::size_t>(m));
+    double total = 0.0;
+    for (double& x : p) {
+      x = dist(rng);
+      total += x;
+    }
+    for (double& x : p) x /= total;
+    per_client.emplace_back(system, std::move(p));
+  }
+
+  std::uniform_int_distribution<int> pick(0, 9);
+  core::Placement f(4);
+  for (int& v : f) v = pick(rng);
+
+  // True average delay with per-client strategies.
+  double truth = 0.0;
+  for (int v = 0; v < 10; ++v) {
+    truth += core::expected_max_delay(
+                 metric, system, per_client[static_cast<std::size_t>(v)], f, v) /
+             10;
+  }
+  // Relay node of the generalized Lemma 3.1: argmin over clients of their
+  // own expected delay Delta_{p_v}(v).
+  int v0 = 0;
+  double best = 1e100;
+  for (int v = 0; v < 10; ++v) {
+    const double d = core::expected_max_delay(
+        metric, system, per_client[static_cast<std::size_t>(v)], f, v);
+    if (d < best) {
+      best = d;
+      v0 = v;
+    }
+  }
+  double relay_truth = 0.0;
+  for (int v = 0; v < 10; ++v) {
+    double expected = 0.0;
+    for (int q = 0; q < m; ++q) {
+      expected += per_client[static_cast<std::size_t>(v)].probability(q) *
+                  (metric(v, v0) + core::max_delay(metric, system.quorum(q), f,
+                                                   v0));
+    }
+    relay_truth += expected / 10;
+  }
+  EXPECT_LE(relay_truth, 5.0 * truth + 1e-9);
+}
+
+}  // namespace
+}  // namespace qp

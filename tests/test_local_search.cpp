@@ -1,0 +1,140 @@
+#include "core/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+QppInstance make_instance(const graph::Graph& g,
+                          const quorum::QuorumSystem& system, double cap) {
+  return QppInstance(
+      graph::Metric::from_graph(g),
+      std::vector<double>(static_cast<std::size_t>(g.num_nodes()), cap),
+      system, quorum::AccessStrategy::uniform(system));
+}
+
+TEST(LocalSearch, RejectsInvalidStart) {
+  const QppInstance instance =
+      make_instance(graph::path_graph(5), quorum::majority(3), 1.0);
+  EXPECT_THROW(local_search_max_delay(instance, {0, 1}),
+               std::invalid_argument);
+  // Infeasible start: all three elements (load 2/3) on one node of cap 1.
+  EXPECT_THROW(local_search_max_delay(instance, {0, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(LocalSearch, NeverWorsensAndStaysFeasible) {
+  std::mt19937_64 rng(5);
+  const QppInstance instance =
+      make_instance(graph::erdos_renyi(8, 0.5, rng, 1.0, 6.0),
+                    quorum::grid(2), 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto start = random_feasible_placement(instance, rng);
+    ASSERT_TRUE(start.has_value());
+    const double before = average_max_delay(instance, *start);
+    const LocalSearchResult result =
+        local_search_max_delay(instance, *start);
+    EXPECT_LE(result.delay, before + 1e-12);
+    EXPECT_NEAR(result.delay, average_max_delay(instance, result.placement),
+                1e-12);
+    EXPECT_TRUE(is_capacity_feasible(instance.element_loads(),
+                                     instance.capacities(),
+                                     result.placement));
+  }
+}
+
+TEST(LocalSearch, ReachesOptimumOnEasyInstance) {
+  // Star topology with loose capacity: the optimum stacks everything on the
+  // hub, and first-improvement descent from one-element-per-leaf reaches it
+  // (each relocation to the hub strictly improves the average).
+  const QppInstance instance =
+      make_instance(graph::star_graph(6, 3.0), quorum::majority(3), 10.0);
+  const LocalSearchResult result =
+      local_search_max_delay(instance, {1, 2, 3});
+  const auto exact = exact_qpp_max_delay(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(result.delay, exact->delay, 1e-9);
+  EXPECT_EQ(result.placement, (Placement{0, 0, 0}));
+}
+
+TEST(LocalSearch, SwapsEscapeWhereMovesCannot) {
+  // Nested quorums {0} < {0,1} < {0,1,2} give loads (1, 2/3, 1/3); the
+  // capacities pin element 0 to node 1 and pack elements 1 and 2 into
+  // nodes {2, 3} in some order. Single moves are all blocked (every
+  // feasible node is full), but swapping elements 1 and 2 strictly helps
+  // the only weighted client (node 0).
+  const graph::Metric metric = graph::Metric::line({0.0, 1.0, 2.0, 9.0});
+  const quorum::QuorumSystem system(3, {{0}, {0, 1}, {0, 1, 2}});
+  QppInstance instance(metric, {0.1, 1.0, 0.7, 0.7}, system,
+                       quorum::AccessStrategy::uniform(system),
+                       {1.0, 1e-9, 1e-9, 1e-9});
+  const Placement start = {1, 3, 2};  // element 1 on the far node
+  LocalSearchOptions no_swaps;
+  no_swaps.allow_swaps = false;
+  const LocalSearchResult moves_only =
+      local_search_max_delay(instance, start, no_swaps);
+  EXPECT_EQ(moves_only.moves, 0);  // every relocation is capacity-blocked
+  const LocalSearchResult with_swaps =
+      local_search_max_delay(instance, start);
+  EXPECT_LT(with_swaps.delay, moves_only.delay - 1e-9);
+  EXPECT_EQ(with_swaps.placement, (Placement{1, 2, 3}));
+}
+
+TEST(LocalSearch, TotalDelayDescendsToSeparableOptimum) {
+  // Total delay is separable, so with loose capacities local search must
+  // reach the exact optimum (each element independently at its 1-median).
+  std::mt19937_64 rng(13);
+  const QppInstance instance =
+      make_instance(graph::erdos_renyi(7, 0.6, rng, 1.0, 5.0),
+                    quorum::majority(3), 10.0);
+  const auto start = random_feasible_placement(instance, rng);
+  ASSERT_TRUE(start.has_value());
+  const LocalSearchResult result =
+      local_search_total_delay(instance, *start);
+  const auto exact = exact_qpp_total_delay(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_NEAR(result.delay, exact->delay, 1e-9);
+}
+
+TEST(LocalSearch, MoveBudgetRespected) {
+  std::mt19937_64 rng(21);
+  const QppInstance instance =
+      make_instance(graph::erdos_renyi(10, 0.4, rng, 1.0, 8.0),
+                    quorum::grid(3), 2.0);
+  const auto start = random_feasible_placement(instance, rng);
+  ASSERT_TRUE(start.has_value());
+  LocalSearchOptions options;
+  options.max_moves = 2;
+  const LocalSearchResult result =
+      local_search_max_delay(instance, *start, options);
+  EXPECT_LE(result.moves, 2);
+}
+
+TEST(RandomFeasiblePlacement, RespectsCapacities) {
+  std::mt19937_64 rng(31);
+  const QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2), 0.8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto f = random_feasible_placement(instance, rng);
+    ASSERT_TRUE(f.has_value());
+    EXPECT_TRUE(is_capacity_feasible(instance.element_loads(),
+                                     instance.capacities(), *f));
+  }
+}
+
+TEST(RandomFeasiblePlacement, NulloptWhenImpossible) {
+  std::mt19937_64 rng(37);
+  const QppInstance instance =
+      make_instance(graph::path_graph(3), quorum::grid(2), 0.8);
+  EXPECT_FALSE(random_feasible_placement(instance, rng).has_value());
+}
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,217 @@
+/// Metamorphic property tests: transformations of an instance with a known
+/// effect on the optimum / evaluators. These catch subtle unit or indexing
+/// bugs that example-based tests miss.
+///
+///  - Scaling every distance by c > 0 scales all delays, LP optima and
+///    layout delays by exactly c (the problems are 1-homogeneous in d).
+///  - Relabelling nodes by a permutation leaves optima unchanged and maps
+///    optimal placements through the permutation.
+///  - Duplicating a client's weight is equivalent to doubling its rate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "core/grid_layout.hpp"
+#include "core/majority_layout.hpp"
+#include "core/ssqpp_lp.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+graph::Metric scaled(const graph::Metric& m, double c) {
+  const int n = m.num_points();
+  std::vector<double> d(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      d[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(j)] = c * m(i, j);
+    }
+  }
+  return graph::Metric(n, std::move(d));
+}
+
+graph::Metric permuted(const graph::Metric& m, const std::vector<int>& perm) {
+  const int n = m.num_points();
+  std::vector<double> d(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      d[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]) *
+            static_cast<std::size_t>(n) +
+        static_cast<std::size_t>(perm[static_cast<std::size_t>(j)])] = m(i, j);
+    }
+  }
+  return graph::Metric(n, std::move(d));
+}
+
+class Scaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(Scaling, EvaluatorsAreHomogeneous) {
+  const double c = GetParam();
+  std::mt19937_64 rng(11);
+  const graph::Metric base =
+      graph::Metric::from_graph(graph::erdos_renyi(8, 0.5, rng, 1.0, 6.0));
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps(8, 1.0);
+  QppInstance a(base, caps, system, strategy);
+  QppInstance b(scaled(base, c), caps, system, strategy);
+  const Placement f = {0, 3, 5, 7};
+  EXPECT_NEAR(average_max_delay(b, f), c * average_max_delay(a, f), 1e-9);
+  EXPECT_NEAR(average_total_delay(b, f), c * average_total_delay(a, f), 1e-9);
+  EXPECT_NEAR(relay_delay(b, f, 2), c * relay_delay(a, f, 2), 1e-9);
+}
+
+TEST_P(Scaling, LpOptimumIsHomogeneous) {
+  const double c = GetParam();
+  std::mt19937_64 rng(13);
+  const graph::Metric base =
+      graph::Metric::from_graph(graph::random_tree(9, rng, 1.0, 4.0));
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps(9, 0.8);
+  const FractionalSsqpp za =
+      solve_ssqpp_lp(SsqppInstance(base, caps, system, strategy, 0));
+  const FractionalSsqpp zb =
+      solve_ssqpp_lp(SsqppInstance(scaled(base, c), caps, system, strategy, 0));
+  ASSERT_EQ(za.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(zb.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(zb.objective, c * za.objective,
+              1e-6 * std::max(1.0, c * za.objective));
+}
+
+TEST_P(Scaling, LayoutDelaysAreHomogeneous) {
+  const double c = GetParam();
+  std::mt19937_64 rng(17);
+  const graph::Metric base =
+      graph::Metric::from_graph(graph::erdos_renyi(10, 0.4, rng, 1.0, 7.0));
+  {
+    const quorum::QuorumSystem system = quorum::grid(2);
+    const quorum::AccessStrategy strategy =
+        quorum::AccessStrategy::uniform(system);
+    const std::vector<double> caps(10, 0.75);
+    const auto la =
+        optimal_grid_layout(SsqppInstance(base, caps, system, strategy, 0), 2);
+    const auto lb = optimal_grid_layout(
+        SsqppInstance(scaled(base, c), caps, system, strategy, 0), 2);
+    ASSERT_TRUE(la.has_value());
+    ASSERT_TRUE(lb.has_value());
+    EXPECT_NEAR(lb->delay, c * la->delay, 1e-9 * std::max(1.0, c));
+  }
+  {
+    const quorum::QuorumSystem system = quorum::majority(5, 3);
+    const quorum::AccessStrategy strategy =
+        quorum::AccessStrategy::uniform(system);
+    const std::vector<double> caps(10, 0.6);
+    const auto la =
+        majority_layout(SsqppInstance(base, caps, system, strategy, 0), 3);
+    const auto lb = majority_layout(
+        SsqppInstance(scaled(base, c), caps, system, strategy, 0), 3);
+    ASSERT_TRUE(la.has_value());
+    ASSERT_TRUE(lb.has_value());
+    EXPECT_NEAR(lb->delay, c * la->delay, 1e-9 * std::max(1.0, c));
+    EXPECT_NEAR(lb->formula_delay, c * la->formula_delay,
+                1e-9 * std::max(1.0, c));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, Scaling,
+                         ::testing::Values(0.25, 2.0, 10.0));
+
+class Permutation : public ::testing::TestWithParam<int> {};
+
+TEST_P(Permutation, ExactOptimaAreInvariant) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 709 + 3);
+  const graph::Metric base =
+      graph::Metric::from_graph(graph::erdos_renyi(6, 0.6, rng, 1.0, 5.0));
+  const quorum::QuorumSystem system = quorum::majority(3);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+
+  std::vector<int> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), rng);
+  // Permute capacities along with the metric.
+  std::vector<double> caps(6);
+  std::uniform_real_distribution<double> cap_dist(0.7, 1.5);
+  for (double& x : caps) x = cap_dist(rng);
+  std::vector<double> permuted_caps(6);
+  for (int v = 0; v < 6; ++v) {
+    permuted_caps[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] =
+        caps[static_cast<std::size_t>(v)];
+  }
+
+  QppInstance a(base, caps, system, strategy);
+  QppInstance b(permuted(base, perm), permuted_caps, system, strategy);
+
+  const auto ea = exact_qpp_max_delay(a);
+  const auto eb = exact_qpp_max_delay(b);
+  ASSERT_EQ(ea.has_value(), eb.has_value());
+  if (ea) {
+    EXPECT_NEAR(ea->delay, eb->delay, 1e-9);
+    // The permuted image of a's optimal placement achieves the optimum in b.
+    Placement mapped = ea->placement;
+    for (int& v : mapped) v = perm[static_cast<std::size_t>(v)];
+    EXPECT_NEAR(average_max_delay(b, mapped), eb->delay, 1e-9);
+  }
+
+  const auto ta = exact_qpp_total_delay(a);
+  const auto tb = exact_qpp_total_delay(b);
+  ASSERT_EQ(ta.has_value(), tb.has_value());
+  if (ta) {
+    EXPECT_NEAR(ta->delay, tb->delay, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Permutation, ::testing::Range(0, 8));
+
+TEST(ClientWeights, DoublingAWeightEqualsDuplicatingTheClient) {
+  // Weighted average with w(3) doubled equals the uniform average over the
+  // client multiset {0,1,2,3,3}.
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(4, 2.0));
+  const quorum::QuorumSystem system = quorum::majority(3);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  QppInstance weighted(metric, std::vector<double>(4, 10.0), system, strategy,
+                       {1.0, 1.0, 1.0, 2.0});
+  QppInstance uniform(metric, std::vector<double>(4, 10.0), system, strategy);
+  const Placement f = {0, 1, 3};
+  double duplicated = 0.0;
+  for (int v : {0, 1, 2, 3, 3}) {
+    duplicated += expected_max_delay(metric, system, strategy, f, v) / 5.0;
+  }
+  EXPECT_NEAR(average_max_delay(weighted, f), duplicated, 1e-12);
+}
+
+TEST(TotalDelaySolver, ScalingPreservesChosenPlacementCost) {
+  std::mt19937_64 rng(31);
+  const graph::Metric base =
+      graph::Metric::from_graph(graph::erdos_renyi(7, 0.5, rng, 1.0, 6.0));
+  const quorum::QuorumSystem system = quorum::majority(3);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps(7, 1.0);
+  const auto a = solve_total_delay(QppInstance(base, caps, system, strategy));
+  const auto b =
+      solve_total_delay(QppInstance(scaled(base, 3.0), caps, system, strategy));
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NEAR(b->average_delay, 3.0 * a->average_delay, 1e-6);
+  EXPECT_NEAR(b->lp_objective, 3.0 * a->lp_objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace qp::core

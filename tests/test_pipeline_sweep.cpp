@@ -1,0 +1,98 @@
+/// Cross-product coverage: every shipped quorum construction driven through
+/// the paper's three algorithmic pipelines (Thm 3.7 single-source rounding,
+/// Thm 1.2 full QPP, Thm 5.1 total delay) on a random topology, asserting
+/// each pipeline's proved bounds. Catches construction-specific corner
+/// cases (non-uniform loads, singleton quorums, large quorums).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "core/evaluators.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+#include "quorum/read_write.hpp"
+
+namespace qp::core {
+namespace {
+
+struct PipelineCase {
+  std::string name;
+  quorum::QuorumSystem system;
+};
+
+std::vector<PipelineCase> all_constructions() {
+  std::vector<PipelineCase> cases;
+  cases.push_back({"grid2", quorum::grid(2)});
+  cases.push_back({"grid3", quorum::grid(3)});
+  cases.push_back({"majority5", quorum::majority(5)});
+  cases.push_back({"majority7t5", quorum::majority(7, 5)});
+  cases.push_back({"fpp2", quorum::projective_plane(2)});
+  cases.push_back({"tree-h2", quorum::binary_tree(2)});
+  cases.push_back({"wall-2-3", quorum::crumbling_wall({2, 3})});
+  cases.push_back({"star5", quorum::star(5)});
+  cases.push_back({"weighted", quorum::weighted_majority({3, 2, 2, 1, 1})});
+  cases.push_back({"singleton", quorum::singleton()});
+  cases.push_back(
+      {"rw-grid2-mixed",
+       quorum::combine_uniform(quorum::grid_read_write(2), 0.7).system});
+  return cases;
+}
+
+class PipelineSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineSweep, AllBoundsAcrossConstructions) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 1063 + 29);
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::erdos_renyi(12, 0.35, rng, 1.0, 9.0));
+
+  for (PipelineCase& c : all_constructions()) {
+    SCOPED_TRACE(c.name);
+    quorum::AccessStrategy strategy = quorum::AccessStrategy::uniform(c.system);
+    if (c.name == "rw-grid2-mixed") {
+      strategy = quorum::combine_uniform(quorum::grid_read_write(2), 0.7)
+                     .strategy;
+    }
+    const std::vector<double> loads = quorum::element_loads(c.system, strategy);
+    const double max_load = *std::max_element(loads.begin(), loads.end());
+    const std::vector<double> caps(12, 1.05 * max_load);
+
+    // Thm 3.7 single-source pipeline.
+    const SsqppInstance ssqpp(metric, caps, c.system, strategy, seed % 12);
+    const auto rounded = solve_ssqpp(ssqpp, 2.0);
+    ASSERT_TRUE(rounded.has_value());
+    EXPECT_LE(rounded->delay, 2.0 * rounded->lp_objective + 1e-6);
+    EXPECT_LE(rounded->load_violation, 3.0 + 1e-6);
+
+    // Thm 5.1 total-delay pipeline.
+    const QppInstance qpp(metric, caps, c.system, strategy);
+    const auto total = solve_total_delay(qpp);
+    ASSERT_TRUE(total.has_value());
+    EXPECT_LE(total->load_violation, 2.0 + 1e-6);
+    // Thm 5.1: delay <= LP optimum (the rounding can even undercut the LP,
+    // which prices capacities the integral solution is allowed to exceed).
+    EXPECT_LE(total->average_delay, total->lp_objective + 1e-6);
+
+    // Thm 1.2 full pipeline (restricted source set to keep runtime sane);
+    // its factor-5 relay argument needs pairwise intersection, which every
+    // case except the read/write mix provides.
+    QppSolveOptions options;
+    options.candidate_sources = {0, 5};
+    const auto full = solve_qpp(qpp, options);
+    ASSERT_TRUE(full.has_value());
+    EXPECT_LE(full->load_violation, 3.0 + 1e-6);
+    EXPECT_NEAR(full->average_delay,
+                average_max_delay(qpp, full->placement), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSweep, ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,128 @@
+#include "core/qpp_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+QppInstance make_instance(const graph::Graph& g,
+                          const quorum::QuorumSystem& system, double cap) {
+  return QppInstance(
+      graph::Metric::from_graph(g),
+      std::vector<double>(static_cast<std::size_t>(g.num_nodes()), cap),
+      system, quorum::AccessStrategy::uniform(system));
+}
+
+TEST(QppSolver, SingleSourceViewSharesData) {
+  const QppInstance instance =
+      make_instance(graph::path_graph(5), quorum::grid(2), 1.0);
+  const SsqppInstance view = single_source_view(instance, 3);
+  EXPECT_EQ(view.source(), 3);
+  EXPECT_EQ(view.num_nodes(), 5);
+  EXPECT_EQ(view.system().num_quorums(), 4);
+}
+
+TEST(QppSolver, NulloptWhenAllSourcesInfeasible) {
+  const QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2), 0.5);
+  EXPECT_FALSE(solve_qpp(instance).has_value());
+}
+
+TEST(QppSolver, Theorem12BoundAgainstExactOptimum) {
+  const QppInstance instance =
+      make_instance(graph::cycle_graph(6), quorum::grid(2), 0.8);
+  QppSolveOptions options;
+  options.alpha = 2.0;
+  const auto result = solve_qpp(instance, options);
+  ASSERT_TRUE(result.has_value());
+
+  const auto exact = exact_qpp_max_delay(instance);
+  ASSERT_TRUE(exact.has_value());
+  // Thm 1.2: Avg delay <= 5 alpha/(alpha-1) OPT = 10 OPT for alpha = 2.
+  // (The placement may beat OPT outright since capacities are relaxed.)
+  EXPECT_LE(result->average_delay, 10.0 * exact->delay + 1e-7);
+  EXPECT_LE(result->load_violation, 3.0 + 1e-9);
+}
+
+TEST(QppSolver, CandidateSubsetRestrictsSearch) {
+  const QppInstance instance =
+      make_instance(graph::path_graph(6), quorum::grid(2), 1.0);
+  QppSolveOptions options;
+  options.candidate_sources = {2};
+  const auto result = solve_qpp(instance, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->chosen_source, 2);
+}
+
+TEST(QppSolver, TryingAllSourcesIsNoWorseThanOne) {
+  const QppInstance instance =
+      make_instance(graph::star_graph(7), quorum::majority(3), 1.0);
+  QppSolveOptions one;
+  one.candidate_sources = {6};
+  const auto single = solve_qpp(instance, one);
+  const auto all = solve_qpp(instance);
+  ASSERT_TRUE(single.has_value());
+  ASSERT_TRUE(all.has_value());
+  EXPECT_LE(all->average_delay, single->average_delay + 1e-9);
+}
+
+TEST(QppSolver, MaxCandidatesRestrictsToMedianOrder) {
+  // On a path, the 1-median order starts at the middle nodes; with
+  // max_candidates = 2 the chosen source must be one of them.
+  const QppInstance instance =
+      make_instance(graph::path_graph(9), quorum::grid(2), 1.0);
+  QppSolveOptions options;
+  options.max_candidates = 2;
+  const auto result = solve_qpp(instance, options);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->chosen_source == 3 || result->chosen_source == 4 ||
+              result->chosen_source == 5)
+      << "source " << result->chosen_source;
+}
+
+TEST(QppSolver, MaxCandidatesMatchesFullSearchQuality) {
+  std::mt19937_64 rng(5);
+  const QppInstance instance = make_instance(
+      graph::erdos_renyi(10, 0.4, rng, 1.0, 6.0), quorum::majority(3), 1.0);
+  QppSolveOptions full;
+  const auto exhaustive = solve_qpp(instance, full);
+  QppSolveOptions sampled;
+  sampled.max_candidates = 3;
+  const auto quick = solve_qpp(instance, sampled);
+  ASSERT_TRUE(exhaustive.has_value());
+  ASSERT_TRUE(quick.has_value());
+  // Restricting candidates can only do the same or worse...
+  EXPECT_GE(quick->average_delay, exhaustive->average_delay - 1e-9);
+  // ...but median-order candidates stay competitive in practice.
+  EXPECT_LE(quick->average_delay, 2.0 * exhaustive->average_delay + 1e-9);
+}
+
+class QppSolverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QppSolverSweep, BoundsOnRandomInstances) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 313 + 29);
+  const graph::Graph g = graph::erdos_renyi(7, 0.5, rng, 1.0, 5.0);
+  const QppInstance instance = make_instance(g, quorum::majority(3), 1.0);
+  QppSolveOptions options;
+  options.alpha = 2.0;
+  const auto result = solve_qpp(instance, options);
+  ASSERT_TRUE(result.has_value());
+  const auto exact = exact_qpp_max_delay(instance);
+  ASSERT_TRUE(exact.has_value());
+  // Capacity-relaxed placements may beat the feasible OPT; only the upper
+  // bound of Thm 1.2 is guaranteed.
+  EXPECT_LE(result->average_delay, 10.0 * exact->delay + 1e-6);
+  EXPECT_LE(result->load_violation, 3.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QppSolverSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,94 @@
+#include "quorum/quorum_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qp::quorum {
+namespace {
+
+TEST(QuorumSystem, SortsAndValidates) {
+  const QuorumSystem qs(4, {{2, 0}, {1, 2, 3}});
+  EXPECT_EQ(qs.universe_size(), 4);
+  EXPECT_EQ(qs.num_quorums(), 2);
+  EXPECT_EQ(qs.quorum(0), (Quorum{0, 2}));
+  EXPECT_EQ(qs.max_quorum_size(), 3);
+}
+
+TEST(QuorumSystem, RejectsEmptyQuorum) {
+  EXPECT_THROW(QuorumSystem(3, {{}}), std::invalid_argument);
+}
+
+TEST(QuorumSystem, RejectsDuplicateElement) {
+  EXPECT_THROW(QuorumSystem(3, {{1, 1}}), std::invalid_argument);
+}
+
+TEST(QuorumSystem, RejectsOutOfRangeElement) {
+  EXPECT_THROW(QuorumSystem(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(QuorumSystem(3, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(QuorumSystem, IntersectionDetection) {
+  const QuorumSystem good(4, {{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_TRUE(good.is_intersecting());
+  const QuorumSystem bad(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(bad.is_intersecting());
+}
+
+TEST(QuorumSystem, MinimalityDetection) {
+  const QuorumSystem minimal(4, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(minimal.is_minimal());
+  const QuorumSystem redundant(4, {{0, 1}, {0, 1, 2}});
+  EXPECT_FALSE(redundant.is_minimal());
+}
+
+TEST(QuorumSystem, UniverseCoverage) {
+  EXPECT_TRUE(QuorumSystem(3, {{0, 1}, {1, 2}}).covers_universe());
+  EXPECT_FALSE(QuorumSystem(3, {{0, 1}}).covers_universe());
+}
+
+TEST(QuorumSystem, DescribeSummarizes) {
+  const QuorumSystem qs(5, {{0, 1, 2}});
+  EXPECT_EQ(qs.describe(), "QuorumSystem(|U|=5, m=1, max|Q|=3)");
+}
+
+TEST(AccessStrategy, UniformProbabilities) {
+  const QuorumSystem qs(3, {{0, 1}, {1, 2}, {0, 2}});
+  const AccessStrategy p = AccessStrategy::uniform(qs);
+  for (int q = 0; q < 3; ++q) EXPECT_DOUBLE_EQ(p.probability(q), 1.0 / 3.0);
+}
+
+TEST(AccessStrategy, RejectsWrongArity) {
+  const QuorumSystem qs(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(AccessStrategy(qs, {1.0}), std::invalid_argument);
+}
+
+TEST(AccessStrategy, RejectsNegative) {
+  const QuorumSystem qs(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(AccessStrategy(qs, {1.5, -0.5}), std::invalid_argument);
+}
+
+TEST(AccessStrategy, RejectsNonUnitSum) {
+  const QuorumSystem qs(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW(AccessStrategy(qs, {0.3, 0.3}), std::invalid_argument);
+}
+
+TEST(ElementLoads, MatchesDefinition) {
+  // load(u) = sum of p over quorums containing u (paper Sec 1.2).
+  const QuorumSystem qs(3, {{0, 1}, {1, 2}});
+  const AccessStrategy p(qs, {0.25, 0.75});
+  const std::vector<double> loads = element_loads(qs, p);
+  EXPECT_DOUBLE_EQ(loads[0], 0.25);
+  EXPECT_DOUBLE_EQ(loads[1], 1.0);
+  EXPECT_DOUBLE_EQ(loads[2], 0.75);
+  EXPECT_DOUBLE_EQ(system_load(qs, p), 1.0);
+}
+
+TEST(ElementLoads, UncoveredElementHasZeroLoad) {
+  const QuorumSystem qs(3, {{0, 1}});
+  const AccessStrategy p = AccessStrategy::uniform(qs);
+  EXPECT_DOUBLE_EQ(element_loads(qs, p)[2], 0.0);
+}
+
+}  // namespace
+}  // namespace qp::quorum

@@ -1,0 +1,157 @@
+#include "quorum/read_write.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "core/evaluators.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::quorum {
+namespace {
+
+TEST(ReadWriteSystem, ValidatesFamilies) {
+  EXPECT_THROW(ReadWriteSystem(3, {}, {{0}}), std::invalid_argument);
+  EXPECT_THROW(ReadWriteSystem(3, {{0}}, {}), std::invalid_argument);
+  EXPECT_THROW(ReadWriteSystem(3, {{3}}, {{0}}), std::invalid_argument);
+  EXPECT_THROW(ReadWriteSystem(3, {{0, 0}}, {{1}}), std::invalid_argument);
+}
+
+TEST(ReadWriteSystem, IntersectionChecks) {
+  // Reads {0}, {1}; writes {0,1}: valid bicoterie.
+  const ReadWriteSystem good(2, {{0}, {1}}, {{0, 1}});
+  EXPECT_TRUE(good.reads_intersect_writes());
+  EXPECT_TRUE(good.writes_intersect_writes());
+  EXPECT_TRUE(good.is_valid());
+  // Writes {0}, {1} do not pairwise intersect.
+  const ReadWriteSystem bad(2, {{0, 1}}, {{0}, {1}});
+  EXPECT_TRUE(bad.reads_intersect_writes());
+  EXPECT_FALSE(bad.writes_intersect_writes());
+  EXPECT_FALSE(bad.is_valid());
+}
+
+TEST(ReadOneWriteAll, StructureAndValidity) {
+  const ReadWriteSystem rw = read_one_write_all(5);
+  EXPECT_EQ(rw.read_quorums().size(), 5u);
+  EXPECT_EQ(rw.write_quorums().size(), 1u);
+  EXPECT_EQ(rw.write_quorums()[0].size(), 5u);
+  EXPECT_TRUE(rw.is_valid());
+}
+
+TEST(MajorityReadWrite, ThresholdsEnforced) {
+  EXPECT_THROW(majority_read_write(5, 2, 3), std::invalid_argument);  // r+w=n
+  EXPECT_THROW(majority_read_write(4, 3, 2), std::invalid_argument);  // 2w=n
+  const ReadWriteSystem rw = majority_read_write(5, 2, 4);
+  EXPECT_EQ(rw.read_quorums().size(), 10u);   // C(5,2)
+  EXPECT_EQ(rw.write_quorums().size(), 5u);   // C(5,4)
+  EXPECT_TRUE(rw.is_valid());
+}
+
+TEST(GridReadWrite, RowsReadRowColumnWrite) {
+  const ReadWriteSystem rw = grid_read_write(3);
+  EXPECT_EQ(rw.read_quorums().size(), 3u);
+  EXPECT_EQ(rw.write_quorums().size(), 9u);
+  EXPECT_EQ(rw.read_quorums()[1], (Quorum{3, 4, 5}));
+  EXPECT_TRUE(rw.is_valid());
+  // Reads do NOT intersect each other (rows are disjoint) -- that is the
+  // point of the cheaper read quorums.
+  EXPECT_FALSE(QuorumSystem(9, rw.read_quorums()).is_intersecting());
+}
+
+TEST(Combine, MixesStrategies) {
+  const ReadWriteSystem rw = read_one_write_all(3);
+  const CombinedWorkload wl = combine_uniform(rw, 0.75);
+  EXPECT_EQ(wl.system.num_quorums(), 4);
+  EXPECT_EQ(wl.num_read_quorums, 3);
+  for (int q = 0; q < 3; ++q) {
+    EXPECT_NEAR(wl.strategy.probability(q), 0.25, 1e-12);
+  }
+  EXPECT_NEAR(wl.strategy.probability(3), 0.25, 1e-12);
+  // ROWA loads: element u read w.p. 0.75/3, written w.p. 0.25.
+  const auto loads = element_loads(wl.system, wl.strategy);
+  for (double load : loads) EXPECT_NEAR(load, 0.25 + 0.25, 1e-12);
+}
+
+TEST(Combine, ReadHeavyLowersGridLoad) {
+  const ReadWriteSystem rw = grid_read_write(3);
+  const auto read_heavy = combine_uniform(rw, 0.9);
+  const auto write_heavy = combine_uniform(rw, 0.1);
+  EXPECT_LT(system_load(read_heavy.system, read_heavy.strategy),
+            system_load(write_heavy.system, write_heavy.strategy));
+}
+
+TEST(Combine, IntersectionFlagReflectsFamily) {
+  // Pure writes (fraction 0) of the grid protocol pairwise intersect, but
+  // the combined family including disjoint read rows does not.
+  const ReadWriteSystem rw = grid_read_write(3);
+  EXPECT_FALSE(combine_uniform(rw, 0.5).intersecting);
+  // ROWA: every quorum contains... reads are singletons {u}, writes all;
+  // {0} and {1} do not intersect.
+  EXPECT_FALSE(combine_uniform(read_one_write_all(3), 0.5).intersecting);
+  // Majority r=w=3 over 5: any two 3-sets intersect.
+  EXPECT_TRUE(combine_uniform(majority_read_write(5, 3, 3), 0.5).intersecting);
+}
+
+TEST(Combine, ValidatesArguments) {
+  const ReadWriteSystem rw = read_one_write_all(3);
+  EXPECT_THROW(combine_uniform(rw, -0.1), std::invalid_argument);
+  EXPECT_THROW(combine_uniform(rw, 1.1), std::invalid_argument);
+  EXPECT_THROW(combine(rw, {1.0}, {1.0}, 0.5), std::invalid_argument);
+}
+
+TEST(Combine, DegenerateFractionsZeroOutAFamily) {
+  const ReadWriteSystem rw = read_one_write_all(3);
+  const auto reads_only = combine_uniform(rw, 1.0);
+  EXPECT_NEAR(reads_only.strategy.probability(3), 0.0, 1e-12);
+  const auto writes_only = combine_uniform(rw, 0.0);
+  EXPECT_NEAR(writes_only.strategy.probability(3), 1.0, 1e-12);
+}
+
+/// End-to-end: read/write workloads run through the paper's single-source
+/// and total-delay algorithms (which never need pairwise intersection).
+TEST(ReadWritePlacement, SsqppAndTotalDelayPipelines) {
+  std::mt19937_64 rng(5);
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::erdos_renyi(10, 0.4, rng, 1.0, 6.0));
+  const CombinedWorkload wl = combine_uniform(grid_read_write(2), 0.8);
+
+  core::SsqppInstance ssqpp(metric, std::vector<double>(10, 1.0), wl.system,
+                            wl.strategy, 0);
+  const auto rounded = core::solve_ssqpp(ssqpp, 2.0);
+  ASSERT_TRUE(rounded.has_value());
+  EXPECT_LE(rounded->delay, 2.0 * rounded->lp_objective + 1e-6);
+  EXPECT_LE(rounded->load_violation, 3.0 + 1e-9);
+
+  core::QppInstance qpp(metric, std::vector<double>(10, 1.0), wl.system,
+                        wl.strategy);
+  const auto total = core::solve_total_delay(qpp);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_LE(total->load_violation, 2.0 + 1e-9);
+}
+
+class ReadFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ReadFractionSweep, LoadInterpolatesLinearly) {
+  const double fraction = GetParam();
+  const ReadWriteSystem rw = grid_read_write(3);
+  const auto wl = combine_uniform(rw, fraction);
+  const auto loads = element_loads(wl.system, wl.strategy);
+  // Element (r, c): read load fraction/k (its row read w.p. 1/k), write
+  // load (1-fraction) * (2k-1)/k^2.
+  const int k = 3;
+  for (double load : loads) {
+    EXPECT_NEAR(load,
+                fraction / k + (1.0 - fraction) * (2.0 * k - 1) / (k * k),
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ReadFractionSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace qp::quorum

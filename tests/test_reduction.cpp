@@ -1,0 +1,130 @@
+#include "sched/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "sched/exact.hpp"
+
+namespace qp::sched {
+namespace {
+
+SchedulingInstance small_woeginger() {
+  // Time jobs 0, 1, 2 (T=1, w=0); weight jobs 3, 4 (T=0, w=1);
+  // 0 and 1 precede 3; 2 precedes 4.
+  return SchedulingInstance(
+      {{1, 0}, {1, 0}, {1, 0}, {0, 1}, {0, 1}},
+      {{0, 3}, {1, 3}, {2, 4}});
+}
+
+TEST(Reduction, RejectsNonWoegingerForm) {
+  const SchedulingInstance general({{2.0, 1.0}}, {});
+  EXPECT_THROW(reduce_to_ssqpp(general), std::invalid_argument);
+}
+
+TEST(Reduction, ConstructionShape) {
+  const ReductionResult r = reduce_to_ssqpp(small_woeginger());
+  EXPECT_EQ(r.num_time_jobs, 3);
+  EXPECT_EQ(r.num_weight_jobs, 2);
+  // Universe: e_0 plus one element per time job.
+  EXPECT_EQ(r.instance.system().universe_size(), 4);
+  // Quorums: 2 type-1 + 3 type-2.
+  EXPECT_EQ(r.instance.system().num_quorums(), 5);
+  EXPECT_TRUE(r.instance.system().is_intersecting());
+  // Path metric: d(v0, v_t) = t.
+  EXPECT_DOUBLE_EQ(r.instance.metric()(0, 3), 3.0);
+  // e_0 has load 1 and only fits on v0.
+  EXPECT_DOUBLE_EQ(r.instance.element_loads()[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.instance.capacity(0), 1.0);
+  for (int v = 1; v <= 3; ++v) EXPECT_LT(r.instance.capacity(v), 1.0);
+}
+
+TEST(Reduction, EpsilonSatisfiesPaperConstraints) {
+  const ReductionResult r = reduce_to_ssqpp(small_woeginger());
+  const int nt = r.num_time_jobs;
+  // eps < (1-eps)/(n-m): probability ordering used in the proof.
+  EXPECT_LT(r.epsilon, (1.0 - r.epsilon) / nt);
+  // Every element other than e_0 fits on every non-source node, but no two
+  // elements fit together (capacity separation).
+  const auto& loads = r.instance.element_loads();
+  for (int e = 1; e <= nt; ++e) {
+    EXPECT_LE(loads[static_cast<std::size_t>(e)], r.instance.capacity(1));
+    EXPECT_GT(2 * loads[static_cast<std::size_t>(e)] -
+                  loads[static_cast<std::size_t>(e)] * 1e-9,
+              r.instance.capacity(1) - 1.0);  // loose sanity: loads ~ cap/2..cap
+  }
+  for (int e1 = 1; e1 <= nt; ++e1) {
+    for (int e2 = 1; e2 <= nt; ++e2) {
+      EXPECT_GT(loads[static_cast<std::size_t>(e1)] +
+                    loads[static_cast<std::size_t>(e2)],
+                r.instance.capacity(1) + 1e-12);
+    }
+  }
+}
+
+TEST(Reduction, ScheduleRoundTrip) {
+  const SchedulingInstance sched = small_woeginger();
+  const ReductionResult r = reduce_to_ssqpp(sched);
+  const std::vector<int> order = {0, 1, 3, 2, 4};
+  ASSERT_TRUE(sched.is_feasible_order(order));
+  const core::Placement placement = placement_from_schedule(sched, r, order);
+  // e_0 on v0; elements of jobs 0,1,2 at positions 1,2,3.
+  EXPECT_EQ(placement[0], 0);
+  const auto back = schedule_from_placement(sched, r, placement);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(sched.is_feasible_order(*back));
+  EXPECT_DOUBLE_EQ(sched.cost(*back), sched.cost(order));
+}
+
+TEST(Reduction, DelayFormulaMatchesEvaluator) {
+  const SchedulingInstance sched = small_woeginger();
+  const ReductionResult r = reduce_to_ssqpp(sched);
+  const std::vector<int> order = {0, 1, 3, 2, 4};
+  const core::Placement placement = placement_from_schedule(sched, r, order);
+  const double delay =
+      core::source_expected_max_delay(r.instance, placement);
+  // The schedule realized by the placement is the ASAP schedule, whose cost
+  // may be lower than `order`'s; compare against the ASAP round trip.
+  const auto asap = schedule_from_placement(sched, r, placement);
+  ASSERT_TRUE(asap.has_value());
+  EXPECT_NEAR(delay, r.delay_for_schedule_cost(sched.cost(*asap)), 1e-9);
+  EXPECT_NEAR(r.schedule_cost_for_delay(delay), sched.cost(*asap), 1e-7);
+}
+
+TEST(Reduction, RejectsNonBijectivePlacements) {
+  const SchedulingInstance sched = small_woeginger();
+  const ReductionResult r = reduce_to_ssqpp(sched);
+  // e_0 not on v0.
+  EXPECT_FALSE(schedule_from_placement(sched, r, {1, 0, 2, 3}).has_value());
+  // Two elements on one node.
+  EXPECT_FALSE(schedule_from_placement(sched, r, {0, 1, 1, 3}).has_value());
+}
+
+/// The crux of Thm 3.6: optimal schedule cost and optimal SSQPP delay
+/// correspond through the affine delay map, on random Woeginger instances.
+class ReductionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReductionEquivalence, OptimaCorrespond) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 97 + 11);
+  const SchedulingInstance sched = random_woeginger_instance(4, 3, 0.5, rng);
+  const ReductionResult r = reduce_to_ssqpp(sched);
+
+  const ExactScheduleResult sched_opt = solve_exact(sched);
+  const auto place_opt = core::exact_ssqpp(r.instance);
+  ASSERT_TRUE(place_opt.has_value());
+
+  EXPECT_NEAR(place_opt->delay,
+              r.delay_for_schedule_cost(sched_opt.cost), 1e-9);
+
+  // And the optimal placement converts into an optimal schedule.
+  const auto order = schedule_from_placement(sched, r, place_opt->placement);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_NEAR(sched.cost(*order), sched_opt.cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalence, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace qp::sched

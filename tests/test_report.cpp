@@ -1,0 +1,64 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "report/stats.hpp"
+
+namespace qp::report {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"x", "1.0"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  banner(os, "Experiment 1");
+  EXPECT_NE(os.str().find("== Experiment 1 =="), std::string::npos);
+}
+
+TEST(Summarize, BasicStatistics) {
+  const Summary s = summarize({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.mean, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.geomean, 2.0, 1e-12);
+  EXPECT_EQ(s.count, 3);
+}
+
+TEST(Summarize, GeomeanZeroWhenNonPositive) {
+  EXPECT_DOUBLE_EQ(summarize({0.0, 1.0}).geomean, 0.0);
+}
+
+TEST(Summarize, RejectsEmpty) {
+  EXPECT_THROW(summarize({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qp::report

@@ -1,0 +1,195 @@
+#include "sched/scheduling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+#include "sched/exact.hpp"
+
+namespace qp::sched {
+namespace {
+
+SchedulingInstance chain_instance() {
+  // Three unit jobs in a chain 0 -> 1 -> 2 with weights 1, 2, 3.
+  return SchedulingInstance({{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}},
+                            {{0, 1}, {1, 2}});
+}
+
+TEST(SchedulingInstance, ValidatesJobs) {
+  EXPECT_THROW(SchedulingInstance({{-1.0, 0.0}}, {}), std::invalid_argument);
+  EXPECT_THROW(SchedulingInstance({{1.0, -2.0}}, {}), std::invalid_argument);
+}
+
+TEST(SchedulingInstance, ValidatesPrecedences) {
+  EXPECT_THROW(SchedulingInstance({{1, 1}, {1, 1}}, {{0, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(SchedulingInstance({{1, 1}}, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(SchedulingInstance, RejectsCycles) {
+  EXPECT_THROW(SchedulingInstance({{1, 1}, {1, 1}}, {{0, 1}, {1, 0}}),
+               std::invalid_argument);
+}
+
+TEST(SchedulingInstance, FeasibilityCheck) {
+  const SchedulingInstance inst = chain_instance();
+  EXPECT_TRUE(inst.is_feasible_order({0, 1, 2}));
+  EXPECT_FALSE(inst.is_feasible_order({1, 0, 2}));
+  EXPECT_FALSE(inst.is_feasible_order({0, 1}));
+  EXPECT_FALSE(inst.is_feasible_order({0, 0, 2}));
+}
+
+TEST(SchedulingInstance, CostComputation) {
+  const SchedulingInstance inst = chain_instance();
+  // C = (1, 2, 3); cost = 1*1 + 2*2 + 3*3 = 14.
+  EXPECT_DOUBLE_EQ(inst.cost({0, 1, 2}), 14.0);
+  EXPECT_THROW(inst.cost({2, 1, 0}), std::invalid_argument);
+}
+
+TEST(SchedulingInstance, CostWithZeroProcessingTimes) {
+  // Weight job after a time job completes at time 1.
+  const SchedulingInstance inst({{1.0, 0.0}, {0.0, 1.0}}, {{0, 1}});
+  EXPECT_DOUBLE_EQ(inst.cost({0, 1}), 1.0);
+}
+
+TEST(WoegingerForm, Detection) {
+  const SchedulingInstance good({{1.0, 0.0}, {0.0, 1.0}}, {{0, 1}});
+  EXPECT_TRUE(good.is_woeginger_form());
+  const SchedulingInstance bad_jobs({{2.0, 0.0}, {0.0, 1.0}}, {});
+  EXPECT_FALSE(bad_jobs.is_woeginger_form());
+  // Edge from weight job to time job violates the form.
+  const SchedulingInstance bad_edge({{0.0, 1.0}, {1.0, 0.0}}, {{0, 1}});
+  EXPECT_FALSE(bad_edge.is_woeginger_form());
+}
+
+TEST(RandomWoeginger, ProducesWoegingerForm) {
+  std::mt19937_64 rng(3);
+  const SchedulingInstance inst = random_woeginger_instance(5, 4, 0.5, rng);
+  EXPECT_EQ(inst.num_jobs(), 9);
+  EXPECT_TRUE(inst.is_woeginger_form());
+}
+
+TEST(ListSchedule, FeasibleOnChains) {
+  const SchedulingInstance inst = chain_instance();
+  EXPECT_TRUE(inst.is_feasible_order(list_schedule(inst)));
+}
+
+TEST(ListSchedule, PrefersHeavyShortJobs) {
+  // No precedences: WSPT puts the (T=0, w=1) job first.
+  const SchedulingInstance inst({{1.0, 0.0}, {0.0, 1.0}}, {});
+  const std::vector<int> order = list_schedule(inst);
+  EXPECT_EQ(order.front(), 1);
+  EXPECT_DOUBLE_EQ(inst.cost(order), 0.0);
+}
+
+TEST(SmithRule, RejectsPrecedences) {
+  EXPECT_THROW(smith_rule(chain_instance()), std::invalid_argument);
+}
+
+TEST(SmithRule, SortsByRatio) {
+  // Ratios: job0 2/1, job1 4/1, job2 1/2 -> order 1, 0, 2.
+  const SchedulingInstance inst({{1.0, 2.0}, {1.0, 4.0}, {2.0, 1.0}}, {});
+  EXPECT_EQ(smith_rule(inst), (std::vector<int>{1, 0, 2}));
+}
+
+TEST(SmithRule, ZeroTimeHighWeightFirst) {
+  const SchedulingInstance inst({{1.0, 1.0}, {0.0, 1.0}}, {});
+  EXPECT_EQ(smith_rule(inst).front(), 1);
+}
+
+class SmithVsExact : public ::testing::TestWithParam<int> {};
+
+TEST_P(SmithVsExact, OptimalWithoutPrecedences) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7 + 1);
+  std::uniform_real_distribution<double> dist(0.0, 5.0);
+  std::vector<Job> jobs;
+  for (int j = 0; j < 8; ++j) jobs.push_back({dist(rng), dist(rng)});
+  const SchedulingInstance inst(jobs, {});
+  const std::vector<int> order = smith_rule(inst);
+  ASSERT_TRUE(inst.is_feasible_order(order));
+  EXPECT_NEAR(inst.cost(order), solve_exact(inst).cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmithVsExact, ::testing::Range(0, 10));
+
+TEST(ExactSolver, TrivialInstances) {
+  EXPECT_DOUBLE_EQ(solve_exact(SchedulingInstance({}, {})).cost, 0.0);
+  const SchedulingInstance one({{2.0, 3.0}}, {});
+  const ExactScheduleResult r = solve_exact(one);
+  EXPECT_DOUBLE_EQ(r.cost, 6.0);
+  EXPECT_EQ(r.order, (std::vector<int>{0}));
+}
+
+TEST(ExactSolver, ChainForcedOrder) {
+  const ExactScheduleResult r = solve_exact(chain_instance());
+  EXPECT_DOUBLE_EQ(r.cost, 14.0);
+  EXPECT_EQ(r.order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(ExactSolver, SmithRuleWithoutPrecedences) {
+  // Optimal order by w/T ratio: job1 (4/1), job0 (2/1), job2 (1/2).
+  const SchedulingInstance inst({{1.0, 2.0}, {1.0, 4.0}, {2.0, 1.0}}, {});
+  const ExactScheduleResult r = solve_exact(inst);
+  EXPECT_TRUE(inst.is_feasible_order(r.order));
+  // cost = 4*1 + 2*2 + 1*4 = 12.
+  EXPECT_DOUBLE_EQ(r.cost, 12.0);
+}
+
+TEST(ExactSolver, RespectsPrecedenceEvenWhenCostly) {
+  // Without the edge, job 1 (heavy) would go first.
+  const SchedulingInstance inst({{1.0, 0.0}, {1.0, 10.0}}, {{0, 1}});
+  const ExactScheduleResult r = solve_exact(inst);
+  EXPECT_EQ(r.order, (std::vector<int>{0, 1}));
+  EXPECT_DOUBLE_EQ(r.cost, 20.0);
+}
+
+TEST(ExactSolver, RejectsHugeInstances) {
+  std::vector<Job> jobs(21, Job{1.0, 1.0});
+  EXPECT_THROW(solve_exact(SchedulingInstance(jobs, {})), std::invalid_argument);
+}
+
+/// Property: exact solver never beats the cost of any sampled feasible order
+/// and never exceeds the list heuristic.
+class ExactVsSampled : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExactVsSampled, ExactIsMinimal) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 13 + 7);
+  const SchedulingInstance inst = random_woeginger_instance(5, 4, 0.4, rng);
+  const ExactScheduleResult exact = solve_exact(inst);
+  EXPECT_TRUE(inst.is_feasible_order(exact.order));
+  EXPECT_NEAR(inst.cost(exact.order), exact.cost, 1e-9);
+
+  const std::vector<int> heuristic = list_schedule(inst);
+  EXPECT_LE(exact.cost, inst.cost(heuristic) + 1e-9);
+
+  // Sample random topological orders via randomized list scheduling.
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> remaining(static_cast<std::size_t>(inst.num_jobs()), 0);
+    std::vector<std::vector<int>> succ(static_cast<std::size_t>(inst.num_jobs()));
+    for (const auto& [b, a] : inst.precedences()) {
+      ++remaining[static_cast<std::size_t>(a)];
+      succ[static_cast<std::size_t>(b)].push_back(a);
+    }
+    std::vector<int> ready, order;
+    for (int j = 0; j < inst.num_jobs(); ++j) {
+      if (remaining[static_cast<std::size_t>(j)] == 0) ready.push_back(j);
+    }
+    while (!ready.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, ready.size() - 1);
+      const std::size_t idx = pick(rng);
+      const int j = ready[idx];
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(idx));
+      order.push_back(j);
+      for (int s : succ[static_cast<std::size_t>(j)]) {
+        if (--remaining[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+      }
+    }
+    EXPECT_LE(exact.cost, inst.cost(order) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsSampled, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace qp::sched

@@ -1,0 +1,343 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "lp/model.hpp"
+
+namespace qp::lp {
+namespace {
+
+TEST(Model, TracksVariablesAndConstraints) {
+  Model m;
+  const int x = m.add_variable(1.0, "x");
+  const int y = m.add_variable(-2.0);
+  EXPECT_EQ(m.num_variables(), 2);
+  EXPECT_EQ(m.variable_name(x), "x");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kLessEqual, 4.0);
+  EXPECT_EQ(m.num_constraints(), 1);
+  m.set_objective_coefficient(y, 2.0);
+  EXPECT_DOUBLE_EQ(m.objective()[1], 2.0);
+}
+
+TEST(Model, RejectsUnknownVariable) {
+  Model m;
+  m.add_variable(1.0);
+  EXPECT_THROW(m.add_constraint({{3, 1.0}}, Relation::kEqual, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.set_objective_coefficient(7, 1.0), std::invalid_argument);
+}
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max x + y s.t. x <= 2, y <= 3  ->  min -x - y; optimum -(2+3).
+  Model m;
+  const int x = m.add_variable(-1.0);
+  const int y = m.add_variable(-1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 2.0);
+  m.add_constraint({{y, 1.0}}, Relation::kLessEqual, 3.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -5.0, 1e-9);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 3.0, 1e-9);
+}
+
+TEST(Simplex, ClassicTwoVariableProblem) {
+  // min -3x - 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (Dantzig's example);
+  // optimum at (2, 6) with value -36.
+  Model m;
+  const int x = m.add_variable(-3.0);
+  const int y = m.add_variable(-5.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 4.0);
+  m.add_constraint({{y, 2.0}}, Relation::kLessEqual, 12.0);
+  m.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLessEqual, 18.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-8);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-8);
+  EXPECT_NEAR(s.values[1], 6.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x + 2y s.t. x + y = 3, x - y = 1  ->  x = 2, y = 1.
+  Model m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(2.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 3.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 1.0, 1e-9);
+  EXPECT_NEAR(s.objective, 4.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1  ->  (4, 0) value 8.
+  Model m;
+  const int x = m.add_variable(2.0);
+  const int y = m.add_variable(3.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 4.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  Model m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  Model m;
+  const int x = m.add_variable(-1.0);
+  const int y = m.add_variable(0.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kLessEqual, 1.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3  (i.e. x >= 3).
+  Model m;
+  const int x = m.add_variable(1.0);
+  m.add_constraint({{x, -1.0}}, Relation::kLessEqual, -3.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 3.0, 1e-9);
+}
+
+TEST(Simplex, DuplicateTermsAreSummed) {
+  // x + x <= 4  ->  x <= 2 for min -x.
+  Model m;
+  const int x = m.add_variable(-1.0);
+  m.add_constraint({{x, 1.0}, {x, 1.0}}, Relation::kLessEqual, 4.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, NoConstraintsOptimalAtZero) {
+  Model m;
+  m.add_variable(5.0);
+  m.add_variable(0.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, NoConstraintsUnboundedWithNegativeCost) {
+  Model m;
+  m.add_variable(-1.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Classic cycling-prone degenerate LP (Beale); Bland fallback must
+  // terminate at optimum -0.05.
+  Model m;
+  const int x1 = m.add_variable(-0.75);
+  const int x2 = m.add_variable(150.0);
+  const int x3 = m.add_variable(-0.02);
+  const int x4 = m.add_variable(6.0);
+  m.add_constraint({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}},
+                   Relation::kLessEqual, 0.0);
+  m.add_constraint({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}},
+                   Relation::kLessEqual, 0.0);
+  m.add_constraint({{x3, 1.0}}, Relation::kLessEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 supplies (10, 20), 3 demands (5, 10, 15); costs row-major.
+  const double cost[2][3] = {{2.0, 4.0, 5.0}, {3.0, 1.0, 7.0}};
+  const double supply[2] = {10.0, 20.0};
+  const double demand[3] = {5.0, 10.0, 15.0};
+  Model m;
+  int x[2][3];
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 3; ++j) x[i][j] = m.add_variable(cost[i][j]);
+  }
+  for (int i = 0; i < 2; ++i) {
+    m.add_constraint({{x[i][0], 1.0}, {x[i][1], 1.0}, {x[i][2], 1.0}},
+                     Relation::kLessEqual, supply[i]);
+  }
+  for (int j = 0; j < 3; ++j) {
+    m.add_constraint({{x[0][j], 1.0}, {x[1][j], 1.0}},
+                     Relation::kGreaterEqual, demand[j]);
+  }
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // Optimal: x[1][0]=5, x[1][1]=10, x[0][2]=10, x[1][2]=5:
+  // 15 + 10 + 50 + 35 = 110.
+  EXPECT_NEAR(s.objective, 110.0, 1e-8);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  // Second row is 2x the first: phase 1 leaves a degenerate artificial in a
+  // dependent row, which must not disturb phase 2.
+  Model m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 2.0);
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kEqual, 4.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.values[0] + s.values[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, InconsistentDependentRowsInfeasible) {
+  Model m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEqual, 2.0);
+  m.add_constraint({{x, 2.0}, {y, 2.0}}, Relation::kEqual, 5.0);
+  EXPECT_EQ(solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, ZeroRhsEqualityPinned) {
+  // x - y = 0 with min x + 2y: optimum at the origin.
+  Model m;
+  const int x = m.add_variable(1.0);
+  const int y = m.add_variable(2.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEqual, 0.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+TEST(Simplex, AssignmentLpIsIntegral) {
+  // 3x3 assignment polytope has integral vertices; simplex must return a
+  // permutation matrix matching the Hungarian optimum (value 5, see
+  // test_hungarian.cpp).
+  const double cost[3][3] = {{4, 1, 3}, {2, 0, 5}, {3, 2, 2}};
+  Model m;
+  int x[3][3];
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) x[i][j] = m.add_variable(cost[i][j]);
+  }
+  for (int i = 0; i < 3; ++i) {
+    m.add_constraint({{x[i][0], 1.0}, {x[i][1], 1.0}, {x[i][2], 1.0}},
+                     Relation::kEqual, 1.0);
+    m.add_constraint({{x[0][i], 1.0}, {x[1][i], 1.0}, {x[2][i], 1.0}},
+                     Relation::kEqual, 1.0);
+  }
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+  for (const double v : s.values) {
+    EXPECT_TRUE(std::abs(v) < 1e-7 || std::abs(v - 1.0) < 1e-7)
+        << "fractional vertex: " << v;
+  }
+}
+
+TEST(Simplex, IterationLimitReported) {
+  Model m;
+  const int x = m.add_variable(-1.0);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 5.0);
+  SimplexOptions options;
+  options.max_iterations = 0;
+  EXPECT_EQ(solve(m, options).status, SolveStatus::kIterationLimit);
+}
+
+TEST(SolveStatusToString, AllValues) {
+  EXPECT_EQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_EQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+}
+
+/// Randomized property check: on random bounded LPs with known feasible box,
+/// the simplex optimum must match a brute-force grid-vertex check... instead
+/// we verify weak duality via feasibility: the returned point satisfies all
+/// constraints and has objective <= any sampled feasible point.
+class RandomLpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpProperty, OptimumDominatesSampledFeasiblePoints) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> coeff(-2.0, 2.0);
+  std::uniform_real_distribution<double> positive(0.5, 2.0);
+  const int num_vars = 4;
+  const int num_rows = 5;
+
+  Model m;
+  std::vector<double> costs;
+  for (int v = 0; v < num_vars; ++v) {
+    const double c = coeff(rng);
+    costs.push_back(c);
+    m.add_variable(c);
+  }
+  // Box constraints keep it bounded; random extra rows keep it interesting.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> rhs;
+  for (int v = 0; v < num_vars; ++v) {
+    m.add_constraint({{v, 1.0}}, Relation::kLessEqual, 3.0);
+    std::vector<double> row(num_vars, 0.0);
+    row[static_cast<std::size_t>(v)] = 1.0;
+    rows.push_back(row);
+    rhs.push_back(3.0);
+  }
+  for (int r = 0; r < num_rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    std::vector<double> row(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      row[static_cast<std::size_t>(v)] = positive(rng);
+      terms.emplace_back(v, row[static_cast<std::size_t>(v)]);
+    }
+    const double b = positive(rng) * 4.0;
+    m.add_constraint(std::move(terms), Relation::kLessEqual, b);
+    rows.push_back(row);
+    rhs.push_back(b);
+  }
+
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  // Returned point is feasible.
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    double lhs = 0.0;
+    for (int v = 0; v < num_vars; ++v) {
+      lhs += rows[r][static_cast<std::size_t>(v)] *
+             s.values[static_cast<std::size_t>(v)];
+    }
+    EXPECT_LE(lhs, rhs[r] + 1e-7);
+  }
+  for (double value : s.values) EXPECT_GE(value, -1e-9);
+  // Objective dominates random feasible samples.
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  for (int sample = 0; sample < 200; ++sample) {
+    std::vector<double> point(num_vars);
+    for (int v = 0; v < num_vars; ++v) {
+      point[static_cast<std::size_t>(v)] = unit(rng) * 3.0;
+    }
+    bool feasible = true;
+    for (std::size_t r = 0; r < rows.size() && feasible; ++r) {
+      double lhs = 0.0;
+      for (int v = 0; v < num_vars; ++v) {
+        lhs += rows[r][static_cast<std::size_t>(v)] *
+               point[static_cast<std::size_t>(v)];
+      }
+      feasible = lhs <= rhs[r];
+    }
+    if (!feasible) continue;
+    double objective = 0.0;
+    for (int v = 0; v < num_vars; ++v) {
+      objective +=
+          costs[static_cast<std::size_t>(v)] * point[static_cast<std::size_t>(v)];
+    }
+    EXPECT_GE(objective, s.objective - 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpProperty,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace qp::lp

@@ -1,0 +1,269 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::sim {
+namespace {
+
+core::QppInstance make_instance(const graph::Graph& g,
+                                const quorum::QuorumSystem& system) {
+  return core::QppInstance(
+      graph::Metric::from_graph(g),
+      std::vector<double>(static_cast<std::size_t>(g.num_nodes()), 1e9),
+      system, quorum::AccessStrategy::uniform(system));
+}
+
+TEST(Simulator, ValidatesArguments) {
+  const core::QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2));
+  const core::Placement f = {0, 1, 2, 3};
+  SimulationConfig config;
+  config.duration = 0.0;
+  EXPECT_THROW(simulate(instance, f, config), std::invalid_argument);
+  config.duration = 10.0;
+  config.warmup = 20.0;
+  EXPECT_THROW(simulate(instance, f, config), std::invalid_argument);
+  config.warmup = 0.0;
+  EXPECT_THROW(simulate(instance, {0, 1}, config), std::invalid_argument);
+}
+
+TEST(Simulator, ParallelDelayMatchesAnalyticExpectation) {
+  // No queueing: measured mean delay of client v must converge to the
+  // paper's Delta_f(v).
+  std::mt19937_64 rng(3);
+  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
+  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::Placement f = {1, 3, 5, 7};
+
+  SimulationConfig config;
+  config.duration = 4000.0;
+  config.arrival_rate_per_client = 1.0;
+  config.mode = AccessMode::kParallel;
+  config.seed = 11;
+  const SimulationResult result = simulate(instance, f, config);
+
+  ASSERT_GT(result.completed_accesses, 10000);
+  for (int v = 0; v < 8; ++v) {
+    const double analytic = core::expected_max_delay(
+        instance.metric(), instance.system(), instance.strategy(), f, v);
+    EXPECT_NEAR(result.per_client_mean_delay[static_cast<std::size_t>(v)],
+                analytic, 0.05 * analytic + 0.05)
+        << "client " << v;
+  }
+  EXPECT_NEAR(result.overall_mean_delay, core::average_max_delay(instance, f),
+              0.05 * core::average_max_delay(instance, f) + 0.05);
+}
+
+TEST(Simulator, SequentialDelayMatchesTotalDelay) {
+  std::mt19937_64 rng(5);
+  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
+  const core::QppInstance instance = make_instance(g, quorum::majority(3));
+  const core::Placement f = {0, 4, 6};
+
+  SimulationConfig config;
+  config.duration = 4000.0;
+  config.mode = AccessMode::kSequential;
+  config.seed = 17;
+  const SimulationResult result = simulate(instance, f, config);
+
+  const double analytic = core::average_total_delay(instance, f);
+  EXPECT_NEAR(result.overall_mean_delay, analytic, 0.05 * analytic + 0.05);
+}
+
+TEST(Simulator, NodeAccessShareMatchesLoad) {
+  // The fraction of probes hitting node v converges to load_f(v).
+  std::mt19937_64 rng(7);
+  const graph::Graph g = graph::erdos_renyi(6, 0.6, rng, 1.0, 4.0);
+  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::Placement f = {2, 2, 4, 5};  // two elements stacked on node 2
+
+  SimulationConfig config;
+  config.duration = 3000.0;
+  config.seed = 23;
+  const SimulationResult result = simulate(instance, f, config);
+
+  const std::vector<double> loads = core::node_loads(
+      instance.element_loads(), f, instance.num_nodes());
+  for (int v = 0; v < 6; ++v) {
+    EXPECT_NEAR(result.per_node_access_share[static_cast<std::size_t>(v)],
+                loads[static_cast<std::size_t>(v)], 0.03)
+        << "node " << v;
+  }
+}
+
+TEST(Simulator, WarmupExcludesEarlyAccesses) {
+  const core::QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2));
+  const core::Placement f = {0, 1, 2, 3};
+  SimulationConfig with_warmup;
+  with_warmup.duration = 500.0;
+  with_warmup.warmup = 400.0;
+  with_warmup.seed = 3;
+  SimulationConfig without = with_warmup;
+  without.warmup = 0.0;
+  const auto a = simulate(instance, f, with_warmup);
+  const auto b = simulate(instance, f, without);
+  EXPECT_LT(a.completed_accesses, b.completed_accesses);
+  EXPECT_GT(a.completed_accesses, 0);
+}
+
+TEST(Simulator, QueueingInflatesDelayUnderOverload) {
+  // One node hosts everything; a service rate below the offered probe rate
+  // must blow delays up well beyond the analytic (queue-free) value.
+  const core::QppInstance instance =
+      make_instance(graph::star_graph(6), quorum::grid(2));
+  const core::Placement all_on_hub = {0, 0, 0, 0};
+
+  SimulationConfig free_config;
+  free_config.duration = 800.0;
+  free_config.seed = 9;
+  const double no_queue =
+      simulate(instance, all_on_hub, free_config).overall_mean_delay;
+
+  SimulationConfig loaded = free_config;
+  // Offered probe load on the hub: 6 clients * rate 1 * 3 probes = 18/s.
+  loaded.service_rate = 10.0;  // below offered load -> saturation
+  const double saturated =
+      simulate(instance, all_on_hub, loaded).overall_mean_delay;
+  EXPECT_GT(saturated, no_queue + 5.0);
+
+  SimulationConfig provisioned = free_config;
+  provisioned.service_rate = 200.0;  // far above offered load
+  const double provisioned_delay =
+      simulate(instance, all_on_hub, provisioned).overall_mean_delay;
+  EXPECT_NEAR(provisioned_delay, no_queue + 1.0 / 200.0, 0.05);
+}
+
+TEST(Simulator, UtilizationTracksServiceShare) {
+  const core::QppInstance instance =
+      make_instance(graph::star_graph(5), quorum::majority(3));
+  const core::Placement f = {1, 2, 3};
+  SimulationConfig config;
+  config.duration = 2000.0;
+  config.service_rate = 50.0;
+  config.seed = 31;
+  const SimulationResult result = simulate(instance, f, config);
+  // majority(3) has t = 2, so load(u) = 2/3. Offered probe rate per replica
+  // node = total access rate (5/s) * 2/3 = 10/3; utilization = (10/3)/50.
+  for (int v = 1; v <= 3; ++v) {
+    EXPECT_NEAR(result.per_node_utilization[static_cast<std::size_t>(v)],
+                10.0 / 3.0 / 50.0, 0.01)
+        << "node " << v;
+  }
+  EXPECT_DOUBLE_EQ(result.per_node_utilization[0], 0.0);
+}
+
+TEST(Simulator, DeterministicUnderFixedSeed) {
+  const core::QppInstance instance =
+      make_instance(graph::path_graph(5), quorum::majority(3));
+  const core::Placement f = {0, 2, 4};
+  SimulationConfig config;
+  config.duration = 200.0;
+  config.seed = 77;
+  const auto a = simulate(instance, f, config);
+  const auto b = simulate(instance, f, config);
+  EXPECT_EQ(a.completed_accesses, b.completed_accesses);
+  EXPECT_DOUBLE_EQ(a.overall_mean_delay, b.overall_mean_delay);
+}
+
+TEST(Simulator, NearestQuorumPolicyMatchesClosestQuorumDelay) {
+  std::mt19937_64 rng(41);
+  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
+  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::Placement f = {0, 2, 5, 7};
+  SimulationConfig config;
+  config.duration = 2000.0;
+  config.selection = SelectionPolicy::kNearestQuorum;
+  config.seed = 43;
+  const SimulationResult result = simulate(instance, f, config);
+  double analytic = 0.0;
+  for (int v = 0; v < 8; ++v) {
+    analytic += core::closest_quorum_delay(instance.metric(),
+                                           instance.system(), f, v) /
+                8.0;
+  }
+  EXPECT_NEAR(result.overall_mean_delay, analytic, 0.05 * analytic + 0.05);
+}
+
+TEST(Simulator, NearestQuorumNeverSlowerThanStrategy) {
+  std::mt19937_64 rng(47);
+  const graph::Graph g = graph::erdos_renyi(10, 0.4, rng, 1.0, 6.0);
+  const core::QppInstance instance = make_instance(g, quorum::majority(5));
+  const core::Placement f = {0, 2, 4, 6, 8};
+  SimulationConfig strategy_config;
+  strategy_config.duration = 1500.0;
+  strategy_config.seed = 3;
+  SimulationConfig nearest_config = strategy_config;
+  nearest_config.selection = SelectionPolicy::kNearestQuorum;
+  const double by_strategy =
+      simulate(instance, f, strategy_config).overall_mean_delay;
+  const double by_nearest =
+      simulate(instance, f, nearest_config).overall_mean_delay;
+  // Sampling noise aside, min over quorums <= expectation over quorums.
+  EXPECT_LE(by_nearest, by_strategy + 0.05 * by_strategy + 0.05);
+}
+
+TEST(Simulator, JitterValidated) {
+  const core::QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2));
+  SimulationConfig config;
+  config.latency_jitter = 1.0;
+  EXPECT_THROW(simulate(instance, {0, 1, 2, 3}, config),
+               std::invalid_argument);
+  config.latency_jitter = -0.1;
+  EXPECT_THROW(simulate(instance, {0, 1, 2, 3}, config),
+               std::invalid_argument);
+}
+
+TEST(Simulator, JitterBiasesParallelDelayUpward) {
+  // Mean-preserving per-probe jitter raises E[max], leaves E[sum] intact.
+  std::mt19937_64 rng(53);
+  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
+  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::Placement f = {0, 2, 4, 6};
+
+  SimulationConfig clean;
+  clean.duration = 3000.0;
+  clean.seed = 7;
+  SimulationConfig noisy = clean;
+  noisy.latency_jitter = 0.5;
+
+  const double clean_parallel = simulate(instance, f, clean).overall_mean_delay;
+  const double noisy_parallel = simulate(instance, f, noisy).overall_mean_delay;
+  EXPECT_GT(noisy_parallel, clean_parallel);
+
+  SimulationConfig clean_seq = clean;
+  clean_seq.mode = AccessMode::kSequential;
+  SimulationConfig noisy_seq = noisy;
+  noisy_seq.mode = AccessMode::kSequential;
+  const double clean_total =
+      simulate(instance, f, clean_seq).overall_mean_delay;
+  const double noisy_total =
+      simulate(instance, f, noisy_seq).overall_mean_delay;
+  EXPECT_NEAR(noisy_total, clean_total, 0.05 * clean_total + 0.02);
+}
+
+TEST(Simulator, ZeroWeightClientsNeverIssue) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(4));
+  const quorum::QuorumSystem system = quorum::majority(3);
+  std::vector<double> weights = {1.0, 1.0, 0.0, 0.0};
+  core::QppInstance instance(metric, std::vector<double>(4, 1e9), system,
+                             quorum::AccessStrategy::uniform(system), weights);
+  SimulationConfig config;
+  config.duration = 300.0;
+  config.seed = 5;
+  const auto result = simulate(instance, {0, 1, 2}, config);
+  EXPECT_EQ(result.per_client_count[2], 0);
+  EXPECT_EQ(result.per_client_count[3], 0);
+  EXPECT_GT(result.per_client_count[0], 0);
+}
+
+}  // namespace
+}  // namespace qp::sim

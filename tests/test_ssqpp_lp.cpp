@@ -1,0 +1,181 @@
+#include "core/ssqpp_lp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/exact.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+SsqppInstance line_grid_instance(int k, int num_nodes, double cap) {
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(num_nodes, 1.0));
+  const quorum::QuorumSystem system = quorum::grid(k);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  return SsqppInstance(metric, std::vector<double>(
+                                   static_cast<std::size_t>(num_nodes), cap),
+                       system, strategy, 0);
+}
+
+TEST(SsqppLp, SolvesAndOrdersNodes) {
+  const SsqppInstance instance = line_grid_instance(2, 6, 1.0);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(f.num_nodes, 6);
+  EXPECT_EQ(f.universe_size, 4);
+  EXPECT_EQ(f.num_quorums, 4);
+  for (int t = 0; t + 1 < f.num_nodes; ++t) {
+    EXPECT_LE(f.sorted_distance[static_cast<std::size_t>(t)],
+              f.sorted_distance[static_cast<std::size_t>(t + 1)]);
+  }
+  EXPECT_EQ(f.node_order[0], 0);  // the source is nearest to itself
+}
+
+TEST(SsqppLp, MassConservationConstraints) {
+  const SsqppInstance instance = line_grid_instance(2, 6, 1.0);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  for (int u = 0; u < f.universe_size; ++u) {
+    double mass = 0.0;
+    for (int t = 0; t < f.num_nodes; ++t) mass += f.xu(t, u);
+    EXPECT_NEAR(mass, 1.0, 1e-7) << "element " << u;
+  }
+  for (int q = 0; q < f.num_quorums; ++q) {
+    double mass = 0.0;
+    for (int t = 0; t < f.num_nodes; ++t) mass += f.xq(t, q);
+    EXPECT_NEAR(mass, 1.0, 1e-7) << "quorum " << q;
+  }
+}
+
+TEST(SsqppLp, PrefixDominanceConstraint14) {
+  const SsqppInstance instance = line_grid_instance(2, 6, 1.0);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  for (int q = 0; q < f.num_quorums; ++q) {
+    for (int u : instance.system().quorum(q)) {
+      double prefix_q = 0.0, prefix_u = 0.0;
+      for (int t = 0; t < f.num_nodes; ++t) {
+        prefix_q += f.xq(t, q);
+        prefix_u += f.xu(t, u);
+        EXPECT_LE(prefix_q, prefix_u + 1e-6)
+            << "q=" << q << " u=" << u << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SsqppLp, CapacityConstraintRespectedFractionally) {
+  const SsqppInstance instance = line_grid_instance(2, 4, 0.8);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  const auto& loads = instance.element_loads();
+  for (int t = 0; t < f.num_nodes; ++t) {
+    double node_load = 0.0;
+    for (int u = 0; u < f.universe_size; ++u) {
+      node_load += loads[static_cast<std::size_t>(u)] * f.xu(t, u);
+    }
+    EXPECT_LE(node_load, 0.8 + 1e-6);
+  }
+}
+
+TEST(SsqppLp, LowerBoundsExactOptimum) {
+  const SsqppInstance instance = line_grid_instance(2, 5, 0.8);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  const auto exact = exact_ssqpp(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_LE(f.objective, exact->delay + 1e-7);
+}
+
+TEST(SsqppLp, InfeasibleWhenElementFitsNowhere) {
+  // Capacities below every element load (grid(2) load = 3/4).
+  const SsqppInstance instance = line_grid_instance(2, 6, 0.5);
+  EXPECT_EQ(solve_ssqpp_lp(instance).status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(SsqppLp, InfeasibleWhenAggregateCapacityTooSmall) {
+  // Each node holds exactly one of the four elements but only 3 nodes.
+  const SsqppInstance instance = line_grid_instance(2, 3, 0.8);
+  EXPECT_EQ(solve_ssqpp_lp(instance).status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(SsqppLp, ObjectiveMatchesQuorumDistances) {
+  const SsqppInstance instance = line_grid_instance(2, 6, 1.0);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  double total = 0.0;
+  for (int q = 0; q < f.num_quorums; ++q) {
+    total += f.quorum_probability[static_cast<std::size_t>(q)] *
+             f.quorum_distance(q);
+  }
+  EXPECT_NEAR(total, f.objective, 1e-7);
+}
+
+// --- Filtering (Sec 3.3.1) ---------------------------------------------------
+
+TEST(Filtering, RejectsBadAlpha) {
+  const SsqppInstance instance = line_grid_instance(2, 5, 1.0);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  EXPECT_THROW(filter_fractional(f, 1.0), std::invalid_argument);
+  EXPECT_THROW(filter_fractional(f, 0.5), std::invalid_argument);
+}
+
+class FilteringProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(FilteringProperty, InvariantsHold) {
+  const double alpha = GetParam();
+  const SsqppInstance instance = line_grid_instance(2, 7, 0.8);
+  const FractionalSsqpp f = solve_ssqpp_lp(instance);
+  ASSERT_EQ(f.status, lp::SolveStatus::kOptimal);
+  const FractionalSsqpp filtered = filter_fractional(f, alpha);
+
+  for (int u = 0; u < f.universe_size; ++u) {
+    double mass = 0.0;
+    for (int t = 0; t < f.num_nodes; ++t) {
+      const double x = filtered.xu(t, u);
+      EXPECT_GE(x, -1e-12);
+      EXPECT_LE(x, alpha * f.xu(t, u) + 1e-9);  // x~ <= alpha x
+      mass += x;
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-6);  // (10) preserved exactly
+  }
+  for (int q = 0; q < f.num_quorums; ++q) {
+    double mass = 0.0;
+    for (int t = 0; t < f.num_nodes; ++t) mass += filtered.xq(t, q);
+    EXPECT_NEAR(mass, 1.0, 1e-6);  // (11) preserved
+  }
+  // (14) still holds after filtering (paper argument).
+  for (int q = 0; q < f.num_quorums; ++q) {
+    for (int u : instance.system().quorum(q)) {
+      double prefix_q = 0.0, prefix_u = 0.0;
+      for (int t = 0; t < f.num_nodes; ++t) {
+        prefix_q += filtered.xq(t, q);
+        prefix_u += filtered.xu(t, u);
+        EXPECT_LE(prefix_q, prefix_u + 1e-6);
+      }
+    }
+  }
+  // Claim 3.8 analogue: support confined to d_t <= (alpha/(alpha-1)) D_Q.
+  for (int q = 0; q < f.num_quorums; ++q) {
+    const double dq = f.quorum_distance(q);
+    for (int t = 0; t < f.num_nodes; ++t) {
+      if (filtered.xq(t, q) > 1e-9) {
+        EXPECT_LE(f.sorted_distance[static_cast<std::size_t>(t)],
+                  alpha / (alpha - 1.0) * dq + 1e-6);
+      }
+    }
+  }
+  // Objective does not grow.
+  EXPECT_LE(filtered.objective, f.objective + 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, FilteringProperty,
+                         ::testing::Values(1.5, 2.0, 3.0, 4.0));
+
+}  // namespace
+}  // namespace qp::core

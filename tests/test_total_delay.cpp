@@ -1,0 +1,101 @@
+#include "core/total_delay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/evaluators.hpp"
+#include "core/exact.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::core {
+namespace {
+
+QppInstance make_instance(const graph::Graph& g,
+                          const quorum::QuorumSystem& system, double cap) {
+  return QppInstance(
+      graph::Metric::from_graph(g),
+      std::vector<double>(static_cast<std::size_t>(g.num_nodes()), cap),
+      system, quorum::AccessStrategy::uniform(system));
+}
+
+TEST(TotalDelay, NulloptWhenInfeasible) {
+  const QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2), 0.5);
+  EXPECT_FALSE(solve_total_delay(instance).has_value());
+}
+
+TEST(TotalDelay, Theorem51DelayAtMostCapacityFeasibleOptimum) {
+  const QppInstance instance =
+      make_instance(graph::cycle_graph(7), quorum::grid(2), 0.8);
+  const auto result = solve_total_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  const auto exact = exact_qpp_total_delay(instance);
+  ASSERT_TRUE(exact.has_value());
+  // Thm 5.1: delay no worse than the best capacity-feasible placement...
+  EXPECT_LE(result->average_delay, exact->delay + 1e-7);
+  // ...with load inflated by at most 2.
+  EXPECT_LE(result->load_violation, 2.0 + 1e-9);
+  // LP lower-bounds the capacity-feasible optimum.
+  EXPECT_LE(result->lp_objective, exact->delay + 1e-7);
+}
+
+TEST(TotalDelay, MeasuredDelayMatchesEvaluator) {
+  const QppInstance instance =
+      make_instance(graph::path_graph(6), quorum::majority(3), 1.0);
+  const auto result = solve_total_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_NEAR(result->average_delay,
+              average_total_delay(instance, result->placement), 1e-12);
+}
+
+TEST(TotalDelay, LooseCapacitiesCollapseToOneMedianNode) {
+  // With no effective capacity limit the separable objective puts every
+  // element on the 1-median of the metric.
+  const QppInstance instance =
+      make_instance(graph::star_graph(7), quorum::majority(3), 100.0);
+  const auto result = solve_total_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  for (int v : result->placement) EXPECT_EQ(v, 0);  // star center
+}
+
+TEST(TotalDelay, ClientWeightsShiftPlacement) {
+  // All client weight at node 5 of a path: elements should cluster there.
+  const graph::Metric metric =
+      graph::Metric::from_graph(graph::path_graph(6, 1.0));
+  const quorum::QuorumSystem system = quorum::majority(3);
+  std::vector<double> weights(6, 0.0);
+  weights[5] = 1.0;
+  QppInstance instance(metric, std::vector<double>(6, 100.0), system,
+                       quorum::AccessStrategy::uniform(system), weights);
+  const auto result = solve_total_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  for (int v : result->placement) EXPECT_EQ(v, 5);
+}
+
+class TotalDelaySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TotalDelaySweep, BoundsOnRandomInstances) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 59 + 13);
+  const graph::Graph g = graph::erdos_renyi(8, 0.45, rng, 1.0, 6.0);
+  const quorum::QuorumSystem system =
+      (GetParam() % 2 == 0) ? quorum::majority(5) : quorum::grid(2);
+  std::uniform_real_distribution<double> cap_dist(0.6, 1.5);
+  std::vector<double> caps(8);
+  for (double& c : caps) c = cap_dist(rng);
+  QppInstance instance(graph::Metric::from_graph(g), caps, system,
+                       quorum::AccessStrategy::uniform(system));
+  const auto result = solve_total_delay(instance);
+  if (!result) GTEST_SKIP() << "fractionally infeasible capacities";
+  const auto exact = exact_qpp_total_delay(instance);
+  if (exact) {
+    EXPECT_LE(result->average_delay, exact->delay + 1e-6);
+  }
+  EXPECT_LE(result->load_violation, 2.0 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TotalDelaySweep, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qp::core

@@ -1,0 +1,253 @@
+/// qplace -- command-line driver for the quorum placement library.
+///
+///   qplace topology --topology waxman --nodes 20 --seed 1      # DOT output
+///   qplace analyze  --system majority --n 7 --t 4 --p 0.1      # quorum metrics
+///   qplace solve    --system grid --k 2 --topology geometric
+///                   --nodes 16 --algorithm qpp --alpha 2 --cap 1.0 [--dot]
+///   qplace simulate --system grid --k 2 --topology waxman --nodes 16
+///                   --duration 1000 [--service-rate 20]
+///
+/// `solve` algorithms: qpp (Thm 1.2), ssqpp (Thm 3.7, needs --source),
+/// total (Thm 5.1), grid (Thm 1.3 via Sec 4.1), majority (Thm 1.3 via
+/// Sec 4.2). Capacities are uniform: --cap multiplies the max element load.
+
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "core/evaluators.hpp"
+#include "core/placement_report.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/specialized.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/metric.hpp"
+#include "quorum/analysis.hpp"
+#include "quorum/constructions.hpp"
+#include "report/export.hpp"
+#include "report/table.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace qp;
+
+int usage() {
+  std::cout <<
+      "usage: qplace <command> [flags]\n"
+      "commands:\n"
+      "  topology   generate a topology and print Graphviz DOT\n"
+      "  analyze    quorum-system quality metrics (load, FT, availability)\n"
+      "  solve      place a quorum system on a topology\n"
+      "  simulate   message-level simulation of a solved placement\n"
+      "common flags: --system --topology --nodes --seed (see source header)\n";
+  return 2;
+}
+
+/// Uniform capacities: --cap (default 1.2) times the max element load.
+std::vector<double> capacities_for(const cli::ParsedArgs& args,
+                                   const quorum::QuorumSystem& system,
+                                   const quorum::AccessStrategy& strategy,
+                                   int nodes) {
+  const std::vector<double> loads = quorum::element_loads(system, strategy);
+  double max_load = 0.0;
+  for (double l : loads) max_load = std::max(max_load, l);
+  return std::vector<double>(static_cast<std::size_t>(nodes),
+                             args.get_double("cap", 1.2) * max_load);
+}
+
+int cmd_topology(const cli::ParsedArgs& args) {
+  std::mt19937_64 rng(
+      static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const graph::Graph g = cli::make_topology(args, rng);
+  std::cout << report::to_dot(g);
+  return 0;
+}
+
+int cmd_analyze(const cli::ParsedArgs& args) {
+  const quorum::QuorumSystem system = cli::make_system(args);
+  const double p = args.get_double("p", 0.1);
+  std::cout << system.describe() << "\n";
+  report::Table table({"metric", "value"});
+  table.add_row({"intersecting", system.is_intersecting() ? "yes" : "no"});
+  table.add_row({"minimal", system.is_minimal() ? "yes" : "no"});
+  table.add_row({"fault tolerance",
+                 std::to_string(quorum::fault_tolerance(system))});
+  const quorum::OptimalStrategy best = quorum::optimal_load_strategy(system);
+  table.add_row({"optimal load", report::Table::num(best.load, 4)});
+  table.add_row({"load lower bound",
+                 report::Table::num(quorum::load_lower_bound(system), 4)});
+  if (system.universe_size() <= 20) {
+    table.add_row({"failure prob (p=" + report::Table::num(p, 2) + ")",
+                   report::Table::num(
+                       quorum::failure_probability_exact(system, p), 6)});
+  } else {
+    std::mt19937_64 rng(7);
+    table.add_row(
+        {"failure prob (MC)",
+         report::Table::num(
+             quorum::failure_probability_monte_carlo(system, p, 20000, rng),
+             6)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_solve(const cli::ParsedArgs& args) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const graph::Graph g = cli::make_topology(args, rng);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const quorum::QuorumSystem system = cli::make_system(args);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps =
+      capacities_for(args, system, strategy, g.num_nodes());
+  const core::QppInstance instance(metric, caps, system, strategy);
+
+  const std::string algorithm = args.get("algorithm", "qpp");
+  core::Placement placement;
+  std::string detail;
+  if (algorithm == "qpp") {
+    core::QppSolveOptions options;
+    options.alpha = args.get_double("alpha", 2.0);
+    const auto result = core::solve_qpp(instance, options);
+    if (!result) {
+      std::cerr << "infeasible: no capacity-respecting fractional placement\n";
+      return 1;
+    }
+    placement = result->placement;
+    detail = "relay v0 = " + std::to_string(result->chosen_source);
+  } else if (algorithm == "ssqpp") {
+    const core::SsqppInstance view(metric, caps, system, strategy,
+                                   args.get_int("source", 0));
+    const auto result =
+        core::solve_ssqpp(view, args.get_double("alpha", 2.0));
+    if (!result) {
+      std::cerr << "infeasible\n";
+      return 1;
+    }
+    placement = result->placement;
+    detail = "Z* = " + report::Table::num(result->lp_objective, 4);
+  } else if (algorithm == "total") {
+    const auto result = core::solve_total_delay(instance);
+    if (!result) {
+      std::cerr << "infeasible\n";
+      return 1;
+    }
+    placement = result->placement;
+    detail = "GAP LP = " + report::Table::num(result->lp_objective, 4);
+  } else if (algorithm == "grid") {
+    const auto result =
+        core::solve_qpp_grid(instance, args.get_int("k", 3));
+    if (!result) {
+      std::cerr << "infeasible: not enough capacity slots\n";
+      return 1;
+    }
+    placement = result->placement;
+    detail = "source = " + std::to_string(result->chosen_source);
+  } else if (algorithm == "majority") {
+    const int n = args.get_int("n", 5);
+    const auto result =
+        core::solve_qpp_majority(instance, args.get_int("t", n / 2 + 1));
+    if (!result) {
+      std::cerr << "infeasible: not enough capacity slots\n";
+      return 1;
+    }
+    placement = result->placement;
+    detail = "source = " + std::to_string(result->chosen_source);
+  } else {
+    std::cerr << "unknown --algorithm '" << algorithm
+              << "' (qpp|ssqpp|total|grid|majority)\n";
+    return 2;
+  }
+
+  std::cout << "algorithm: " << algorithm << " (" << detail << ")\n"
+            << core::evaluate_placement(instance, placement).to_string();
+  std::cout << "placement:";
+  for (std::size_t u = 0; u < placement.size(); ++u) {
+    std::cout << " u" << u << "->n" << placement[u];
+  }
+  std::cout << "\n";
+  if (args.has("dot")) {
+    std::cout << report::placement_to_dot(g, placement);
+  }
+  return 0;
+}
+
+int cmd_simulate(const cli::ParsedArgs& args) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const graph::Graph g = cli::make_topology(args, rng);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const quorum::QuorumSystem system = cli::make_system(args);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps =
+      capacities_for(args, system, strategy, g.num_nodes());
+  const core::QppInstance instance(metric, caps, system, strategy);
+
+  core::QppSolveOptions options;
+  const auto solved = core::solve_qpp(instance, options);
+  if (!solved) {
+    std::cerr << "infeasible\n";
+    return 1;
+  }
+  sim::SimulationConfig config;
+  config.duration = args.get_double("duration", 1000.0);
+  config.arrival_rate_per_client = args.get_double("rate", 1.0);
+  config.service_rate = args.get_double("service-rate", 0.0);
+  config.seed = static_cast<std::uint64_t>(args.get_int("sim-seed", 1));
+  config.mode = args.get("mode", "parallel") == "sequential"
+                    ? sim::AccessMode::kSequential
+                    : sim::AccessMode::kParallel;
+  const sim::SimulationResult result =
+      sim::simulate(instance, solved->placement, config);
+
+  report::Table table({"metric", "value"});
+  table.add_row({"completed accesses",
+                 std::to_string(result.completed_accesses)});
+  table.add_row({"simulated mean delay",
+                 report::Table::num(result.overall_mean_delay, 4)});
+  table.add_row(
+      {"analytic mean delay",
+       report::Table::num(
+           config.mode == sim::AccessMode::kParallel
+               ? core::average_max_delay(instance, solved->placement)
+               : core::average_total_delay(instance, solved->placement),
+           4)});
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> raw(argv + 1, argv + argc);
+  if (raw.empty() || raw.front() == "--help" || raw.front() == "help") {
+    return usage();
+  }
+  try {
+    const cli::ParsedArgs args = cli::parse_args(raw);
+    int code = 2;
+    if (args.command() == "topology") {
+      code = cmd_topology(args);
+    } else if (args.command() == "analyze") {
+      code = cmd_analyze(args);
+    } else if (args.command() == "solve") {
+      code = cmd_solve(args);
+    } else if (args.command() == "simulate") {
+      code = cmd_simulate(args);
+    } else {
+      std::cerr << "unknown command '" << args.command() << "'\n";
+      return usage();
+    }
+    for (const std::string& flag : args.unread_flags()) {
+      std::cerr << "warning: unused flag --" << flag << "\n";
+    }
+    return code;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
