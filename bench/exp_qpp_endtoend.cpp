@@ -75,7 +75,7 @@ int main() {
     const double element_load =
         *std::max_element(loads.begin(), loads.end());
     for (int topo = 0; topo < 3; ++topo) {
-      std::vector<double> ratios, loads, greedy_ratios;
+      std::vector<double> ratios, load_violations, greedy_ratios;
       for (int seed = 0; seed < seeds; ++seed) {
         std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 104729 + topo);
         const graph::Metric metric = topology(topo, n, rng);
@@ -91,7 +91,7 @@ int main() {
         const auto result = core::solve_qpp(instance, options);
         if (!result) continue;
         ratios.push_back(result->average_delay / exact->delay);
-        loads.push_back(result->load_violation);
+        load_violations.push_back(result->load_violation);
 
         // Greedy-nearest baseline from the best relay node for contrast.
         const core::SsqppInstance view =
@@ -104,7 +104,7 @@ int main() {
       }
       if (ratios.empty()) continue;
       const report::Summary r = report::summarize(ratios);
-      const report::Summary l = report::summarize(loads);
+      const report::Summary l = report::summarize(load_violations);
       const double bound = 5.0 * alpha / (alpha - 1.0);
       violated = violated || r.max > bound + 1e-6 ||
                  l.max > alpha + 1.0 + 1e-6;

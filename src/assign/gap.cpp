@@ -6,9 +6,48 @@
 #include <stdexcept>
 
 #include "assign/hungarian.hpp"
+#include "check/contracts.hpp"
 #include "lp/model.hpp"
 
 namespace qp::assign {
+
+namespace {
+
+/// Contract helper for the Shmoys-Tardos guarantee: every machine's rounded
+/// load stays within T_i + max allowed single-job load on i (Thm 3.11).
+[[maybe_unused]] bool loads_within_budget(const GapInstance& instance,
+                                          const GapAssignment& assignment) {
+  for (int i = 0; i < instance.num_machines(); ++i) {
+    double pmax = 0.0;
+    for (int j = 0; j < instance.num_jobs(); ++j) {
+      if (instance.allowed(i, j)) {
+        pmax = std::max(pmax, instance.load(i, j));
+      }
+    }
+    if (assignment.machine_loads[static_cast<std::size_t>(i)] >
+        instance.capacity(i) + pmax + 1e-6) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Contract helper: cost of the fractional assignment, sum_ij c_ij y_ij.
+/// Thm 3.11 bounds the rounded cost by this (the recorded `objective` field
+/// may be absent when the caller hand-builds a fractional solution).
+[[maybe_unused]] double fractional_cost(const GapInstance& instance,
+                                        const FractionalGap& fractional) {
+  double cost = 0.0;
+  for (int i = 0; i < instance.num_machines(); ++i) {
+    for (int j = 0; j < instance.num_jobs(); ++j) {
+      const double y = fractional.value(instance, i, j);
+      if (y > 0.0) cost += instance.cost(i, j) * y;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
 
 GapInstance::GapInstance(int num_jobs, int num_machines)
     : num_jobs_(num_jobs), num_machines_(num_machines) {
@@ -208,6 +247,16 @@ std::optional<GapAssignment> shmoys_tardos_round(
     out.machine_loads[static_cast<std::size_t>(machine)] +=
         instance.load(machine, j);
   }
+  QP_INVARIANT(loads_within_budget(instance, out),
+               "Shmoys-Tardos rounding must keep machine load within "
+               "T_i + pmax_i (paper Thm 3.11)");
+  QP_INVARIANT(
+      [&] {
+        const double lp_cost = fractional_cost(instance, fractional);
+        return out.total_cost <= lp_cost + 1e-6 + 1e-9 * std::abs(lp_cost);
+      }(),
+      "Shmoys-Tardos rounding must not cost more than the fractional "
+      "assignment (paper Thm 3.11)");
   return out;
 }
 

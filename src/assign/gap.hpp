@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/contracts.hpp"
 #include "lp/simplex.hpp"
 
 namespace qp::assign {
@@ -32,8 +33,12 @@ class GapInstance {
   double load(int machine, int job) const {
     return load_[index(machine, job)];
   }
+  /// Hot path (rounding scans every (machine, job) pair): unchecked
+  /// indexing, bounds guarded by the contract in Debug builds.
   double capacity(int machine) const {
-    return capacity_.at(static_cast<std::size_t>(machine));
+    QP_REQUIRE(machine >= 0 && machine < num_machines_,
+               "machine index out of range");
+    return capacity_[static_cast<std::size_t>(machine)];
   }
 
   /// A pair is allowed iff its load is finite and fits the machine budget

@@ -1,0 +1,18 @@
+#include "check/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qp::check {
+
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line,
+                                   const char* function, const char* message) {
+  std::fprintf(stderr,
+               "qplace contract violation [%s]: %s\n  at %s:%d in %s\n  %s\n",
+               kind, condition, file, line, function, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace qp::check

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Runtime contract macros for the solver pipeline.
+///
+/// QP_REQUIRE states a precondition at an API boundary; QP_INVARIANT states
+/// an internal invariant or postcondition. Both are fatal-with-context when
+/// contracts are enabled and compile to nothing (operands unevaluated) when
+/// they are not:
+///
+///  - Debug builds (no NDEBUG) enable contracts by default;
+///  - Release/RelWithDebInfo builds compile them out;
+///  - -DQPLACE_CONTRACTS=1 (CMake: QPLACE_FORCE_CONTRACTS=ON) forces them on
+///    regardless of build type, which is what the sanitizer CI presets do.
+///
+/// On violation the failure handler prints the condition, location and
+/// message to stderr and calls std::abort(), so sanitizers and death tests
+/// observe a crash at the first broken invariant instead of a silently
+/// corrupted bound. See docs/CONTRACTS.md for the invariant catalogue.
+
+namespace qp::check {
+
+/// Prints full context to stderr and aborts. Only called from the contract
+/// macros; exposed so tests can reference the symbol.
+[[noreturn]] void contract_failure(const char* kind, const char* condition,
+                                   const char* file, int line,
+                                   const char* function, const char* message);
+
+}  // namespace qp::check
+
+#if !defined(QPLACE_CONTRACTS)
+#if defined(NDEBUG)
+#define QPLACE_CONTRACTS 0
+#else
+#define QPLACE_CONTRACTS 1
+#endif
+#endif
+
+#if QPLACE_CONTRACTS
+#define QP_CONTRACT_IMPL(kind, condition, message)                     \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::qp::check::contract_failure(kind, #condition, __FILE__,        \
+                                    __LINE__, __func__, message);      \
+    }                                                                  \
+  } while (false)
+#else
+// Unevaluated operand: keeps referenced variables "used" (no -Wunused in
+// Release) without generating any code.
+#define QP_CONTRACT_IMPL(kind, condition, message) \
+  static_cast<void>(sizeof((condition) ? 1 : 0))
+#endif
+
+/// Precondition at an API boundary (caller error when it fires).
+#define QP_REQUIRE(condition, message) \
+  QP_CONTRACT_IMPL("REQUIRE", condition, message)
+
+/// Internal invariant / postcondition (library bug when it fires).
+#define QP_INVARIANT(condition, message) \
+  QP_CONTRACT_IMPL("INVARIANT", condition, message)

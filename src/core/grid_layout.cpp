@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "core/capacity.hpp"
 #include "core/evaluators.hpp"
 
@@ -90,6 +92,9 @@ std::optional<GridLayoutResult> optimal_grid_layout(
     result.placement[static_cast<std::size_t>(r * k + c)] = slot.node;
   }
   result.delay = source_expected_max_delay(instance, result.placement);
+  QP_INVARIANT(
+      check::validate_placement(instance, result.placement, {1.0, 1e-9}).ok(),
+      "Sec 4.1 grid layout must respect capacities exactly (Thm 1.3)");
   return result;
 }
 

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "check/contracts.hpp"
 #include "graph/metric.hpp"
 #include "quorum/quorum_system.hpp"
 
@@ -34,8 +35,11 @@ class QppInstance {
 
   const graph::Metric& metric() const { return metric_; }
   int num_nodes() const { return metric_.num_points(); }
+  /// Hot path (solver inner loops): unchecked indexing, bounds guarded by
+  /// the contract in Debug builds.
   double capacity(int v) const {
-    return capacities_.at(static_cast<std::size_t>(v));
+    QP_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
+    return capacities_[static_cast<std::size_t>(v)];
   }
   const std::vector<double>& capacities() const { return capacities_; }
   const quorum::QuorumSystem& system() const { return system_; }
@@ -65,8 +69,11 @@ class SsqppInstance {
 
   const graph::Metric& metric() const { return metric_; }
   int num_nodes() const { return metric_.num_points(); }
+  /// Hot path (solver inner loops): unchecked indexing, bounds guarded by
+  /// the contract in Debug builds.
   double capacity(int v) const {
-    return capacities_.at(static_cast<std::size_t>(v));
+    QP_REQUIRE(v >= 0 && v < num_nodes(), "node id out of range");
+    return capacities_[static_cast<std::size_t>(v)];
   }
   const std::vector<double>& capacities() const { return capacities_; }
   const quorum::QuorumSystem& system() const { return system_; }

@@ -4,6 +4,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "core/evaluators.hpp"
 
 namespace qp::core {
@@ -96,6 +98,11 @@ LocalSearchResult descend(
       }
     }
   }
+  QP_INVARIANT(
+      check::validate_placement(instance, placement, {1.0, 1e-6}).ok(),
+      "local search must preserve capacity feasibility");
+  QP_INVARIANT(current <= objective(placement) + 1e-9,
+               "cached objective must match the final placement");
   return {std::move(placement), current, moves};
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "core/capacity.hpp"
 #include "core/evaluators.hpp"
 
@@ -96,6 +98,13 @@ std::optional<MajorityLayoutResult> majority_layout(
   }
   result.delay = source_expected_max_delay(instance, result.placement);
   result.formula_delay = majority_delay_formula(std::move(distances), t);
+  QP_INVARIANT(
+      check::validate_placement(instance, result.placement, {1.0, 1e-9}).ok(),
+      "Sec 4.2 majority layout must respect capacities exactly (Thm 1.3)");
+  QP_INVARIANT(std::abs(result.delay - result.formula_delay) <=
+                   1e-6 * std::max(1.0, result.formula_delay),
+               "measured Delta_f(v0) must equal the eq. (19) closed form "
+               "(placement invariance, paper Sec 4.2)");
   return result;
 }
 

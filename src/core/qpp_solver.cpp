@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "core/evaluators.hpp"
 
 namespace qp::core {
@@ -13,6 +15,9 @@ SsqppInstance single_source_view(const QppInstance& instance, int source) {
 
 std::optional<QppResult> solve_qpp(const QppInstance& instance,
                                    const QppSolveOptions& options) {
+  QP_REQUIRE(check::validate_instance(instance).ok(),
+             "QPP instance violates its data contracts (metric / strategy / "
+             "capacities); see check::validate_instance");
   std::vector<int> candidates = options.candidate_sources;
   if (candidates.empty()) {
     candidates.resize(static_cast<std::size_t>(instance.num_nodes()));
@@ -58,6 +63,11 @@ std::optional<QppResult> solve_qpp(const QppInstance& instance,
     }
   }
   if (best) best->best_lp_bound = best_lp_bound;
+  QP_INVARIANT(
+      !best || check::validate_placement(instance, best->placement,
+                                         {options.alpha + 1.0, 1e-6})
+                   .ok(),
+      "Thm 1.2 load bound load_f(v) <= (alpha + 1) * cap violated");
   return best;
 }
 

@@ -1,11 +1,35 @@
 #include "core/ssqpp_lp.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "lp/model.hpp"
 
 namespace qp::core {
+
+namespace {
+
+/// Contract helper: every x_tu / x_tQ column of a (filtered) solution
+/// carries total mass 1 -- the Sec 3.3.1 filtering guarantee.
+[[maybe_unused]] bool columns_stochastic(const FractionalSsqpp& solution,
+                                         double tolerance) {
+  for (int u = 0; u < solution.universe_size; ++u) {
+    double mass = 0.0;
+    for (int t = 0; t < solution.num_nodes; ++t) mass += solution.xu(t, u);
+    if (std::abs(mass - 1.0) > tolerance) return false;
+  }
+  for (int q = 0; q < solution.num_quorums; ++q) {
+    double mass = 0.0;
+    for (int t = 0; t < solution.num_nodes; ++t) mass += solution.xq(t, q);
+    if (std::abs(mass - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 double FractionalSsqpp::quorum_distance(int q) const {
   double dq = 0.0;
@@ -127,6 +151,8 @@ FractionalSsqpp solve_ssqpp_lp(const SsqppInstance& instance,
     out.x_tq[i] =
         std::max(0.0, solution.values[static_cast<std::size_t>(var_tq[i])]);
   }
+  QP_INVARIANT(check::validate_lp_solution(instance, out).ok(),
+               "LP (9)-(14) optimum must be primal-feasible");
   return out;
 }
 
@@ -179,6 +205,11 @@ FractionalSsqpp filter_fractional(const FractionalSsqpp& fractional,
         fractional.quorum_probability[static_cast<std::size_t>(q)] *
         out.quorum_distance(q);
   }
+  QP_INVARIANT(columns_stochastic(out, 1e-6),
+               "alpha-filtering must keep per-column mass exactly 1");
+  QP_INVARIANT(out.objective <= fractional.objective + 1e-6,
+               "filtering moves mass toward the source, so the objective "
+               "cannot grow (paper Sec 3.3.1)");
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "assign/gap.hpp"
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "core/evaluators.hpp"
 
 namespace qp::core {
@@ -81,6 +83,10 @@ std::optional<Placement> round_filtered_ssqpp(const SsqppInstance& instance,
     placement[static_cast<std::size_t>(u)] =
         filtered.node_order[static_cast<std::size_t>(t)];
   }
+  QP_INVARIANT(
+      check::validate_placement(instance, placement, {alpha + 1.0, 1e-6}).ok(),
+      "Shmoys-Tardos rounding must keep load within (alpha + 1) * cap "
+      "(paper Thm 3.7)");
   return placement;
 }
 
@@ -90,6 +96,9 @@ std::optional<SsqppResult> solve_ssqpp(const SsqppInstance& instance,
   if (!(alpha > 1.0)) {
     throw std::invalid_argument("solve_ssqpp: alpha > 1 required");
   }
+  QP_REQUIRE(check::validate_instance(instance).ok(),
+             "SSQPP instance violates its data contracts (metric / strategy "
+             "/ capacities); see check::validate_instance");
   const FractionalSsqpp fractional = solve_ssqpp_lp(instance, options);
   if (fractional.status != lp::SolveStatus::kOptimal) return std::nullopt;
   const FractionalSsqpp filtered = filter_fractional(fractional, alpha);
@@ -104,6 +113,11 @@ std::optional<SsqppResult> solve_ssqpp(const SsqppInstance& instance,
   result.delay_bound = alpha / (alpha - 1.0) * fractional.objective;
   result.load_violation = max_capacity_violation(
       instance.element_loads(), instance.capacities(), *placement);
+  QP_INVARIANT(result.delay <= result.delay_bound + 1e-6,
+               "Thm 3.7 delay bound Delta_f(v0) <= alpha/(alpha-1) * Z* "
+               "violated by the rounded placement");
+  QP_INVARIANT(result.load_violation <= alpha + 1.0 + 1e-6,
+               "Thm 3.7 load bound load_f(v) <= (alpha + 1) * cap violated");
   return result;
 }
 

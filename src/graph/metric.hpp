@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "check/contracts.hpp"
 #include "graph/graph.hpp"
 
 namespace qp::graph {
@@ -34,7 +35,11 @@ class Metric {
 
   int num_points() const { return num_points_; }
 
+  /// Hot path (every delay evaluation): unchecked indexing, bounds guarded
+  /// by the contract in Debug builds.
   double operator()(int i, int j) const {
+    QP_REQUIRE(i >= 0 && i < num_points_ && j >= 0 && j < num_points_,
+               "point id out of range");
     return distances_[static_cast<std::size_t>(i) *
                           static_cast<std::size_t>(num_points_) +
                       static_cast<std::size_t>(j)];

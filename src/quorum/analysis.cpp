@@ -149,7 +149,7 @@ double failure_probability_monte_carlo(const QuorumSystem& system,
 
 double load_lower_bound(const QuorumSystem& system) {
   if (system.num_quorums() == 0 || system.universe_size() == 0) return 0.0;
-  int smallest = system.quorum(0).size();
+  int smallest = static_cast<int>(system.quorum(0).size());
   for (const Quorum& q : system.quorums()) {
     smallest = std::min<int>(smallest, static_cast<int>(q.size()));
   }

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "check/contracts.hpp"
+
 namespace qp::quorum {
 
 /// A quorum is a sorted set of distinct element ids.
@@ -31,7 +33,12 @@ class QuorumSystem {
   int universe_size() const { return universe_size_; }
   int num_quorums() const { return static_cast<int>(quorums_.size()); }
   const std::vector<Quorum>& quorums() const { return quorums_; }
-  const Quorum& quorum(int i) const { return quorums_.at(static_cast<std::size_t>(i)); }
+  /// Hot path (called per quorum per client in the evaluators): unchecked
+  /// indexing, bounds guarded by the contract in Debug builds.
+  const Quorum& quorum(int i) const {
+    QP_REQUIRE(i >= 0 && i < num_quorums(), "quorum index out of range");
+    return quorums_[static_cast<std::size_t>(i)];
+  }
 
   /// Largest quorum cardinality (0 for an empty system).
   int max_quorum_size() const;
@@ -68,8 +75,12 @@ class AccessStrategy {
   static AccessStrategy uniform(const QuorumSystem& system);
 
   int num_quorums() const { return static_cast<int>(probabilities_.size()); }
+  /// Hot path (inner loop of every expected-delay evaluation): unchecked
+  /// indexing, bounds guarded by the contract in Debug builds.
   double probability(int quorum_index) const {
-    return probabilities_.at(static_cast<std::size_t>(quorum_index));
+    QP_REQUIRE(quorum_index >= 0 && quorum_index < num_quorums(),
+               "quorum index out of range");
+    return probabilities_[static_cast<std::size_t>(quorum_index)];
   }
   const std::vector<double>& probabilities() const { return probabilities_; }
 

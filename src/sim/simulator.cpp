@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "core/evaluators.hpp"
 
 namespace qp::sim {
@@ -37,6 +39,9 @@ struct Access {
 SimulationResult simulate(const core::QppInstance& instance,
                           const core::Placement& placement,
                           const SimulationConfig& config) {
+  QP_REQUIRE(check::validate_instance(instance).ok(),
+             "simulation instance violates its data contracts; see "
+             "check::validate_instance");
   const int n = instance.num_nodes();
   if (!core::is_valid_placement(placement, instance.system().universe_size(),
                                 n)) {
@@ -202,7 +207,9 @@ SimulationResult simulate(const core::QppInstance& instance,
 
   result.completed_accesses = measured_accesses;
   result.overall_mean_delay =
-      measured_accesses > 0 ? total_delay_sum / measured_accesses : 0.0;
+      measured_accesses > 0
+          ? total_delay_sum / static_cast<double>(measured_accesses)
+          : 0.0;
   for (int v = 0; v < n; ++v) {
     if (result.per_client_count[static_cast<std::size_t>(v)] > 0) {
       result.per_client_mean_delay[static_cast<std::size_t>(v)] /=

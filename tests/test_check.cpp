@@ -1,0 +1,322 @@
+// Tests for the contract layer (src/check/): validators' accept and reject
+// paths, certified-bounds checking for every solver family, and the
+// QP_REQUIRE / QP_INVARIANT macros themselves (fatal when contracts are
+// compiled in, fully unevaluated when compiled out).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
+#include "core/majority_layout.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/ssqpp_lp.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "graph/generators.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp::check {
+namespace {
+
+core::SsqppInstance make_ssqpp(const graph::Graph& g,
+                               quorum::QuorumSystem system, double cap,
+                               int source) {
+  graph::Metric metric = graph::Metric::from_graph(g);
+  std::vector<double> capacities(
+      static_cast<std::size_t>(metric.num_points()), cap);
+  quorum::AccessStrategy strategy = quorum::AccessStrategy::uniform(system);
+  return core::SsqppInstance(std::move(metric), std::move(capacities),
+                             std::move(system), std::move(strategy), source);
+}
+
+core::QppInstance make_qpp(const graph::Graph& g, quorum::QuorumSystem system,
+                           double cap) {
+  graph::Metric metric = graph::Metric::from_graph(g);
+  std::vector<double> capacities(
+      static_cast<std::size_t>(metric.num_points()), cap);
+  quorum::AccessStrategy strategy = quorum::AccessStrategy::uniform(system);
+  return core::QppInstance(std::move(metric), std::move(capacities),
+                           std::move(system), std::move(strategy));
+}
+
+bool has_issue(const ValidationReport& report, const std::string& code) {
+  return std::any_of(
+      report.issues.begin(), report.issues.end(),
+      [&](const ValidationIssue& issue) { return issue.code == code; });
+}
+
+// ---------------------------------------------------------------- metric
+
+TEST(ValidateMetric, AcceptsShortestPathMetric) {
+  const graph::Metric metric = graph::Metric::from_graph(graph::path_graph(6));
+  const ValidationReport report = validate_metric(metric);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidateMetric, FlagsTriangleViolation) {
+  // Symmetric, zero diagonal, non-negative -- the constructor accepts it --
+  // but d(0,2) = 10 > d(0,1) + d(1,2) = 2.
+  const graph::Metric metric(3, {0.0, 1.0, 10.0,  //
+                                 1.0, 0.0, 1.0,   //
+                                 10.0, 1.0, 0.0});
+  const ValidationReport report = validate_metric(metric);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_issue(report, "metric/triangle")) << report.to_string();
+}
+
+TEST(ValidateMetric, SamplingCatchesViolationInLargeMetric) {
+  // Above exhaustive_triangle_limit the validator samples triples; a
+  // violation on every triple through point 0 is found immediately.
+  const int n = 12;
+  std::vector<double> d(static_cast<std::size_t>(n) * n, 1.0);
+  for (int i = 0; i < n; ++i) d[static_cast<std::size_t>(i) * n + i] = 0.0;
+  d[1] = d[static_cast<std::size_t>(n)] = 50.0;  // d(0,1) = d(1,0) = 50
+  const graph::Metric metric(n, std::move(d));
+  MetricCheckOptions options;
+  options.exhaustive_triangle_limit = 4;  // force the sampled path
+  const ValidationReport report = validate_metric(metric, options);
+  EXPECT_TRUE(has_issue(report, "metric/triangle")) << report.to_string();
+}
+
+TEST(ValidateMetric, ConstructorAlreadyRejectsNonMetricMatrices) {
+  // Asymmetry / negative entries never reach the validator: the Metric
+  // constructor is the first line of defense for those.
+  EXPECT_THROW(graph::Metric(2, {0.0, 1.0, 2.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(graph::Metric(2, {0.0, -1.0, -1.0, 0.0}),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------------------- strategy
+
+TEST(ValidateStrategy, AcceptsUniform) {
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const std::vector<double> uniform(
+      static_cast<std::size_t>(system.num_quorums()),
+      1.0 / system.num_quorums());
+  EXPECT_TRUE(validate_strategy(system, uniform).ok());
+}
+
+TEST(ValidateStrategy, FlagsMalformedRawData) {
+  const quorum::QuorumSystem system = quorum::grid(2);  // 4 quorums
+  EXPECT_TRUE(has_issue(validate_strategy(system, {0.5, 0.5}),
+                        "strategy/size-mismatch"));
+  EXPECT_TRUE(has_issue(validate_strategy(system, {0.5, 0.5, 0.5, -0.5}),
+                        "strategy/negative"));
+  EXPECT_TRUE(has_issue(validate_strategy(system, {0.5, 0.5, 0.5, 0.5}),
+                        "strategy/not-normalized"));
+}
+
+// -------------------------------------------------------------- instance
+
+TEST(ValidateInstance, AcceptsWellFormedInstances) {
+  const core::QppInstance qpp = make_qpp(graph::path_graph(5),
+                                         quorum::grid(2), 1.0);
+  EXPECT_TRUE(validate_instance(qpp).ok());
+  const core::SsqppInstance ssqpp =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 2);
+  EXPECT_TRUE(validate_instance(ssqpp).ok());
+}
+
+// ------------------------------------------------------------- placement
+
+TEST(ValidatePlacement, AcceptsSolverOutputWithinAlphaPlusOne) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const auto result = core::solve_ssqpp(instance, 2.0);
+  ASSERT_TRUE(result.has_value());
+  const ValidationReport report =
+      validate_placement(instance, result->placement, {3.0, 1e-6});
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidatePlacement, FlagsMalformedPlacements) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  EXPECT_TRUE(has_issue(validate_placement(instance, {0, 1}),
+                        "placement/size"));
+  EXPECT_TRUE(has_issue(validate_placement(instance, {0, 1, 2, 99}),
+                        "placement/out-of-range"));
+  // All four grid elements (load 3/4 each) on one unit-capacity node.
+  EXPECT_TRUE(has_issue(validate_placement(instance, {0, 0, 0, 0}),
+                        "placement/over-capacity"));
+}
+
+// -------------------------------------------------------------------- LP
+
+TEST(ValidateLpSolution, AcceptsRawOptimum) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const core::FractionalSsqpp lp = core::solve_ssqpp_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  const ValidationReport report = validate_lp_solution(instance, lp);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidateLpSolution, AcceptsAlphaFilteredSolutionAtScaleAlpha) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const core::FractionalSsqpp filtered =
+      core::filter_fractional(core::solve_ssqpp_lp(instance), 2.0);
+  LpCheckOptions options;
+  options.load_scale = 2.0;       // Sec 3.3.1: filtered mass uses alpha * cap
+  options.check_objective = false;  // recorded objective is the pre-filter Z*
+  const ValidationReport report =
+      validate_lp_solution(instance, filtered, options);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ValidateLpSolution, FlagsTamperedSolutions) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const core::FractionalSsqpp lp = core::solve_ssqpp_lp(instance);
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+
+  core::FractionalSsqpp zeroed_column = lp;
+  for (int t = 0; t < zeroed_column.num_nodes; ++t) {
+    zeroed_column.x_tu[static_cast<std::size_t>(t) *
+                       static_cast<std::size_t>(zeroed_column.universe_size)] =
+        0.0;
+  }
+  EXPECT_TRUE(has_issue(validate_lp_solution(instance, zeroed_column),
+                        "lp/element-mass"));
+
+  core::FractionalSsqpp wrong_objective = lp;
+  wrong_objective.objective += 1.0;
+  EXPECT_TRUE(has_issue(validate_lp_solution(instance, wrong_objective),
+                        "lp/objective-mismatch"));
+
+  // An unsolved / infeasible struct is not a certificate of anything.
+  EXPECT_TRUE(has_issue(validate_lp_solution(instance, core::FractionalSsqpp{}),
+                        "lp/not-optimal"));
+}
+
+// ---------------------------------------------------------- certificates
+
+TEST(Certificate, SsqppResultIsCertified) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const auto result = core::solve_ssqpp(instance, 2.0);
+  ASSERT_TRUE(result.has_value());
+  const Certificate cert = check_certificate(instance, *result);
+  EXPECT_TRUE(cert.ok()) << cert.to_string();
+  EXPECT_GT(cert.opt_lower_bound, 0.0);
+}
+
+TEST(Certificate, SsqppRejectsTamperedNumbers) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const auto result = core::solve_ssqpp(instance, 2.0);
+  ASSERT_TRUE(result.has_value());
+
+  core::SsqppResult tampered = *result;
+  tampered.delay += 0.5;  // reported delay no longer matches the placement
+  EXPECT_FALSE(check_certificate(instance, tampered).ok());
+
+  core::SsqppResult wrong_lp = *result;
+  wrong_lp.lp_objective *= 0.5;  // claims a lower bound the LP does not give
+  EXPECT_FALSE(check_certificate(instance, wrong_lp).ok());
+}
+
+TEST(Certificate, SsqppRejectsInvalidPlacement) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::grid(2), 1.0, 0);
+  const auto result = core::solve_ssqpp(instance, 2.0);
+  ASSERT_TRUE(result.has_value());
+  core::SsqppResult tampered = *result;
+  tampered.placement[0] = -1;
+  const Certificate cert = check_certificate(instance, tampered);
+  EXPECT_FALSE(cert.ok());
+  ASSERT_EQ(cert.checks.size(), 1u);  // stops at placement/valid
+  EXPECT_EQ(cert.checks[0].name, "placement/valid");
+}
+
+TEST(Certificate, QppResultIsCertifiedWithOptLowerBound) {
+  const core::QppInstance instance =
+      make_qpp(graph::path_graph(4), quorum::grid(2), 1.0);
+  const auto result = core::solve_qpp(instance);
+  ASSERT_TRUE(result.has_value());
+  const Certificate cert = check_certificate(instance, *result);
+  EXPECT_TRUE(cert.ok()) << cert.to_string();
+  // Thm 1.2: L / 5 certifies the capacity-respecting OPT from below and the
+  // achieved average is within 5 beta = 10 of it for alpha = 2. (The ratio
+  // can dip below 1: the rounded placement may use up to (alpha+1) cap.)
+  EXPECT_GT(cert.opt_lower_bound, 0.0);
+  EXPECT_LE(cert.certified_ratio, 10.0 + 1e-6);
+}
+
+TEST(Certificate, QppRejectsTamperedAverageDelay) {
+  const core::QppInstance instance =
+      make_qpp(graph::path_graph(4), quorum::grid(2), 1.0);
+  const auto result = core::solve_qpp(instance);
+  ASSERT_TRUE(result.has_value());
+  core::QppResult tampered = *result;
+  tampered.average_delay *= 0.1;  // too good to be true
+  EXPECT_FALSE(check_certificate(instance, tampered).ok());
+}
+
+TEST(Certificate, TotalDelayResultIsCertified) {
+  const core::QppInstance instance =
+      make_qpp(graph::path_graph(4), quorum::grid(2), 1.0);
+  const auto result = core::solve_total_delay(instance);
+  ASSERT_TRUE(result.has_value());
+  const Certificate cert = check_certificate(instance, *result);
+  EXPECT_TRUE(cert.ok()) << cert.to_string();
+
+  core::TotalDelayResult tampered = *result;
+  tampered.lp_objective += 1.0;
+  EXPECT_FALSE(check_certificate(instance, tampered).ok());
+}
+
+TEST(Certificate, MajorityLayoutMatchesEq19) {
+  const core::SsqppInstance instance =
+      make_ssqpp(graph::path_graph(5), quorum::majority(4, 3), 1.0, 0);
+  const auto result = core::majority_layout(instance, 3);
+  ASSERT_TRUE(result.has_value());
+  const Certificate cert = check_certificate(instance, *result, 3);
+  EXPECT_TRUE(cert.ok()) << cert.to_string();
+
+  core::MajorityLayoutResult tampered = *result;
+  tampered.formula_delay += 0.25;
+  EXPECT_FALSE(check_certificate(instance, tampered, 3).ok());
+}
+
+// --------------------------------------------------------------- macros
+
+#if QPLACE_CONTRACTS
+
+using CheckContractsDeathTest = ::testing::Test;
+
+TEST(CheckContractsDeathTest, InvariantAbortsWithContext) {
+  EXPECT_DEATH(QP_INVARIANT(1 + 1 == 3, "arithmetic broke"),
+               "contract violation \\[INVARIANT\\]");
+}
+
+TEST(CheckContractsDeathTest, RequireAbortsWithContext) {
+  EXPECT_DEATH(QP_REQUIRE(false, "unmet precondition"),
+               "contract violation \\[REQUIRE\\]");
+}
+
+TEST(CheckContractsDeathTest, HotPathBoundsContractFires) {
+  const graph::Metric metric = graph::Metric::from_graph(graph::path_graph(3));
+  EXPECT_DEATH(static_cast<void>(metric(0, 99)), "contract violation");
+}
+
+#else
+
+TEST(CheckContracts, CompiledOutConditionIsNeverEvaluated) {
+  int evaluations = 0;
+  QP_REQUIRE(++evaluations > 0, "must not run in release");
+  QP_INVARIANT(++evaluations > 0, "must not run in release");
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif
+
+}  // namespace
+}  // namespace qp::check

@@ -6,18 +6,28 @@
 ///                   --nodes 16 --algorithm qpp --alpha 2 --cap 1.0 [--dot]
 ///   qplace simulate --system grid --k 2 --topology waxman --nodes 16
 ///                   --duration 1000 [--service-rate 20]
+///   qplace check    --system grid --k 2 --topology geometric --nodes 16
+///                   --algorithm qpp --alpha 2                # certify bounds
 ///
 /// `solve` algorithms: qpp (Thm 1.2), ssqpp (Thm 3.7, needs --source),
 /// total (Thm 5.1), grid (Thm 1.3 via Sec 4.1), majority (Thm 1.3 via
 /// Sec 4.2). Capacities are uniform: --cap multiplies the max element load.
+///
+/// `check` solves like `solve` (algorithms qpp | ssqpp | total | majority),
+/// then re-derives the LP lower bounds and verifies every reported
+/// approximation guarantee (Thm 1.2 / Thm 3.7 / Thm 5.1 / Eq. (19)) with
+/// check::check_certificate. Exit code 0 iff the whole certificate holds.
 
 #include <iostream>
 #include <random>
 #include <string>
 #include <vector>
 
+#include "check/certificate.hpp"
+#include "check/validate.hpp"
 #include "cli/options.hpp"
 #include "core/evaluators.hpp"
+#include "core/majority_layout.hpp"
 #include "core/placement_report.hpp"
 #include "core/qpp_solver.hpp"
 #include "core/specialized.hpp"
@@ -42,6 +52,8 @@ int usage() {
       "  analyze    quorum-system quality metrics (load, FT, availability)\n"
       "  solve      place a quorum system on a topology\n"
       "  simulate   message-level simulation of a solved placement\n"
+      "  check      solve, then verify the certified bounds "
+      "(Thm 1.2/3.7/5.1, Eq. 19)\n"
       "common flags: --system --topology --nodes --seed (see source header)\n";
   return 2;
 }
@@ -176,6 +188,84 @@ int cmd_solve(const cli::ParsedArgs& args) {
   return 0;
 }
 
+/// `qplace check`: run a solver, then machine-verify every bound it claims.
+int cmd_check(const cli::ParsedArgs& args) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const graph::Graph g = cli::make_topology(args, rng);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const quorum::QuorumSystem system = cli::make_system(args);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps =
+      capacities_for(args, system, strategy, g.num_nodes());
+  const core::QppInstance instance(metric, caps, system, strategy);
+
+  const check::ValidationReport instance_report =
+      check::validate_instance(instance);
+  if (!instance_report.ok()) {
+    std::cerr << "instance invalid:\n" << instance_report.to_string();
+    return 1;
+  }
+
+  check::CertificateOptions options;
+  options.alpha = args.get_double("alpha", 2.0);
+  const std::string algorithm = args.get("algorithm", "qpp");
+  check::Certificate certificate;
+  std::string claim;
+  if (algorithm == "qpp") {
+    core::QppSolveOptions solve_options;
+    solve_options.alpha = options.alpha;
+    const auto result = core::solve_qpp(instance, solve_options);
+    if (!result) {
+      std::cerr << "infeasible: no capacity-respecting fractional placement\n";
+      return 1;
+    }
+    certificate = check::check_certificate(instance, *result, options);
+    claim = "Thm 1.2 (5a/(a-1)-approx, load <= (a+1) cap), relay v0 = " +
+            std::to_string(result->chosen_source);
+  } else if (algorithm == "ssqpp") {
+    const core::SsqppInstance view(metric, caps, system, strategy,
+                                   args.get_int("source", 0));
+    const auto result = core::solve_ssqpp(view, options.alpha);
+    if (!result) {
+      std::cerr << "infeasible\n";
+      return 1;
+    }
+    certificate = check::check_certificate(view, *result, options);
+    claim = "Thm 3.7 (a/(a-1)-approx vs Z*, load <= (a+1) cap)";
+  } else if (algorithm == "total") {
+    const auto result = core::solve_total_delay(instance);
+    if (!result) {
+      std::cerr << "infeasible\n";
+      return 1;
+    }
+    certificate = check::check_certificate(instance, *result, options);
+    claim = "Thm 5.1 (cost <= GAP LP <= OPT, load <= 2 cap)";
+  } else if (algorithm == "majority") {
+    const int n = args.get_int("n", 5);
+    const int t = args.get_int("t", n / 2 + 1);
+    const core::SsqppInstance view(metric, caps, system, strategy,
+                                   args.get_int("source", 0));
+    const auto result = core::majority_layout(view, t);
+    if (!result) {
+      std::cerr << "infeasible: not enough capacity slots\n";
+      return 1;
+    }
+    certificate = check::check_certificate(view, *result, t, options);
+    claim = "Eq. (19) closed form + exact capacity respect (Thm 1.3)";
+  } else {
+    std::cerr << "unknown --algorithm '" << algorithm
+              << "' (qpp|ssqpp|total|majority)\n";
+    return 2;
+  }
+
+  std::cout << "certificate for " << algorithm << ": " << claim << "\n"
+            << certificate.to_string()
+            << (certificate.ok() ? "CERTIFIED: all bounds hold\n"
+                                 : "FAILED: some bound is violated\n");
+  return certificate.ok() ? 0 : 1;
+}
+
 int cmd_simulate(const cli::ParsedArgs& args) {
   std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const graph::Graph g = cli::make_topology(args, rng);
@@ -238,6 +328,8 @@ int main(int argc, char** argv) {
       code = cmd_solve(args);
     } else if (args.command() == "simulate") {
       code = cmd_simulate(args);
+    } else if (args.command() == "check") {
+      code = cmd_check(args);
     } else {
       std::cerr << "unknown command '" << args.command() << "'\n";
       return usage();
