@@ -5,10 +5,12 @@
 #include <benchmark/benchmark.h>
 
 #include <random>
+#include <utility>
 
 #include "core/evaluators.hpp"
 #include "core/exact.hpp"
 #include "core/grid_layout.hpp"
+#include "core/local_search.hpp"
 #include "core/majority_layout.hpp"
 #include "core/qpp_solver.hpp"
 #include "core/ssqpp_solver.hpp"
@@ -115,7 +117,64 @@ void BM_AverageMaxDelayEvaluator(benchmark::State& state) {
     benchmark::DoNotOptimize(core::average_max_delay(instance, f));
   }
 }
-BENCHMARK(BM_AverageMaxDelayEvaluator)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_AverageMaxDelayEvaluator)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+// The three benches below cover the exec-engine hot paths (docs/PARALLEL.md)
+// at the largest n the LP cost allows; bench/run_bench.sh sweeps them over
+// QPLACE_THREADS=1/2/4/8 for the recorded BENCH_parallel.json baseline.
+
+void BM_RelaySweep(benchmark::State& state) {
+  // The Thm 1.2 relay sweep: one SSQPP solve per candidate v0, the
+  // per-candidate loop being the parallel_for in core::solve_qpp.
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::grid(2);
+  const core::QppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_qpp(instance));
+  }
+}
+BENCHMARK(BM_RelaySweep)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_BestRelayNode(benchmark::State& state) {
+  // Lemma 3.1 relay selection: an argmin over nodes, each term an O(n|Q|)
+  // evaluation -- the chunked map-reduce in core::best_relay_node.
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::grid(3);
+  const core::QppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
+      system, quorum::AccessStrategy::uniform(system));
+  core::Placement f(9);
+  for (int u = 0; u < 9; ++u) f[static_cast<std::size_t>(u)] = (u * 7) % n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::best_relay_node(instance, f));
+  }
+}
+BENCHMARK(BM_BestRelayNode)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_LocalSearchDescent(benchmark::State& state) {
+  // First-improvement descent; the neighborhood scan is the
+  // parallel_find_first over the (element, node) move grid.
+  const int n = static_cast<int>(state.range(0));
+  const quorum::QuorumSystem system = quorum::grid(3);
+  const core::QppInstance instance(
+      metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 2.0),
+      system, quorum::AccessStrategy::uniform(system));
+  core::Placement start(9);
+  for (int u = 0; u < 9; ++u) start[static_cast<std::size_t>(u)] = u % n;
+  core::LocalSearchOptions options;
+  options.max_moves = 8;
+  for (auto _ : state) {
+    core::Placement f = start;
+    benchmark::DoNotOptimize(
+        core::local_search_max_delay(instance, std::move(f), options));
+  }
+}
+BENCHMARK(BM_LocalSearchDescent)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

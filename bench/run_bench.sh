@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Thread-scaling baseline for the exec engine (docs/PARALLEL.md).
+#
+# Runs the four perf_* google-benchmark binaries at QPLACE_THREADS=1/2/4/8
+# and aggregates the per-benchmark wall times into BENCH_parallel.json at
+# the repository root. The determinism contract makes the *results*
+# identical across thread counts; this script records what the parallelism
+# costs or buys in wall time on the current host.
+#
+# Usage:  bench/run_bench.sh [build-dir]     (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="$repo_root/BENCH_parallel.json"
+work_dir="$(mktemp -d)"
+trap 'rm -rf "$work_dir"' EXIT
+
+binaries=(perf_graph perf_lp perf_placement perf_sim)
+threads=(1 2 4 8)
+
+for b in "${binaries[@]}"; do
+  bin="$build_dir/bench/$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (run: cmake --build $build_dir --target $b)" >&2
+    exit 1
+  fi
+done
+
+for b in "${binaries[@]}"; do
+  for t in "${threads[@]}"; do
+    echo "== $b @ QPLACE_THREADS=$t"
+    QPLACE_THREADS="$t" "$build_dir/bench/$b" \
+      --benchmark_format=json \
+      --benchmark_min_time=0.05 \
+      --benchmark_out="$work_dir/$b.t$t.json" \
+      --benchmark_out_format=json >/dev/null
+  done
+done
+
+python3 - "$work_dir" "$out_json" <<'PY'
+import json
+import os
+import sys
+
+work_dir, out_json = sys.argv[1], sys.argv[2]
+binaries = ["perf_graph", "perf_lp", "perf_placement", "perf_sim"]
+threads = [1, 2, 4, 8]
+
+paths = {}          # "binary/benchmark" -> {"t1": ms, "t2": ms, ...}
+host = {}
+for b in binaries:
+    for t in threads:
+        with open(os.path.join(work_dir, f"{b}.t{t}.json")) as f:
+            report = json.load(f)
+        ctx = report["context"]
+        host = {
+            "num_cpus": ctx.get("num_cpus"),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+            "library_build_type": ctx.get("library_build_type"),
+        }
+        for bench in report["benchmarks"]:
+            if bench.get("run_type") == "aggregate":
+                continue
+            key = f"{b}/{bench['name']}"
+            unit = bench.get("time_unit", "ns")
+            scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+            paths.setdefault(key, {})[f"t{t}"] = round(
+                bench["real_time"] * scale, 6)
+
+result = {
+    "description": (
+        "Wall time (ms) per benchmark at QPLACE_THREADS=1/2/4/8; "
+        "results are bit-identical across thread counts by the "
+        "docs/PARALLEL.md determinism contract."),
+    "note": (
+        "Baselines are host-specific. On a single-CPU host, thread counts "
+        "> 1 cannot speed anything up and only measure pool overhead; "
+        "re-run bench/run_bench.sh on multi-core hardware before drawing "
+        "scaling conclusions."),
+    "host": host,
+    "thread_counts": threads,
+    "benchmarks": dict(sorted(paths.items())),
+}
+with open(out_json, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_json}: {len(paths)} benchmarks x {len(threads)} "
+      "thread counts")
+PY

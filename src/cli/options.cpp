@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
 #include "graph/io.hpp"
 #include "quorum/constructions.hpp"
 
@@ -160,6 +161,12 @@ graph::Graph make_topology(const ParsedArgs& args, std::mt19937_64& rng) {
                                   args.get_double("inter", 10.0));
   }
   throw std::invalid_argument("unknown --topology '" + kind + "'");
+}
+
+int configure_threads(const ParsedArgs& args) {
+  const int requested = args.get_int("threads", 0);
+  if (requested >= 1) exec::set_num_threads(requested);
+  return exec::num_threads();
 }
 
 }  // namespace qp::cli

@@ -62,4 +62,11 @@ quorum::QuorumSystem make_system(const ParsedArgs& args);
 /// which overrides --topology.
 graph::Graph make_topology(const ParsedArgs& args, std::mt19937_64& rng);
 
+/// Applies --threads N to the exec thread pool (docs/PARALLEL.md) and
+/// returns the effective pool size. Absent or N < 1 keeps the default
+/// (QPLACE_THREADS env var, else hardware concurrency). Results never depend
+/// on the thread count -- see the determinism contract.
+/// \throws std::invalid_argument on an unparsable value.
+int configure_threads(const ParsedArgs& args);
+
 }  // namespace qp::cli

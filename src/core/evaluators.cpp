@@ -5,7 +5,32 @@
 #include <stdexcept>
 #include <string>
 
+#include "exec/parallel.hpp"
+
 namespace qp::core {
+
+namespace {
+
+/// Weighted per-client averages (Avg_v Delta_f(v) / Gamma_f(v)): chunked
+/// summation with ordered reduction. The chunk structure depends only on the
+/// client count (exec::kReductionGrain), so the result is bit-identical for
+/// any thread count; instances with <= kReductionGrain clients keep the
+/// exact sequential summation order.
+template <typename PerClient>
+double weighted_client_average(const QppInstance& instance,
+                               const PerClient& per_client) {
+  return exec::parallel_map_reduce(
+      static_cast<std::size_t>(instance.num_nodes()), 0.0,
+      [&](std::size_t v) {
+        const double weight = instance.client_weights()[v];
+        if (weight == 0.0) return 0.0;
+        return weight * per_client(static_cast<int>(v));
+      },
+      [](double acc, double term) { return acc + term; },
+      exec::kReductionGrain);
+}
+
+}  // namespace
 
 double max_delay(const graph::Metric& metric, const quorum::Quorum& quorum,
                  const Placement& placement, int client) {
@@ -67,29 +92,20 @@ double average_max_delay(const QppInstance& instance,
                          const Placement& placement) {
   check_placement(placement, instance.system().universe_size(),
                   instance.num_nodes(), "average_max_delay");
-  double average = 0.0;
-  for (int v = 0; v < instance.num_nodes(); ++v) {
-    const double weight = instance.client_weights()[static_cast<std::size_t>(v)];
-    if (weight == 0.0) continue;
-    average += weight * expected_max_delay(instance.metric(), instance.system(),
-                                           instance.strategy(), placement, v);
-  }
-  return average;
+  return weighted_client_average(instance, [&](int v) {
+    return expected_max_delay(instance.metric(), instance.system(),
+                              instance.strategy(), placement, v);
+  });
 }
 
 double average_total_delay(const QppInstance& instance,
                            const Placement& placement) {
   check_placement(placement, instance.system().universe_size(),
                   instance.num_nodes(), "average_total_delay");
-  double average = 0.0;
-  for (int v = 0; v < instance.num_nodes(); ++v) {
-    const double weight = instance.client_weights()[static_cast<std::size_t>(v)];
-    if (weight == 0.0) continue;
-    average += weight * expected_total_delay(instance.metric(),
-                                             instance.system(),
-                                             instance.strategy(), placement, v);
-  }
-  return average;
+  return weighted_client_average(instance, [&](int v) {
+    return expected_total_delay(instance.metric(), instance.system(),
+                                instance.strategy(), placement, v);
+  });
 }
 
 double source_expected_max_delay(const SsqppInstance& instance,
@@ -173,31 +189,34 @@ double average_closest_quorum_delay(const QppInstance& instance,
                                     const Placement& placement) {
   check_placement(placement, instance.system().universe_size(),
                   instance.num_nodes(), "average_closest_quorum_delay");
-  double average = 0.0;
-  for (int v = 0; v < instance.num_nodes(); ++v) {
-    const double weight = instance.client_weights()[static_cast<std::size_t>(v)];
-    if (weight == 0.0) continue;
-    average += weight * closest_quorum_delay(instance.metric(),
-                                             instance.system(), placement, v);
-  }
-  return average;
+  return weighted_client_average(instance, [&](int v) {
+    return closest_quorum_delay(instance.metric(), instance.system(),
+                                placement, v);
+  });
 }
 
 int best_relay_node(const QppInstance& instance, const Placement& placement) {
   check_placement(placement, instance.system().universe_size(),
                   instance.num_nodes(), "best_relay_node");
-  int best = 0;
-  double best_delay = std::numeric_limits<double>::infinity();
-  for (int v = 0; v < instance.num_nodes(); ++v) {
-    const double delay =
-        expected_max_delay(instance.metric(), instance.system(),
-                           instance.strategy(), placement, v);
-    if (delay < best_delay) {
-      best_delay = delay;
-      best = v;
-    }
-  }
-  return best;
+  // Argmin with a strict `<`: ties resolve to the lowest node id under any
+  // chunking, so the parallel result matches the sequential scan exactly.
+  struct Best {
+    double delay = std::numeric_limits<double>::infinity();
+    int node = 0;
+  };
+  const Best best = exec::parallel_map_reduce(
+      static_cast<std::size_t>(instance.num_nodes()), Best{},
+      [&](std::size_t v) {
+        return Best{expected_max_delay(instance.metric(), instance.system(),
+                                       instance.strategy(), placement,
+                                       static_cast<int>(v)),
+                    static_cast<int>(v)};
+      },
+      [](Best acc, Best candidate) {
+        return candidate.delay < acc.delay ? candidate : acc;
+      },
+      /*grain=*/4);
+  return best.node;
 }
 
 }  // namespace qp::core

@@ -7,12 +7,24 @@
 #include "check/contracts.hpp"
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
+#include "exec/parallel.hpp"
 
 namespace qp::core {
 
 namespace {
 
 constexpr double kCapacityTolerance = 1e-9;
+
+/// Grain for neighborhood scoring: most indices fail the cheap feasibility
+/// test, so chunks must hold enough of them to amortize dispatch.
+constexpr std::size_t kNeighborhoodGrain = 16;
+
+/// A scored candidate step: `index` encodes the move in the canonical scan
+/// order, `objective` is the instance objective after applying it.
+struct ScoredStep {
+  std::size_t index = 0;
+  double objective = 0.0;
+};
 
 /// Shared first-improvement descent over moves and swaps.
 LocalSearchResult descend(
@@ -35,66 +47,112 @@ LocalSearchResult descend(
   double current = objective(placement);
   int moves = 0;
 
+  // First-improvement descent, neighborhood scoring on the thread pool.
+  // Each chunk scans its slice of the canonical (u, to) / (a, b) order with
+  // a private trial placement and reports the first improving step;
+  // exec::parallel_find_first keeps the lowest-indexed hit, which is exactly
+  // the step a sequential scan with early exit would have taken, so the
+  // descent trajectory is bit-identical for any thread count.
+  const auto scan_moves = [&](std::size_t begin,
+                              std::size_t end) -> std::optional<ScoredStep> {
+    Placement trial = placement;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto u = static_cast<std::size_t>(i / static_cast<std::size_t>(num_nodes));
+      const int to = static_cast<int>(i % static_cast<std::size_t>(num_nodes));
+      const int from = trial[u];
+      if (to == from) continue;
+      if (node_load[static_cast<std::size_t>(to)] + loads[u] >
+          instance.capacity(to) + kCapacityTolerance) {
+        continue;
+      }
+      trial[u] = to;
+      const double candidate = objective(trial);
+      trial[u] = from;
+      if (candidate < current - options.min_gain) {
+        return ScoredStep{i, candidate};
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto scan_swaps = [&](std::size_t begin,
+                              std::size_t end) -> std::optional<ScoredStep> {
+    Placement trial = placement;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto a = static_cast<std::size_t>(i / static_cast<std::size_t>(num_elements));
+      const auto b = static_cast<std::size_t>(i % static_cast<std::size_t>(num_elements));
+      if (b <= a) continue;
+      const int node_a = trial[a];
+      const int node_b = trial[b];
+      if (node_a == node_b) continue;
+      const double load_a = loads[a];
+      const double load_b = loads[b];
+      // Feasibility after swapping a -> node_b, b -> node_a.
+      if (node_load[static_cast<std::size_t>(node_b)] - load_b + load_a >
+              instance.capacity(node_b) + kCapacityTolerance ||
+          node_load[static_cast<std::size_t>(node_a)] - load_a + load_b >
+              instance.capacity(node_a) + kCapacityTolerance) {
+        continue;
+      }
+      trial[a] = node_b;
+      trial[b] = node_a;
+      const double candidate = objective(trial);
+      trial[a] = node_a;
+      trial[b] = node_b;
+      if (candidate < current - options.min_gain) {
+        return ScoredStep{i, candidate};
+      }
+    }
+    return std::nullopt;
+  };
+
   bool improved = true;
   while (improved && moves < options.max_moves) {
     improved = false;
     // Single-element moves.
     if (options.allow_moves) {
-      for (int u = 0; u < num_elements && !improved; ++u) {
-        const int from = placement[static_cast<std::size_t>(u)];
-        for (int to = 0; to < num_nodes && !improved; ++to) {
-          if (to == from) continue;
-          if (node_load[static_cast<std::size_t>(to)] +
-                  loads[static_cast<std::size_t>(u)] >
-              instance.capacity(to) + kCapacityTolerance) {
-            continue;
-          }
-          placement[static_cast<std::size_t>(u)] = to;
-          const double candidate = objective(placement);
-          if (candidate < current - options.min_gain) {
-            current = candidate;
-            node_load[static_cast<std::size_t>(from)] -=
-                loads[static_cast<std::size_t>(u)];
-            node_load[static_cast<std::size_t>(to)] +=
-                loads[static_cast<std::size_t>(u)];
-            ++moves;
-            improved = true;
-          } else {
-            placement[static_cast<std::size_t>(u)] = from;
-          }
-        }
+      const std::optional<ScoredStep> step =
+          exec::parallel_find_first<ScoredStep>(
+              static_cast<std::size_t>(num_elements) *
+                  static_cast<std::size_t>(num_nodes),
+              kNeighborhoodGrain, scan_moves);
+      if (step) {
+        const auto u = static_cast<std::size_t>(
+            step->index / static_cast<std::size_t>(num_nodes));
+        const int to = static_cast<int>(step->index %
+                                        static_cast<std::size_t>(num_nodes));
+        const int from = placement[u];
+        placement[u] = to;
+        current = step->objective;
+        node_load[static_cast<std::size_t>(from)] -= loads[u];
+        node_load[static_cast<std::size_t>(to)] += loads[u];
+        ++moves;
+        improved = true;
       }
     }
     // Pairwise swaps.
     if (options.allow_swaps && !improved) {
-      for (int a = 0; a < num_elements && !improved; ++a) {
-        for (int b = a + 1; b < num_elements && !improved; ++b) {
-          const int node_a = placement[static_cast<std::size_t>(a)];
-          const int node_b = placement[static_cast<std::size_t>(b)];
-          if (node_a == node_b) continue;
-          const double load_a = loads[static_cast<std::size_t>(a)];
-          const double load_b = loads[static_cast<std::size_t>(b)];
-          // Feasibility after swapping a -> node_b, b -> node_a.
-          if (node_load[static_cast<std::size_t>(node_b)] - load_b + load_a >
-                  instance.capacity(node_b) + kCapacityTolerance ||
-              node_load[static_cast<std::size_t>(node_a)] - load_a + load_b >
-                  instance.capacity(node_a) + kCapacityTolerance) {
-            continue;
-          }
-          placement[static_cast<std::size_t>(a)] = node_b;
-          placement[static_cast<std::size_t>(b)] = node_a;
-          const double candidate = objective(placement);
-          if (candidate < current - options.min_gain) {
-            current = candidate;
-            node_load[static_cast<std::size_t>(node_a)] += load_b - load_a;
-            node_load[static_cast<std::size_t>(node_b)] += load_a - load_b;
-            ++moves;
-            improved = true;
-          } else {
-            placement[static_cast<std::size_t>(a)] = node_a;
-            placement[static_cast<std::size_t>(b)] = node_b;
-          }
-        }
+      const std::optional<ScoredStep> step =
+          exec::parallel_find_first<ScoredStep>(
+              static_cast<std::size_t>(num_elements) *
+                  static_cast<std::size_t>(num_elements),
+              kNeighborhoodGrain, scan_swaps);
+      if (step) {
+        const auto a = static_cast<std::size_t>(
+            step->index / static_cast<std::size_t>(num_elements));
+        const auto b = static_cast<std::size_t>(
+            step->index % static_cast<std::size_t>(num_elements));
+        const int node_a = placement[a];
+        const int node_b = placement[b];
+        placement[a] = node_b;
+        placement[b] = node_a;
+        current = step->objective;
+        node_load[static_cast<std::size_t>(node_a)] +=
+            loads[b] - loads[a];
+        node_load[static_cast<std::size_t>(node_b)] +=
+            loads[a] - loads[b];
+        ++moves;
+        improved = true;
       }
     }
   }

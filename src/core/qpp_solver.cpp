@@ -5,6 +5,7 @@
 #include "check/contracts.hpp"
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
+#include "exec/parallel.hpp"
 
 namespace qp::core {
 
@@ -42,19 +43,36 @@ std::optional<QppResult> solve_qpp(const QppInstance& instance,
     }
   }
 
+  // Relay sweep: every candidate v0 gets an independent SSQPP solve and
+  // delay evaluation (the expensive part), written into its own slot. The
+  // winner is then selected sequentially in candidate order, which keeps the
+  // result bit-identical to the sequential sweep for any thread count.
+  struct CandidateOutcome {
+    std::optional<SsqppResult> single;
+    double average = 0.0;
+  };
+  std::vector<CandidateOutcome> outcomes(candidates.size());
+  exec::parallel_for(candidates.size(), [&](std::size_t i) {
+    const int source = candidates[i];
+    const SsqppInstance view = single_source_view(instance, source);
+    outcomes[i].single = solve_ssqpp(view, options.alpha, options.simplex);
+    if (outcomes[i].single) {
+      outcomes[i].average =
+          average_max_delay(instance, outcomes[i].single->placement);
+    }
+  });
+
   std::optional<QppResult> best;
   double best_lp_bound = 0.0;
-  for (int source : candidates) {
-    const SsqppInstance view = single_source_view(instance, source);
-    const std::optional<SsqppResult> single =
-        solve_ssqpp(view, options.alpha, options.simplex);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::optional<SsqppResult>& single = outcomes[i].single;
     if (!single) continue;
     best_lp_bound = std::max(best_lp_bound, single->lp_objective);
-    const double average = average_max_delay(instance, single->placement);
+    const double average = outcomes[i].average;
     if (!best || average < best->average_delay) {
       QppResult result;
       result.placement = single->placement;
-      result.chosen_source = source;
+      result.chosen_source = candidates[i];
       result.average_delay = average;
       result.load_violation = max_capacity_violation(
           instance.element_loads(), instance.capacities(), single->placement);

@@ -1,0 +1,36 @@
+#include "exec/parallel.hpp"
+
+namespace qp::exec {
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain) {
+  ChunkPlan plan;
+  plan.n = n;
+  if (n == 0) return plan;
+  if (grain == 0) grain = 1;
+  std::size_t size = (n + kMaxChunksPerCall - 1) / kMaxChunksPerCall;
+  if (size < grain) size = grain;
+  plan.chunk_size = size;
+  plan.num_chunks = (n + size - 1) / size;
+  return plan;
+}
+
+void for_each_chunk(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const ChunkPlan plan = plan_chunks(n, grain);
+  const auto run_chunk = [&](std::size_t chunk) {
+    body(chunk, plan.begin(chunk), plan.end(chunk));
+  };
+  if (plan.num_chunks == 1 || ThreadPool::in_task()) {
+    // Inline path: same chunk structure, ascending order. Used for trivial
+    // plans and for nested parallelism (a task may not re-enter the pool).
+    for (std::size_t chunk = 0; chunk < plan.num_chunks; ++chunk) {
+      run_chunk(chunk);
+    }
+    return;
+  }
+  global_pool().run_chunks(plan.num_chunks, run_chunk);
+}
+
+}  // namespace qp::exec

@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic data-parallel primitives over the shared ThreadPool.
+///
+/// The determinism contract (docs/PARALLEL.md):
+///  1. Chunk boundaries are a pure function of (n, grain) — never of the
+///     thread count (plan_chunks).
+///  2. Every chunk writes only to its own output slot; partial results are
+///     folded in chunk-index order (ordered reduction).
+///  3. Tasks use no RNG and no shared mutable state.
+/// Under this contract, results are bit-identical for any pool size,
+/// including the inline single-threaded path, so `--threads 1` and
+/// `--threads 8` produce the same placements, delays, and certificates.
+///
+/// Calls made from inside a pool task (nested parallelism, e.g. an
+/// evaluator invoked by a parallel relay sweep) execute inline over the
+/// identical chunk structure instead of re-entering the pool.
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace qp::exec {
+
+/// Fixed partition of [0, n) into contiguous chunks: a pure function of
+/// (n, grain) so the same call site always sees the same chunk structure.
+struct ChunkPlan {
+  std::size_t n = 0;
+  std::size_t chunk_size = 0;
+  std::size_t num_chunks = 0;
+
+  std::size_t begin(std::size_t chunk) const { return chunk * chunk_size; }
+  std::size_t end(std::size_t chunk) const {
+    const std::size_t e = (chunk + 1) * chunk_size;
+    return e < n ? e : n;
+  }
+};
+
+/// Upper bound on chunks per call; bounds scheduling overhead while leaving
+/// enough slack for any realistic pool size.
+inline constexpr std::size_t kMaxChunksPerCall = 1024;
+
+/// Grain (minimum chunk size) for cheap floating-point accumulation loops:
+/// instances with n <= kReductionGrain keep a single chunk, i.e. exactly the
+/// seed's sequential summation order.
+inline constexpr std::size_t kReductionGrain = 64;
+
+ChunkPlan plan_chunks(std::size_t n, std::size_t grain);
+
+/// Runs body(chunk_index, begin, end) for every chunk of plan_chunks(n,
+/// grain). Chunks run on the shared pool; inline (in ascending chunk order)
+/// when the plan has a single chunk, the pool has one thread, or the caller
+/// is already inside a pool task. Exceptions from the lowest-indexed failing
+/// chunk propagate to the caller.
+void for_each_chunk(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+/// Deterministic parallel loop: body(i) for i in [0, n). Iterations must be
+/// independent (each writing its own output slot).
+template <typename Body>
+void parallel_for(std::size_t n, Body&& body, std::size_t grain = 1) {
+  for_each_chunk(n, grain,
+                 [&body](std::size_t /*chunk*/, std::size_t begin,
+                         std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) body(i);
+                 });
+}
+
+/// Deterministic parallel fold: the sequential equivalent is
+///   acc = init; for i in [0, n): acc = reduce(acc, map(i));
+/// Each chunk folds its items in order starting from `init`; the per-chunk
+/// partials are then folded in chunk-index order, so the result depends on
+/// the chunk structure (fixed by n and grain) but never on the thread count.
+/// `init` must be an identity of `reduce` (e.g. 0.0 for addition).
+template <typename T, typename Map, typename Reduce>
+T parallel_map_reduce(std::size_t n, T init, Map&& map, Reduce&& reduce,
+                      std::size_t grain = 1) {
+  if (n == 0) return init;
+  const ChunkPlan plan = plan_chunks(n, grain);
+  std::vector<T> partial(plan.num_chunks, init);
+  for_each_chunk(n, grain,
+                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                   T local = init;
+                   for (std::size_t i = begin; i < end; ++i) {
+                     local = reduce(std::move(local), map(i));
+                   }
+                   partial[chunk] = std::move(local);
+                 });
+  T acc = std::move(partial[0]);
+  for (std::size_t chunk = 1; chunk < plan.num_chunks; ++chunk) {
+    acc = reduce(std::move(acc), std::move(partial[chunk]));
+  }
+  return acc;
+}
+
+/// Deterministic parallel first-match: the sequential equivalent is scanning
+/// [0, n) in order and returning the first hit. `scan(begin, end)` must scan
+/// its chunk in ascending order and return the first hit inside it (or
+/// nullopt). The overall winner is the hit from the lowest-indexed chunk;
+/// chunks beyond an already-found hit are skipped (they cannot win), so the
+/// early-exit behaviour of a sequential scan is preserved without affecting
+/// the result. Used for first-improvement local search (core/local_search).
+template <typename T, typename Scan>
+std::optional<T> parallel_find_first(std::size_t n, std::size_t grain,
+                                     Scan&& scan) {
+  if (n == 0) return std::nullopt;
+  const ChunkPlan plan = plan_chunks(n, grain);
+  std::vector<std::optional<T>> found(plan.num_chunks);
+  std::atomic<std::size_t> first_hit_chunk{
+      std::numeric_limits<std::size_t>::max()};
+  for_each_chunk(n, grain,
+                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                   if (chunk > first_hit_chunk.load(std::memory_order_relaxed))
+                     return;  // a lower-indexed chunk already won
+                   found[chunk] = scan(begin, end);
+                   if (!found[chunk]) return;
+                   std::size_t current =
+                       first_hit_chunk.load(std::memory_order_relaxed);
+                   while (chunk < current &&
+                          !first_hit_chunk.compare_exchange_weak(
+                              current, chunk, std::memory_order_relaxed)) {
+                   }
+                 });
+  for (std::size_t chunk = 0; chunk < plan.num_chunks; ++chunk) {
+    if (found[chunk]) return found[chunk];
+  }
+  return std::nullopt;
+}
+
+}  // namespace qp::exec

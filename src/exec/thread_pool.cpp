@@ -1,0 +1,198 @@
+#include "exec/thread_pool.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#ifndef QPLACE_PARALLEL
+#define QPLACE_PARALLEL 1
+#endif
+
+namespace qp::exec {
+
+namespace {
+
+thread_local bool tl_in_pool_task = false;
+
+/// RAII: marks the current thread as running a pool task.
+class TaskScope {
+ public:
+  TaskScope() : previous_(tl_in_pool_task) { tl_in_pool_task = true; }
+  ~TaskScope() { tl_in_pool_task = previous_; }
+  TaskScope(const TaskScope&) = delete;
+  TaskScope& operator=(const TaskScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace
+
+bool ThreadPool::in_task() { return tl_in_pool_task; }
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  if (num_threads < 1) {
+    throw std::invalid_argument("ThreadPool: num_threads must be >= 1");
+  }
+#if QPLACE_PARALLEL
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+#else
+  // Parallel execution compiled out: the pool reports its configured size
+  // but every job runs inline on the calling thread.
+#endif
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  job_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::work_on(Job& job) {
+  TaskScope scope;
+  for (;;) {
+    const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) break;
+    std::exception_ptr error;
+    try {
+      (*job.fn)(chunk);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (error && (!job.error || chunk < job.first_error_chunk)) {
+      job.first_error_chunk = chunk;
+      job.error = error;
+    }
+    if (++job.completed == job.num_chunks) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    job_available_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job* job = job_;
+    ++job->active_workers;
+    lock.unlock();
+    work_on(*job);
+    lock.lock();
+    if (--job->active_workers == 0 && job->completed == job->num_chunks) {
+      job_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(std::size_t num_chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (in_task()) {
+    throw std::logic_error(
+        "ThreadPool::run_chunks: nested submission from inside a pool task "
+        "(use exec::parallel_* which fall back to inline execution)");
+  }
+  if (num_chunks == 0) return;
+
+  if (workers_.empty()) {
+    // Single-threaded (or QPLACE_PARALLEL=OFF) pool: identical chunk
+    // structure, executed inline in chunk order.
+    Job job;
+    job.num_chunks = num_chunks;
+    job.fn = &fn;
+    work_on(job);
+    if (job.error) std::rethrow_exception(job.error);
+    return;
+  }
+
+  // One job at a time; concurrent callers from distinct threads serialize
+  // here (each still participates in its own job, so no deadlock).
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  Job job;
+  job.num_chunks = num_chunks;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  job_available_.notify_all();
+  work_on(job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for stragglers: `completed` covers all chunks, `active_workers`
+    // guards against a worker still holding a pointer into our stack frame.
+    job_done_.wait(lock, [&] {
+      return job.completed == job.num_chunks && job.active_workers == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+int hardware_threads() {
+#if QPLACE_PARALLEL
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
+#else
+  return 1;
+#endif
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+int g_requested_threads = 0;  // 0 = unset, fall back to env / hardware
+
+int default_threads() {
+#if QPLACE_PARALLEL
+  if (const char* env = std::getenv("QPLACE_THREADS")) {
+    try {
+      const int parsed = std::stoi(env);
+      if (parsed >= 1) return parsed;
+    } catch (const std::exception&) {
+      // Malformed QPLACE_THREADS: ignore, use hardware concurrency.
+    }
+  }
+#endif
+  return hardware_threads();
+}
+
+}  // namespace
+
+int num_threads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return g_requested_threads >= 1 ? g_requested_threads : default_threads();
+}
+
+void set_num_threads(int n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  const int effective = n >= 1 ? n : 0;
+  if (effective == g_requested_threads && g_pool) return;
+  g_requested_threads = effective;
+  g_pool.reset();
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    const int n =
+        g_requested_threads >= 1 ? g_requested_threads : default_threads();
+    g_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_pool;
+}
+
+}  // namespace qp::exec

@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Deterministic execution engine for the solver hot paths.
+///
+/// ThreadPool is a fixed-size, work-stealing-free pool that executes one
+/// blocking "chunk job" at a time. Determinism is a property of the *callers*
+/// (exec/parallel.hpp): chunk boundaries are a pure function of the problem
+/// size, never of the thread count, each chunk writes into its own slot, and
+/// reductions fold partial results in chunk-index order. Which worker runs
+/// which chunk therefore never affects any result bit. See docs/PARALLEL.md
+/// for the full contract.
+///
+/// The pool size defaults to std::thread::hardware_concurrency(), can be
+/// overridden by the QPLACE_THREADS environment variable, and is set
+/// explicitly by `qplace --threads N` via exec::set_num_threads(). When the
+/// QPLACE_PARALLEL CMake option is OFF (or the pool has one thread), every
+/// job runs inline on the calling thread over the identical chunk structure,
+/// so results are bit-identical either way.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qp::exec {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// every job, so a pool of size 1 spawns no threads at all).
+  /// \throws std::invalid_argument when num_threads < 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(c) for every chunk index c in [0, num_chunks), distributing
+  /// chunks over the workers and the calling thread, and blocks until all
+  /// chunks have finished. Chunks are claimed dynamically, so callers must
+  /// not depend on execution order; determinism comes from per-chunk output
+  /// slots plus ordered reduction (exec/parallel.hpp). If tasks throw, the
+  /// exception from the lowest-indexed failing chunk is rethrown here after
+  /// all chunks have been drained.
+  ///
+  /// \throws std::logic_error when called from inside a pool task (nested
+  /// submission would deadlock a fixed pool). The exec::parallel_* wrappers
+  /// detect this case and degrade to inline execution instead.
+  void run_chunks(std::size_t num_chunks,
+                  const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is executing a ThreadPool task (including
+  /// a caller thread participating in its own job).
+  static bool in_task();
+
+ private:
+  struct Job {
+    std::size_t num_chunks = 0;
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};  // next unclaimed chunk
+    // Guarded by the pool mutex:
+    std::size_t completed = 0;
+    int active_workers = 0;
+    std::size_t first_error_chunk = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  /// Claims and executes chunks of \p job until none remain.
+  void work_on(Job& job);
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable job_available_;
+  std::condition_variable job_done_;
+  Job* job_ = nullptr;           // guarded by mutex_
+  std::uint64_t generation_ = 0;  // guarded by mutex_; bumped per job
+  bool stop_ = false;            // guarded by mutex_
+
+  std::mutex run_mutex_;  // serializes concurrent run_chunks() callers
+};
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+int hardware_threads();
+
+/// Pool size used by the exec::parallel_* helpers: the last value passed to
+/// set_num_threads(), else the QPLACE_THREADS environment variable, else
+/// hardware_threads().
+int num_threads();
+
+/// Overrides the global pool size; n < 1 resets to the default. Destroys and
+/// lazily recreates the shared pool, so call it between parallel regions
+/// (e.g. at CLI startup), never from inside one.
+void set_num_threads(int n);
+
+/// Shared pool used by the exec::parallel_* helpers; created on first use.
+ThreadPool& global_pool();
+
+}  // namespace qp::exec

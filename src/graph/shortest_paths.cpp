@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "exec/parallel.hpp"
+
 namespace qp::graph {
 
 std::vector<int> ShortestPathTree::path_to(int target) const {
@@ -55,11 +57,13 @@ ShortestPathTree dijkstra(const Graph& g, int source) {
 std::vector<double> all_pairs_distances(const Graph& g) {
   const int n = g.num_nodes();
   std::vector<double> dist(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-  for (int s = 0; s < n; ++s) {
-    ShortestPathTree tree = dijkstra(g, s);
+  // One Dijkstra per source; each source owns its row of the matrix, so the
+  // parallel loop is deterministic regardless of pool size.
+  exec::parallel_for(static_cast<std::size_t>(n), [&](std::size_t s) {
+    const ShortestPathTree tree = dijkstra(g, static_cast<int>(s));
     std::copy(tree.distance.begin(), tree.distance.end(),
               dist.begin() + static_cast<std::ptrdiff_t>(s) * n);
-  }
+  });
   return dist;
 }
 

@@ -1,0 +1,217 @@
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace qp::exec {
+namespace {
+
+TEST(Exec, PoolRejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(Exec, ChunkPlanIsPureFunctionOfSizeAndGrain) {
+  const ChunkPlan empty = plan_chunks(0, 1);
+  EXPECT_EQ(empty.num_chunks, 0u);
+
+  const ChunkPlan one = plan_chunks(1, 1);
+  EXPECT_EQ(one.num_chunks, 1u);
+  EXPECT_EQ(one.begin(0), 0u);
+  EXPECT_EQ(one.end(0), 1u);
+
+  // Chunks cover [0, n) exactly once, for assorted (n, grain) shapes.
+  for (const std::size_t n : {1u, 7u, 64u, 65u, 1000u, 5000u}) {
+    for (const std::size_t grain : {1u, 4u, 64u}) {
+      const ChunkPlan plan = plan_chunks(n, grain);
+      ASSERT_GE(plan.num_chunks, 1u);
+      ASSERT_LE(plan.num_chunks, kMaxChunksPerCall);
+      std::size_t covered = 0;
+      for (std::size_t c = 0; c < plan.num_chunks; ++c) {
+        ASSERT_EQ(plan.begin(c), covered);
+        ASSERT_GT(plan.end(c), plan.begin(c));
+        covered = plan.end(c);
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Exec, ParallelForEmptyRange) {
+  std::atomic<int> calls{0};
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Exec, ParallelForSingleItem) {
+  std::vector<int> out(1, 0);
+  parallel_for(1, [&](std::size_t i) { out[i] = 42; });
+  EXPECT_EQ(out[0], 42);
+}
+
+TEST(Exec, ParallelForItemsFewerThanThreads) {
+  // 3 items on an 8-thread pool: every index runs exactly once.
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.run_chunks(3, [&](std::size_t c) { ++hits[c]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Exec, ParallelForCoversEveryIndexOnce) {
+  set_num_threads(8);
+  constexpr std::size_t kN = 10000;
+  std::vector<int> hits(kN, 0);
+  parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(kN));
+  EXPECT_EQ(*std::min_element(hits.begin(), hits.end()), 1);
+  set_num_threads(0);
+}
+
+TEST(Exec, MapReduceMatchesSequentialFoldForAnyThreadCount) {
+  constexpr std::size_t kN = 2500;
+  const auto square = [](std::size_t i) {
+    return static_cast<double>(i) * 1e-3;
+  };
+  const auto add = [](double a, double b) { return a + b; };
+
+  set_num_threads(1);
+  const double at_one = parallel_map_reduce(kN, 0.0, square, add);
+  set_num_threads(8);
+  const double at_eight = parallel_map_reduce(kN, 0.0, square, add);
+  set_num_threads(3);
+  const double at_three = parallel_map_reduce(kN, 0.0, square, add);
+  set_num_threads(0);
+
+  // Bit-identical, not just approximately equal: the chunk structure and
+  // reduction order never depend on the pool size.
+  EXPECT_EQ(at_one, at_eight);
+  EXPECT_EQ(at_one, at_three);
+}
+
+TEST(Exec, MapReduceEmptyAndSingle) {
+  const auto identity = [](std::size_t i) { return static_cast<double>(i); };
+  const auto add = [](double a, double b) { return a + b; };
+  EXPECT_EQ(parallel_map_reduce(0, 7.5, identity, add), 7.5);
+  EXPECT_EQ(parallel_map_reduce(1, 0.0, identity, add), 0.0);
+}
+
+TEST(Exec, ExceptionPropagatesOutOfTask) {
+  set_num_threads(4);
+  try {
+    parallel_for(500, [](std::size_t i) {
+      if (i == 137) throw std::runtime_error("task failure at 137");
+    });
+    FAIL() << "expected the task exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failure at 137");
+  }
+  set_num_threads(0);
+}
+
+TEST(Exec, LowestIndexedExceptionWins) {
+  // Several failing chunks: the caller sees the failure from the
+  // lowest-indexed chunk, deterministically.
+  ThreadPool pool(4);
+  try {
+    pool.run_chunks(64, [](std::size_t c) {
+      if (c % 2 == 1) throw std::runtime_error("chunk " + std::to_string(c));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+}
+
+TEST(Exec, PoolStaysUsableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_chunks(8, [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+  std::atomic<int> done{0};
+  pool.run_chunks(8, [&](std::size_t) { ++done; });
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(Exec, NestedSubmissionRejected) {
+  ThreadPool pool(2);
+  std::atomic<bool> saw_logic_error{false};
+  pool.run_chunks(2, [&](std::size_t) {
+    try {
+      pool.run_chunks(2, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      saw_logic_error = true;
+    }
+  });
+  EXPECT_TRUE(saw_logic_error.load());
+}
+
+TEST(Exec, NestedParallelHelpersFallBackInline) {
+  // The high-level helpers must NOT throw from inside a task: they degrade
+  // to inline execution over the same chunk structure.
+  set_num_threads(4);
+  std::vector<double> inner_sums(64, 0.0);
+  parallel_for(64, [&](std::size_t i) {
+    inner_sums[i] = parallel_map_reduce(
+        256, 0.0, [](std::size_t j) { return static_cast<double>(j); },
+        [](double a, double b) { return a + b; });
+  });
+  for (const double s : inner_sums) EXPECT_EQ(s, 255.0 * 256.0 / 2.0);
+  set_num_threads(0);
+}
+
+TEST(Exec, FindFirstMatchesSequentialScan) {
+  set_num_threads(8);
+  // Hits at 900 and 137: the sequential answer is 137, and the parallel scan
+  // must agree even though a later chunk may find 900 first.
+  const auto scan = [](std::size_t begin,
+                       std::size_t end) -> std::optional<std::size_t> {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (i == 137 || i == 900) return i;
+    }
+    return std::nullopt;
+  };
+  const auto hit = parallel_find_first<std::size_t>(2048, 1, scan);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 137u);
+
+  const auto miss = parallel_find_first<std::size_t>(
+      2048, 1,
+      [](std::size_t, std::size_t) -> std::optional<std::size_t> {
+        return std::nullopt;
+      });
+  EXPECT_FALSE(miss.has_value());
+
+  const auto empty = parallel_find_first<std::size_t>(0, 1, scan);
+  EXPECT_FALSE(empty.has_value());
+  set_num_threads(0);
+}
+
+TEST(Exec, SetNumThreadsControlsPoolSize) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+#if QPLACE_PARALLEL
+  EXPECT_EQ(global_pool().num_threads(), 3);
+#endif
+  set_num_threads(0);  // back to default
+  EXPECT_GE(num_threads(), 1);
+}
+
+TEST(Exec, InTaskFlagTracksExecution) {
+  EXPECT_FALSE(ThreadPool::in_task());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  pool.run_chunks(4, [&](std::size_t) {
+    if (ThreadPool::in_task()) ++inside;
+  });
+  EXPECT_EQ(inside.load(), 4);
+  EXPECT_FALSE(ThreadPool::in_task());
+}
+
+}  // namespace
+}  // namespace qp::exec

@@ -1,0 +1,279 @@
+/// Metamorphic determinism suite for the exec engine (docs/PARALLEL.md):
+/// every solver mode must produce bit-identical metrics, placements, delays,
+/// and certificate verdicts whether the pool has 1 thread or 8. EXPECT_EQ on
+/// doubles is deliberate -- the contract is exact equality, not tolerance.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/certificate.hpp"
+#include "core/evaluators.hpp"
+#include "core/local_search.hpp"
+#include "core/majority_layout.hpp"
+#include "core/qpp_solver.hpp"
+#include "core/ssqpp_solver.hpp"
+#include "core/total_delay.hpp"
+#include "exec/thread_pool.hpp"
+#include "graph/generators.hpp"
+#include "graph/metric.hpp"
+#include "quorum/constructions.hpp"
+
+namespace qp {
+namespace {
+
+/// Runs \p body under a pool of exactly \p threads, restoring the default
+/// pool size afterwards.
+template <typename Body>
+auto with_threads(int threads, Body&& body) {
+  exec::set_num_threads(threads);
+  auto result = body();
+  exec::set_num_threads(0);
+  return result;
+}
+
+struct NamedInstance {
+  std::string name;
+  core::QppInstance instance;
+};
+
+/// Fixed-seed instance families: deterministic mesh, ER with majority, ER
+/// with grid. Capacities leave a bit of slack so every solver is feasible.
+std::vector<NamedInstance> make_instances() {
+  std::vector<NamedInstance> out;
+  {
+    const quorum::QuorumSystem system = quorum::grid(2);
+    const quorum::AccessStrategy strategy =
+        quorum::AccessStrategy::uniform(system);
+    const graph::Metric metric =
+        graph::Metric::from_graph(graph::grid_mesh(4));
+    out.push_back(
+        {"grid2/mesh4",
+         core::QppInstance(metric, std::vector<double>(16, 1.0), system,
+                           strategy)});
+  }
+  {
+    std::mt19937_64 rng(9);
+    const quorum::QuorumSystem system = quorum::majority(5);
+    const quorum::AccessStrategy strategy =
+        quorum::AccessStrategy::uniform(system);
+    const graph::Metric metric = graph::Metric::from_graph(
+        graph::erdos_renyi(14, 0.4, rng, 1.0, 6.0));
+    out.push_back(
+        {"majority5/er14",
+         core::QppInstance(metric, std::vector<double>(14, 1.0), system,
+                           strategy)});
+  }
+  {
+    std::mt19937_64 rng(23);
+    const quorum::QuorumSystem system = quorum::grid(2);
+    const quorum::AccessStrategy strategy =
+        quorum::AccessStrategy::uniform(system);
+    const graph::Metric metric = graph::Metric::from_graph(
+        graph::erdos_renyi(12, 0.5, rng, 1.0, 8.0));
+    out.push_back(
+        {"grid2/er12",
+         core::QppInstance(metric, std::vector<double>(12, 1.0), system,
+                           strategy)});
+  }
+  return out;
+}
+
+TEST(ParallelDeterminism, MetricBuildBitIdentical) {
+  // The all-pairs Dijkstra sweep is the innermost parallel loop; the whole
+  // distance matrix must match bit for bit.
+  const auto build = [] {
+    std::mt19937_64 rng(5);
+    const graph::Graph g = graph::erdos_renyi(48, 0.25, rng, 1.0, 9.0);
+    const graph::Metric metric = graph::Metric::from_graph(g);
+    std::vector<double> flat;
+    for (int i = 0; i < metric.num_points(); ++i) {
+      for (int j = 0; j < metric.num_points(); ++j) {
+        flat.push_back(metric(i, j));
+      }
+    }
+    return flat;
+  };
+  const std::vector<double> at_one = with_threads(1, build);
+  const std::vector<double> at_eight = with_threads(8, build);
+  ASSERT_EQ(at_one.size(), at_eight.size());
+  for (std::size_t i = 0; i < at_one.size(); ++i) {
+    ASSERT_EQ(at_one[i], at_eight[i]) << "distance entry " << i;
+  }
+}
+
+TEST(ParallelDeterminism, QppModeBitIdentical) {
+  for (const NamedInstance& named : make_instances()) {
+    const auto solve = [&named] {
+      core::QppSolveOptions options;
+      options.alpha = 2.0;
+      return core::solve_qpp(named.instance, options);
+    };
+    const auto at_one = with_threads(1, solve);
+    const auto at_eight = with_threads(8, solve);
+    ASSERT_EQ(at_one.has_value(), at_eight.has_value()) << named.name;
+    if (!at_one) continue;
+    EXPECT_EQ(at_one->placement, at_eight->placement) << named.name;
+    EXPECT_EQ(at_one->chosen_source, at_eight->chosen_source) << named.name;
+    EXPECT_EQ(at_one->average_delay, at_eight->average_delay) << named.name;
+    EXPECT_EQ(at_one->best_lp_bound, at_eight->best_lp_bound) << named.name;
+    EXPECT_EQ(at_one->load_violation, at_eight->load_violation) << named.name;
+
+    // Certificate verdicts (and every printed bound) must agree too.
+    const auto certify = [&](const core::QppResult& result) {
+      check::CertificateOptions options;
+      options.alpha = 2.0;
+      options.derive_opt_lower_bound = false;  // keep the suite fast
+      return check::check_certificate(named.instance, result, options);
+    };
+    const check::Certificate cert_one =
+        with_threads(1, [&] { return certify(*at_one); });
+    const check::Certificate cert_eight =
+        with_threads(8, [&] { return certify(*at_eight); });
+    EXPECT_EQ(cert_one.ok(), cert_eight.ok()) << named.name;
+    EXPECT_EQ(cert_one.to_string(), cert_eight.to_string()) << named.name;
+    EXPECT_TRUE(cert_one.ok()) << named.name << "\n" << cert_one.to_string();
+  }
+}
+
+TEST(ParallelDeterminism, SsqppModeBitIdentical) {
+  for (const NamedInstance& named : make_instances()) {
+    const core::SsqppInstance view = core::single_source_view(named.instance, 0);
+    const auto solve = [&view] { return core::solve_ssqpp(view, 2.0); };
+    const auto at_one = with_threads(1, solve);
+    const auto at_eight = with_threads(8, solve);
+    ASSERT_EQ(at_one.has_value(), at_eight.has_value()) << named.name;
+    if (!at_one) continue;
+    EXPECT_EQ(at_one->placement, at_eight->placement) << named.name;
+    EXPECT_EQ(at_one->lp_objective, at_eight->lp_objective) << named.name;
+    EXPECT_EQ(at_one->delay, at_eight->delay) << named.name;
+    EXPECT_EQ(at_one->load_violation, at_eight->load_violation) << named.name;
+
+    const auto certify = [&](const core::SsqppResult& result) {
+      check::CertificateOptions options;
+      options.alpha = 2.0;
+      return check::check_certificate(view, result, options);
+    };
+    const check::Certificate cert_one =
+        with_threads(1, [&] { return certify(*at_one); });
+    const check::Certificate cert_eight =
+        with_threads(8, [&] { return certify(*at_eight); });
+    EXPECT_EQ(cert_one.ok(), cert_eight.ok()) << named.name;
+    EXPECT_EQ(cert_one.to_string(), cert_eight.to_string()) << named.name;
+  }
+}
+
+TEST(ParallelDeterminism, TotalModeBitIdentical) {
+  for (const NamedInstance& named : make_instances()) {
+    const auto solve = [&named] {
+      return core::solve_total_delay(named.instance);
+    };
+    const auto at_one = with_threads(1, solve);
+    const auto at_eight = with_threads(8, solve);
+    ASSERT_EQ(at_one.has_value(), at_eight.has_value()) << named.name;
+    if (!at_one) continue;
+    EXPECT_EQ(at_one->placement, at_eight->placement) << named.name;
+    EXPECT_EQ(at_one->average_delay, at_eight->average_delay) << named.name;
+    EXPECT_EQ(at_one->lp_objective, at_eight->lp_objective) << named.name;
+
+    const auto certify = [&](const core::TotalDelayResult& result) {
+      check::CertificateOptions options;
+      return check::check_certificate(named.instance, result, options);
+    };
+    const check::Certificate cert_one =
+        with_threads(1, [&] { return certify(*at_one); });
+    const check::Certificate cert_eight =
+        with_threads(8, [&] { return certify(*at_eight); });
+    EXPECT_EQ(cert_one.ok(), cert_eight.ok()) << named.name;
+    EXPECT_EQ(cert_one.to_string(), cert_eight.to_string()) << named.name;
+  }
+}
+
+TEST(ParallelDeterminism, MajorityModeBitIdentical) {
+  std::mt19937_64 rng(31);
+  const quorum::QuorumSystem system = quorum::majority(5);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const graph::Metric metric = graph::Metric::from_graph(
+      graph::erdos_renyi(16, 0.35, rng, 1.0, 7.0));
+  const core::SsqppInstance view(metric, std::vector<double>(16, 1.0), system,
+                                 strategy, 2);
+  const auto solve = [&view] { return core::majority_layout(view, 3); };
+  const auto at_one = with_threads(1, solve);
+  const auto at_eight = with_threads(8, solve);
+  ASSERT_EQ(at_one.has_value(), at_eight.has_value());
+  ASSERT_TRUE(at_one.has_value());
+  EXPECT_EQ(at_one->placement, at_eight->placement);
+  EXPECT_EQ(at_one->delay, at_eight->delay);
+  EXPECT_EQ(at_one->formula_delay, at_eight->formula_delay);
+
+  const auto certify = [&](const core::MajorityLayoutResult& result) {
+    return check::check_certificate(view, result, 3, {});
+  };
+  const check::Certificate cert_one =
+      with_threads(1, [&] { return certify(*at_one); });
+  const check::Certificate cert_eight =
+      with_threads(8, [&] { return certify(*at_eight); });
+  EXPECT_EQ(cert_one.ok(), cert_eight.ok());
+  EXPECT_EQ(cert_one.to_string(), cert_eight.to_string());
+}
+
+TEST(ParallelDeterminism, LocalSearchTrajectoryBitIdentical) {
+  // First-improvement descent applies one canonical move per round; the
+  // whole trajectory (not just the final objective) must be thread-count
+  // independent.
+  for (const NamedInstance& named : make_instances()) {
+    const auto descend = [&named] {
+      // Element u starts on node u: distinct nodes, loads <= 1 = cap.
+      core::Placement start(
+          static_cast<std::size_t>(named.instance.system().universe_size()));
+      for (std::size_t u = 0; u < start.size(); ++u) {
+        start[u] = static_cast<int>(u);
+      }
+      core::LocalSearchOptions options;
+      options.max_moves = 40;
+      return core::local_search_max_delay(named.instance, std::move(start),
+                                          options);
+    };
+    const auto at_one = with_threads(1, descend);
+    const auto at_eight = with_threads(8, descend);
+    EXPECT_EQ(at_one.placement, at_eight.placement) << named.name;
+    EXPECT_EQ(at_one.delay, at_eight.delay) << named.name;
+    EXPECT_EQ(at_one.moves, at_eight.moves) << named.name;
+  }
+}
+
+TEST(ParallelDeterminism, EvaluatorsBitIdenticalAcrossThreadCounts) {
+  // Direct check on the chunked reductions, including an instance large
+  // enough (> exec::kReductionGrain clients) to use several chunks.
+  std::mt19937_64 rng(41);
+  const quorum::QuorumSystem system = quorum::grid(3);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const graph::Metric metric = graph::Metric::from_graph(
+      graph::erdos_renyi(96, 0.12, rng, 1.0, 10.0));
+  const core::QppInstance instance(metric, std::vector<double>(96, 10.0),
+                                   system, strategy);
+  core::Placement f(9);
+  for (int u = 0; u < 9; ++u) f[static_cast<std::size_t>(u)] = (u * 11) % 96;
+
+  const auto evaluate = [&] {
+    return std::vector<double>{
+        core::average_max_delay(instance, f),
+        core::average_total_delay(instance, f),
+        core::average_closest_quorum_delay(instance, f),
+        static_cast<double>(core::best_relay_node(instance, f))};
+  };
+  const std::vector<double> at_one = with_threads(1, evaluate);
+  const std::vector<double> at_eight = with_threads(8, evaluate);
+  const std::vector<double> at_five = with_threads(5, evaluate);
+  EXPECT_EQ(at_one, at_eight);
+  EXPECT_EQ(at_one, at_five);
+}
+
+}  // namespace
+}  // namespace qp

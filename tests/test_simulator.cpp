@@ -11,12 +11,28 @@
 namespace qp::sim {
 namespace {
 
+// Seeding discipline (prerequisite for the parallel determinism suite,
+// tests/test_parallel_determinism.cpp): every case owns its seeds
+// explicitly -- the topology seed through make_er_instance, the simulation
+// seed through SimulationConfig::seed -- and no engine is shared between
+// cases. A failure therefore reproduces in isolation under
+// --gtest_filter=Simulator.<Case> regardless of execution order.
+
 core::QppInstance make_instance(const graph::Graph& g,
                                 const quorum::QuorumSystem& system) {
   return core::QppInstance(
       graph::Metric::from_graph(g),
       std::vector<double>(static_cast<std::size_t>(g.num_nodes()), 1e9),
       system, quorum::AccessStrategy::uniform(system));
+}
+
+/// Erdos-Renyi instance with a per-case topology seed.
+core::QppInstance make_er_instance(int nodes, double p, double max_length,
+                                   std::uint64_t topology_seed,
+                                   const quorum::QuorumSystem& system) {
+  std::mt19937_64 rng(topology_seed);
+  return make_instance(graph::erdos_renyi(nodes, p, rng, 1.0, max_length),
+                       system);
 }
 
 TEST(Simulator, ValidatesArguments) {
@@ -36,9 +52,8 @@ TEST(Simulator, ValidatesArguments) {
 TEST(Simulator, ParallelDelayMatchesAnalyticExpectation) {
   // No queueing: measured mean delay of client v must converge to the
   // paper's Delta_f(v).
-  std::mt19937_64 rng(3);
-  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
-  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::QppInstance instance =
+      make_er_instance(8, 0.5, 5.0, /*topology_seed=*/3, quorum::grid(2));
   const core::Placement f = {1, 3, 5, 7};
 
   SimulationConfig config;
@@ -61,9 +76,8 @@ TEST(Simulator, ParallelDelayMatchesAnalyticExpectation) {
 }
 
 TEST(Simulator, SequentialDelayMatchesTotalDelay) {
-  std::mt19937_64 rng(5);
-  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
-  const core::QppInstance instance = make_instance(g, quorum::majority(3));
+  const core::QppInstance instance =
+      make_er_instance(8, 0.5, 5.0, /*topology_seed=*/5, quorum::majority(3));
   const core::Placement f = {0, 4, 6};
 
   SimulationConfig config;
@@ -78,9 +92,8 @@ TEST(Simulator, SequentialDelayMatchesTotalDelay) {
 
 TEST(Simulator, NodeAccessShareMatchesLoad) {
   // The fraction of probes hitting node v converges to load_f(v).
-  std::mt19937_64 rng(7);
-  const graph::Graph g = graph::erdos_renyi(6, 0.6, rng, 1.0, 4.0);
-  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::QppInstance instance =
+      make_er_instance(6, 0.6, 4.0, /*topology_seed=*/7, quorum::grid(2));
   const core::Placement f = {2, 2, 4, 5};  // two elements stacked on node 2
 
   SimulationConfig config;
@@ -173,9 +186,8 @@ TEST(Simulator, DeterministicUnderFixedSeed) {
 }
 
 TEST(Simulator, NearestQuorumPolicyMatchesClosestQuorumDelay) {
-  std::mt19937_64 rng(41);
-  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
-  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::QppInstance instance =
+      make_er_instance(8, 0.5, 5.0, /*topology_seed=*/41, quorum::grid(2));
   const core::Placement f = {0, 2, 5, 7};
   SimulationConfig config;
   config.duration = 2000.0;
@@ -192,9 +204,8 @@ TEST(Simulator, NearestQuorumPolicyMatchesClosestQuorumDelay) {
 }
 
 TEST(Simulator, NearestQuorumNeverSlowerThanStrategy) {
-  std::mt19937_64 rng(47);
-  const graph::Graph g = graph::erdos_renyi(10, 0.4, rng, 1.0, 6.0);
-  const core::QppInstance instance = make_instance(g, quorum::majority(5));
+  const core::QppInstance instance =
+      make_er_instance(10, 0.4, 6.0, /*topology_seed=*/47, quorum::majority(5));
   const core::Placement f = {0, 2, 4, 6, 8};
   SimulationConfig strategy_config;
   strategy_config.duration = 1500.0;
@@ -223,9 +234,8 @@ TEST(Simulator, JitterValidated) {
 
 TEST(Simulator, JitterBiasesParallelDelayUpward) {
   // Mean-preserving per-probe jitter raises E[max], leaves E[sum] intact.
-  std::mt19937_64 rng(53);
-  const graph::Graph g = graph::erdos_renyi(8, 0.5, rng, 1.0, 5.0);
-  const core::QppInstance instance = make_instance(g, quorum::grid(2));
+  const core::QppInstance instance =
+      make_er_instance(8, 0.5, 5.0, /*topology_seed=*/53, quorum::grid(2));
   const core::Placement f = {0, 2, 4, 6};
 
   SimulationConfig clean;

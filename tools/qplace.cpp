@@ -54,7 +54,9 @@ int usage() {
       "  simulate   message-level simulation of a solved placement\n"
       "  check      solve, then verify the certified bounds "
       "(Thm 1.2/3.7/5.1, Eq. 19)\n"
-      "common flags: --system --topology --nodes --seed (see source header)\n";
+      "common flags: --system --topology --nodes --seed --threads N\n"
+      "              (--threads: solver thread pool size, default hardware;\n"
+      "               results are identical for every N -- docs/PARALLEL.md)\n";
   return 2;
 }
 
@@ -319,6 +321,7 @@ int main(int argc, char** argv) {
   }
   try {
     const cli::ParsedArgs args = cli::parse_args(raw);
+    cli::configure_threads(args);
     int code = 2;
     if (args.command() == "topology") {
       code = cmd_topology(args);
