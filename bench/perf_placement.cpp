@@ -4,7 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <initializer_list>
+#include <map>
 #include <random>
+#include <string>
 #include <utility>
 
 #include "core/evaluators.hpp"
@@ -16,11 +20,27 @@
 #include "core/ssqpp_solver.hpp"
 #include "core/total_delay.hpp"
 #include "graph/generators.hpp"
+#include "obs/obs.hpp"
 #include "quorum/constructions.hpp"
 
 namespace {
 
 using namespace qp;
+
+/// Reports the growth of named obs counters across the timed loop as
+/// per-iteration rates (all zero when built with -DQPLACE_OBS=OFF).
+void report_counter_deltas(
+    benchmark::State& state,
+    const std::map<std::string, std::uint64_t>& before,
+    std::initializer_list<const char*> names) {
+  const auto after = obs::Registry::instance().counter_values();
+  for (const char* name : names) {
+    const auto b = before.count(name) != 0 ? before.at(name) : 0;
+    const auto a = after.count(name) != 0 ? after.at(name) : 0;
+    state.counters[std::string(name) + "/iter"] = benchmark::Counter(
+        static_cast<double>(a - b) / static_cast<double>(state.iterations()));
+  }
+}
 
 graph::Metric metric_of(int n) {
   std::mt19937_64 rng(21);
@@ -131,9 +151,12 @@ void BM_RelaySweep(benchmark::State& state) {
   const core::QppInstance instance(
       metric_of(n), std::vector<double>(static_cast<std::size_t>(n), 1.0),
       system, quorum::AccessStrategy::uniform(system));
+  const auto counters_before = obs::Registry::instance().counter_values();
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::solve_qpp(instance));
   }
+  report_counter_deltas(state, counters_before,
+                        {"lp.solves", "lp.iterations", "lp.pivots"});
 }
 BENCHMARK(BM_RelaySweep)->Arg(12)->Arg(16)->Unit(benchmark::kMillisecond);
 
@@ -165,11 +188,15 @@ void BM_LocalSearchDescent(benchmark::State& state) {
   for (int u = 0; u < 9; ++u) start[static_cast<std::size_t>(u)] = u % n;
   core::LocalSearchOptions options;
   options.max_moves = 8;
+  const auto counters_before = obs::Registry::instance().counter_values();
   for (auto _ : state) {
     core::Placement f = start;
     benchmark::DoNotOptimize(
         core::local_search_max_delay(instance, std::move(f), options));
   }
+  report_counter_deltas(state, counters_before,
+                        {"local_search.rounds", "local_search.moves_taken",
+                         "local_search.swaps_taken"});
 }
 BENCHMARK(BM_LocalSearchDescent)
     ->Arg(32)

@@ -38,6 +38,34 @@ for b in "${binaries[@]}"; do
   done
 done
 
+# Host metadata beyond what google-benchmark records: core count, the exact
+# compiler, and the CMake build type the binaries were produced with.
+host_nproc="$(nproc 2>/dev/null || echo unknown)"
+host_build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+                   "$build_dir/CMakeCache.txt" 2>/dev/null | head -1)"
+host_compiler_path="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+                      "$build_dir/CMakeCache.txt" 2>/dev/null | head -1)"
+host_compiler="unknown"
+if [[ -n "$host_compiler_path" && -x "$host_compiler_path" ]]; then
+  host_compiler="$("$host_compiler_path" --version | head -1)"
+fi
+
+# One instrumented solve (docs/OBSERVABILITY.md): its deterministic counters
+# (LP pivots, relay candidates, ...) are embedded in the baseline so a perf
+# regression can be told apart from an algorithmic change doing more work.
+qplace_bin="$build_dir/tools/qplace"
+solve_stats="$work_dir/solve_stats.json"
+if [[ -x "$qplace_bin" ]]; then
+  echo "== qplace solve --stats-out (run-report counters)"
+  "$qplace_bin" solve --system grid --k 2 --topology geometric --nodes 16 \
+    --algorithm qpp --alpha 2 --seed 1 --stats-out "$solve_stats" >/dev/null
+fi
+
+export BENCH_HOST_NPROC="$host_nproc"
+export BENCH_HOST_BUILD_TYPE="$host_build_type"
+export BENCH_HOST_COMPILER="$host_compiler"
+export BENCH_SOLVE_STATS="$solve_stats"
+
 python3 - "$work_dir" "$out_json" <<'PY'
 import json
 import os
@@ -58,6 +86,9 @@ for b in binaries:
             "num_cpus": ctx.get("num_cpus"),
             "mhz_per_cpu": ctx.get("mhz_per_cpu"),
             "library_build_type": ctx.get("library_build_type"),
+            "nproc": os.environ.get("BENCH_HOST_NPROC"),
+            "compiler": os.environ.get("BENCH_HOST_COMPILER"),
+            "cmake_build_type": os.environ.get("BENCH_HOST_BUILD_TYPE"),
         }
         for bench in report["benchmarks"]:
             if bench.get("run_type") == "aggregate":
@@ -67,6 +98,14 @@ for b in binaries:
             scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
             paths.setdefault(key, {})[f"t{t}"] = round(
                 bench["real_time"] * scale, 6)
+
+# Deterministic counters from one instrumented `qplace solve` run
+# (qplace.run_report.v1; absent when the CLI was not built).
+solver_counters = None
+stats_path = os.environ.get("BENCH_SOLVE_STATS", "")
+if stats_path and os.path.exists(stats_path):
+    with open(stats_path) as f:
+        solver_counters = json.load(f)["deterministic"]["counters"]
 
 result = {
     "description": (
@@ -80,6 +119,7 @@ result = {
         "scaling conclusions."),
     "host": host,
     "thread_counts": threads,
+    "solver_counters": solver_counters,
     "benchmarks": dict(sorted(paths.items())),
 }
 with open(out_json, "w") as f:

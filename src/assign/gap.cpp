@@ -8,6 +8,7 @@
 #include "assign/hungarian.hpp"
 #include "check/contracts.hpp"
 #include "lp/model.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::assign {
 
@@ -97,6 +98,8 @@ bool GapInstance::allowed(int machine, int job) const {
 }
 
 FractionalGap solve_gap_lp(const GapInstance& instance) {
+  QP_SPAN("gap.lp");
+  QP_COUNTER_ADD("gap.lp_solves", 1);
   const int jobs = instance.num_jobs();
   const int machines = instance.num_machines();
   lp::Model model;
@@ -169,8 +172,12 @@ struct Slot {
 std::optional<GapAssignment> shmoys_tardos_round(
     const GapInstance& instance, const FractionalGap& fractional) {
   if (fractional.status != lp::SolveStatus::kOptimal) return std::nullopt;
+  QP_SPAN("gap.round");
+  QP_COUNTER_ADD("gap.round_calls", 1);
   const int jobs = instance.num_jobs();
   const int machines = instance.num_machines();
+  QP_COUNTER_ADD("gap.jobs", jobs);
+  QP_COUNTER_ADD("gap.machines", machines);
   constexpr double kMassEpsilon = 1e-9;
 
   // Verify every job is (numerically) fully assigned.
@@ -221,6 +228,7 @@ std::optional<GapAssignment> shmoys_tardos_round(
   // feasible fractional matching of the same cost as the LP, so an integral
   // matching of cost <= LP cost exists.
   const int num_slots = static_cast<int>(slots.size());
+  QP_COUNTER_ADD("gap.slots", num_slots);
   if (jobs > num_slots) return std::nullopt;  // cannot happen with valid input
   std::vector<double> matrix(static_cast<std::size_t>(jobs) *
                                  static_cast<std::size_t>(num_slots),

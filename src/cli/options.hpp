@@ -37,6 +37,12 @@ class ParsedArgs {
   /// Flags that were provided but never read -- used to reject typos.
   std::vector<std::string> unread_flags() const;
 
+  /// Every flag as provided, for introspection (e.g. echoing the invocation
+  /// into a run report's context). Does not mark anything as read.
+  const std::map<std::string, std::string>& raw_flags() const {
+    return flags_;
+  }
+
  private:
   std::string command_;
   std::map<std::string, std::string> flags_;

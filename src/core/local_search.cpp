@@ -8,6 +8,7 @@
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::core {
 
@@ -106,9 +107,16 @@ LocalSearchResult descend(
     return std::nullopt;
   };
 
+  // All counters and the objective series below live in this sequential
+  // driver loop. Never count inside scan_moves/scan_swaps: parallel_find_first
+  // may skip chunks past an already-found hit depending on timing, so any
+  // tally inside the scan callbacks would be thread-count dependent.
+  QP_SPAN("local_search.descend");
+  QP_SERIES_APPEND("local_search.objective", current);
   bool improved = true;
   while (improved && moves < options.max_moves) {
     improved = false;
+    QP_COUNTER_ADD("local_search.rounds", 1);
     // Single-element moves.
     if (options.allow_moves) {
       const std::optional<ScoredStep> step =
@@ -128,6 +136,8 @@ LocalSearchResult descend(
         node_load[static_cast<std::size_t>(to)] += loads[u];
         ++moves;
         improved = true;
+        QP_COUNTER_ADD("local_search.moves_taken", 1);
+        QP_SERIES_APPEND("local_search.objective", current);
       }
     }
     // Pairwise swaps.
@@ -153,6 +163,8 @@ LocalSearchResult descend(
             loads[a] - loads[b];
         ++moves;
         improved = true;
+        QP_COUNTER_ADD("local_search.swaps_taken", 1);
+        QP_SERIES_APPEND("local_search.objective", current);
       }
     }
   }

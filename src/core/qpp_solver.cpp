@@ -6,6 +6,7 @@
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::core {
 
@@ -51,6 +52,8 @@ std::optional<QppResult> solve_qpp(const QppInstance& instance,
     std::optional<SsqppResult> single;
     double average = 0.0;
   };
+  QP_SPAN("qpp.relay_sweep");
+  QP_COUNTER_ADD("qpp.relay_candidates", candidates.size());
   std::vector<CandidateOutcome> outcomes(candidates.size());
   exec::parallel_for(candidates.size(), [&](std::size_t i) {
     const int source = candidates[i];
@@ -67,6 +70,9 @@ std::optional<QppResult> solve_qpp(const QppInstance& instance,
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const std::optional<SsqppResult>& single = outcomes[i].single;
     if (!single) continue;
+    // Counted in the sequential winner-selection loop (never inside the
+    // parallel sweep callback) so the tally order is fixed.
+    QP_COUNTER_ADD("qpp.relay_feasible", 1);
     best_lp_bound = std::max(best_lp_bound, single->lp_objective);
     const double average = outcomes[i].average;
     if (!best || average < best->average_delay) {

@@ -7,6 +7,7 @@
 #include "check/contracts.hpp"
 #include "check/validate.hpp"
 #include "lp/model.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::core {
 
@@ -135,6 +136,10 @@ FractionalSsqpp solve_ssqpp_lp(const SsqppInstance& instance,
     }
   }
 
+  // Model size of LP (9)-(14); a pure function of the instance.
+  QP_COUNTER_ADD("ssqpp_lp.models", 1);
+  QP_COUNTER_ADD("ssqpp_lp.variables", model.num_variables());
+  QP_COUNTER_ADD("ssqpp_lp.constraints", model.num_constraints());
   const lp::Solution solution = lp::solve(model, options);
   out.status = solution.status;
   if (solution.status != lp::SolveStatus::kOptimal) return out;

@@ -7,6 +7,7 @@
 #include "check/contracts.hpp"
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::core {
 
@@ -99,12 +100,23 @@ std::optional<SsqppResult> solve_ssqpp(const SsqppInstance& instance,
   QP_REQUIRE(check::validate_instance(instance).ok(),
              "SSQPP instance violates its data contracts (metric / strategy "
              "/ capacities); see check::validate_instance");
-  const FractionalSsqpp fractional = solve_ssqpp_lp(instance, options);
+  QP_SPAN("ssqpp.solve");
+  QP_COUNTER_ADD("ssqpp.solves", 1);
+  const FractionalSsqpp fractional = [&] {
+    QP_SPAN("ssqpp.lp");
+    return solve_ssqpp_lp(instance, options);
+  }();
   if (fractional.status != lp::SolveStatus::kOptimal) return std::nullopt;
-  const FractionalSsqpp filtered = filter_fractional(fractional, alpha);
-  const std::optional<Placement> placement =
-      round_filtered_ssqpp(instance, filtered, alpha);
+  const FractionalSsqpp filtered = [&] {
+    QP_SPAN("ssqpp.filter");
+    return filter_fractional(fractional, alpha);
+  }();
+  const std::optional<Placement> placement = [&] {
+    QP_SPAN("ssqpp.round");
+    return round_filtered_ssqpp(instance, filtered, alpha);
+  }();
   if (!placement) return std::nullopt;
+  QP_COUNTER_ADD("ssqpp.rounded", 1);
 
   SsqppResult result;
   result.placement = *placement;

@@ -1,5 +1,7 @@
 #include "exec/parallel.hpp"
 
+#include "obs/obs.hpp"
+
 namespace qp::exec {
 
 ChunkPlan plan_chunks(std::size_t n, std::size_t grain) {
@@ -19,12 +21,23 @@ void for_each_chunk(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
   if (n == 0) return;
   const ChunkPlan plan = plan_chunks(n, grain);
+  // Count only top-level calls: nested calls run from inside a task, and a
+  // parallel_find_first scan skips chunks past an already-found hit based
+  // on timing, so the number of nested calls it makes is thread-count
+  // dependent. The top-level call sequence is the sequential program order
+  // and (n, grain) fixes the chunk count, so these stay deterministic.
+  const bool nested = ThreadPool::in_task();
+  if (!nested) {
+    QP_COUNTER_ADD("exec.parallel_calls", 1);
+    QP_COUNTER_ADD("exec.chunks", plan.num_chunks);
+  }
   const auto run_chunk = [&](std::size_t chunk) {
     body(chunk, plan.begin(chunk), plan.end(chunk));
   };
-  if (plan.num_chunks == 1 || ThreadPool::in_task()) {
+  if (plan.num_chunks == 1 || nested) {
     // Inline path: same chunk structure, ascending order. Used for trivial
     // plans and for nested parallelism (a task may not re-enter the pool).
+    if (!nested) QP_COUNTER_ADD("exec.inline_calls", 1);
     for (std::size_t chunk = 0; chunk < plan.num_chunks; ++chunk) {
       run_chunk(chunk);
     }

@@ -1,10 +1,14 @@
 #include "exec/thread_pool.hpp"
 
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
+
+#include "obs/obs.hpp"
 
 #ifndef QPLACE_PARALLEL
 #define QPLACE_PARALLEL 1
@@ -15,6 +19,15 @@ namespace qp::exec {
 namespace {
 
 thread_local bool tl_in_pool_task = false;
+
+#if QPLACE_OBS
+using StatsClock = std::chrono::steady_clock;
+std::int64_t nanos_since(StatsClock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             StatsClock::now() - start)
+      .count();
+}
+#endif
 
 /// RAII: marks the current thread as running a pool task.
 class TaskScope {
@@ -36,10 +49,14 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   if (num_threads < 1) {
     throw std::invalid_argument("ThreadPool: num_threads must be >= 1");
   }
+  worker_stats_ =
+      std::make_unique<WorkerStats[]>(static_cast<std::size_t>(num_threads));
 #if QPLACE_PARALLEL
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      worker_loop(worker_stats_[static_cast<std::size_t>(i)]);
+    });
   }
 #else
   // Parallel execution compiled out: the pool reports its configured size
@@ -56,11 +73,18 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
-void ThreadPool::work_on(Job& job) {
+void ThreadPool::work_on(Job& job, WorkerStats& stats) {
   TaskScope scope;
+#if QPLACE_OBS
+  const auto busy_start = StatsClock::now();
+  std::uint64_t chunks_run = 0;
+#endif
   for (;;) {
     const std::size_t chunk = job.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job.num_chunks) break;
+#if QPLACE_OBS
+    ++chunks_run;
+#endif
     std::exception_ptr error;
     try {
       (*job.fn)(chunk);
@@ -74,21 +98,35 @@ void ThreadPool::work_on(Job& job) {
     }
     if (++job.completed == job.num_chunks) job_done_.notify_all();
   }
+#if QPLACE_OBS
+  stats.chunks.fetch_add(chunks_run, std::memory_order_relaxed);
+  stats.busy_nanos.fetch_add(nanos_since(busy_start),
+                             std::memory_order_relaxed);
+#else
+  static_cast<void>(stats);
+#endif
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(WorkerStats& stats) {
   std::uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+#if QPLACE_OBS
+    const auto idle_start = StatsClock::now();
+#endif
     job_available_.wait(lock, [&] {
       return stop_ || (job_ != nullptr && generation_ != seen_generation);
     });
+#if QPLACE_OBS
+    stats.idle_nanos.fetch_add(nanos_since(idle_start),
+                               std::memory_order_relaxed);
+#endif
     if (stop_) return;
     seen_generation = generation_;
     Job* job = job_;
     ++job->active_workers;
     lock.unlock();
-    work_on(*job);
+    work_on(*job, stats);
     lock.lock();
     if (--job->active_workers == 0 && job->completed == job->num_chunks) {
       job_done_.notify_all();
@@ -104,6 +142,10 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
         "(use exec::parallel_* which fall back to inline execution)");
   }
   if (num_chunks == 0) return;
+  jobs_run_.fetch_add(1, std::memory_order_relaxed);
+  // The calling thread's share of the work lands in the dedicated last slot.
+  WorkerStats& caller_stats =
+      worker_stats_[static_cast<std::size_t>(num_threads_ - 1)];
 
   if (workers_.empty()) {
     // Single-threaded (or QPLACE_PARALLEL=OFF) pool: identical chunk
@@ -111,7 +153,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     Job job;
     job.num_chunks = num_chunks;
     job.fn = &fn;
-    work_on(job);
+    work_on(job, caller_stats);
     if (job.error) std::rethrow_exception(job.error);
     return;
   }
@@ -128,7 +170,7 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     ++generation_;
   }
   job_available_.notify_all();
-  work_on(job);
+  work_on(job, caller_stats);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     // Wait for stragglers: `completed` covers all chunks, `active_workers`
@@ -139,6 +181,44 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
     job_ = nullptr;
   }
   if (job.error) std::rethrow_exception(job.error);
+}
+
+std::string ThreadPool::stats_json() const {
+  const auto ms = [](std::int64_t nanos) {
+    return static_cast<double>(nanos) / 1e6;
+  };
+  char buf[160];
+  std::string out = "{\"threads\": ";
+  std::snprintf(buf, sizeof(buf), "%d", num_threads_);
+  out += buf;
+  out += ", \"jobs\": ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(
+                    jobs_run_.load(std::memory_order_relaxed)));
+  out += buf;
+  out += ", \"workers\": [";
+  for (int w = 0; w < num_threads_ - 1; ++w) {
+    const WorkerStats& stats = worker_stats_[static_cast<std::size_t>(w)];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"chunks\": %llu, \"busy_ms\": %.3f, \"idle_ms\": %.3f}",
+        w > 0 ? ", " : "",
+        static_cast<unsigned long long>(
+            stats.chunks.load(std::memory_order_relaxed)),
+        ms(stats.busy_nanos.load(std::memory_order_relaxed)),
+        ms(stats.idle_nanos.load(std::memory_order_relaxed)));
+    out += buf;
+  }
+  const WorkerStats& caller =
+      worker_stats_[static_cast<std::size_t>(num_threads_ - 1)];
+  std::snprintf(buf, sizeof(buf),
+                "], \"caller\": {\"chunks\": %llu, \"busy_ms\": %.3f}, "
+                "\"steals\": 0}",
+                static_cast<unsigned long long>(
+                    caller.chunks.load(std::memory_order_relaxed)),
+                ms(caller.busy_nanos.load(std::memory_order_relaxed)));
+  out += buf;
+  return out;
 }
 
 int hardware_threads() {
@@ -194,5 +274,7 @@ ThreadPool& global_pool() {
   }
   return *g_pool;
 }
+
+std::string pool_stats_json() { return global_pool().stats_json(); }
 
 }  // namespace qp::exec

@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -61,6 +63,18 @@ class ThreadPool {
   /// a caller thread participating in its own job).
   static bool in_task();
 
+  /// JSON snapshot of per-worker utilization since pool creation:
+  ///   {"threads": N, "jobs": J,
+  ///    "workers": [{"chunks": c, "busy_ms": b, "idle_ms": i}, ...],
+  ///    "caller": {"chunks": c, "busy_ms": b}, "steals": 0}
+  /// ("steals" is always 0: chunks are claimed from one shared index, no
+  /// work stealing exists by design -- docs/PARALLEL.md.)
+  /// Which worker ran which chunk is scheduling-dependent, so this snapshot
+  /// belongs in the *nondeterministic* section of any report
+  /// (docs/OBSERVABILITY.md). Population is compiled out with QPLACE_OBS=0
+  /// (every field reads 0). Safe to call concurrently with running jobs.
+  std::string stats_json() const;
+
  private:
   struct Job {
     std::size_t num_chunks = 0;
@@ -73,12 +87,22 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
-  void worker_loop();
+  /// Per-thread execution tally (slot w for spawned worker w, slot
+  /// num_threads - 1 for whichever thread called run_chunks).
+  struct WorkerStats {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::int64_t> busy_nanos{0};
+    std::atomic<std::int64_t> idle_nanos{0};
+  };
+
+  void worker_loop(WorkerStats& stats);
   /// Claims and executes chunks of \p job until none remain.
-  void work_on(Job& job);
+  void work_on(Job& job, WorkerStats& stats);
 
   int num_threads_ = 1;
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerStats[]> worker_stats_;  // size num_threads_
+  std::atomic<std::uint64_t> jobs_run_{0};
 
   std::mutex mutex_;
   std::condition_variable job_available_;
@@ -105,5 +129,9 @@ void set_num_threads(int n);
 
 /// Shared pool used by the exec::parallel_* helpers; created on first use.
 ThreadPool& global_pool();
+
+/// stats_json() of the shared pool (creating it if needed). CLI/bench glue
+/// for the "pool" nondeterministic section of a run report.
+std::string pool_stats_json();
 
 }  // namespace qp::exec

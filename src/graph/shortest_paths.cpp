@@ -1,11 +1,13 @@
 #include "graph/shortest_paths.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
 #include <utility>
 
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::graph {
 
@@ -37,9 +39,11 @@ ShortestPathTree dijkstra(const Graph& g, int source) {
   tree.distance[static_cast<std::size_t>(source)] = 0.0;
   heap.emplace(0.0, source);
 
+  std::uint64_t heap_pops = 0;  // flushed once below, not per pop
   while (!heap.empty()) {
     const auto [dist, v] = heap.top();
     heap.pop();
+    ++heap_pops;
     if (dist > tree.distance[static_cast<std::size_t>(v)]) continue;  // stale
     for (const HalfEdge& he : g.neighbors(v)) {
       const double candidate = dist + he.length;
@@ -51,10 +55,15 @@ ShortestPathTree dijkstra(const Graph& g, int source) {
       }
     }
   }
+  // Each source's pop count is a pure function of the graph, and counter adds
+  // commute, so the totals are thread-count independent (docs/OBSERVABILITY.md).
+  QP_COUNTER_ADD("graph.dijkstra_runs", 1);
+  QP_COUNTER_ADD("graph.heap_pops", heap_pops);
   return tree;
 }
 
 std::vector<double> all_pairs_distances(const Graph& g) {
+  QP_SPAN("graph.all_pairs");
   const int n = g.num_nodes();
   std::vector<double> dist(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   // One Dijkstra per source; each source owns its row of the matrix, so the

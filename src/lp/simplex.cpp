@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+
+#include "obs/obs.hpp"
 
 namespace qp::lp {
 
@@ -29,6 +32,10 @@ class Tableau {
         rows_(model.num_constraints()) {
     build(model);
   }
+
+  /// Basis changes performed, including drive_out_artificials() pivots (so
+  /// it can exceed the iteration count on degenerate phase-1 exits).
+  std::int64_t pivots() const { return pivots_; }
 
   Solution run() {
     Solution solution;
@@ -198,6 +205,7 @@ class Tableau {
       (*cost)[static_cast<std::size_t>(cols_)] -= factor * pivot_rhs;
     }
     basis_[static_cast<std::size_t>(pivot_row)] = pivot_col;
+    ++pivots_;
   }
 
   /// Runs simplex iterations against the given cost row.
@@ -289,6 +297,7 @@ class Tableau {
   int first_artificial_ = 0;
   int num_artificial_ = 0;
   double rhs_scale_ = 0.0;
+  std::int64_t pivots_ = 0;
   std::vector<double> a_;
   std::vector<double> b_;
   std::vector<double> cost1_;
@@ -299,6 +308,8 @@ class Tableau {
 }  // namespace
 
 Solution solve(const Model& model, const SimplexOptions& options) {
+  QP_SPAN("lp.solve");
+  QP_COUNTER_ADD("lp.solves", 1);
   if (model.num_constraints() == 0) {
     // Every variable sits at its lower bound 0 unless its cost is negative,
     // in which case the LP is unbounded.
@@ -315,7 +326,12 @@ Solution solve(const Model& model, const SimplexOptions& options) {
     return solution;
   }
   Tableau tableau(model, options);
-  return tableau.run();
+  Solution solution = tableau.run();
+  // Flushed once per solve; pivot selection is deterministic (Dantzig with a
+  // Bland fallback, fixed tie-breaks), so these totals are reproducible.
+  QP_COUNTER_ADD("lp.iterations", solution.iterations);
+  QP_COUNTER_ADD("lp.pivots", tableau.pivots());
+  return solution;
 }
 
 }  // namespace qp::lp

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file histogram.hpp
+/// Streaming histogram with a fixed logarithmic bucket layout.
+///
+/// Bucket boundaries are a pure function of the layout constants -- never of
+/// the data, the insertion order, or the thread count -- so two histograms
+/// fed the same multiset of samples have bit-identical bucket counts, and
+/// merge() (bucket-wise integer addition) is deterministic in any order.
+/// This is the histogram analogue of the docs/PARALLEL.md determinism
+/// contract and is what lets tests compare simulator latency distributions
+/// across `--threads 1` and `--threads 8` exactly.
+///
+/// Layout: kBucketsPerOctave sub-buckets per power of two covering
+/// [2^kMinExponent, 2^kMaxExponent); samples below the range (including 0
+/// and negatives) land in a dedicated underflow bucket, samples at or above
+/// the top in an overflow bucket. With 8 sub-buckets per octave the relative
+/// width of a bucket is 2^(1/8) - 1 < 9.1%, which bounds the quantile
+/// estimation error (quantiles report the upper bound of the target
+/// bucket).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qp::obs {
+
+class LogHistogram {
+ public:
+  static constexpr int kBucketsPerOctave = 8;
+  static constexpr int kMinExponent = -20;  ///< lowest bucket ~ 9.5e-7
+  static constexpr int kMaxExponent = 30;   ///< highest bucket ~ 1.07e9
+  static constexpr int kNumBuckets =
+      (kMaxExponent - kMinExponent) * kBucketsPerOctave;
+
+  LogHistogram();
+
+  void record(double value);
+
+  /// Bucket-wise addition; also folds count/underflow/overflow/min/max/sum.
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// Smallest / largest recorded value; 0 when empty.
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket containing
+  /// the ceil(q * count)-th smallest sample (clamped to [min, max];
+  /// underflow counts resolve to min(), overflow to max()). Returns 0 when
+  /// empty. \throws std::invalid_argument when q is outside [0, 1].
+  double quantile(double q) const;
+
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  /// Inclusive-exclusive value range [lower, upper) of a bucket index.
+  static double bucket_lower_bound(int bucket);
+  static double bucket_upper_bound(int bucket);
+  /// Bucket index for a value inside the covered range; -1 for underflow,
+  /// kNumBuckets for overflow.
+  static int bucket_index(double value);
+
+  /// JSON object with the deterministic fields only:
+  ///   {"count": N, "underflow": U, "overflow": O, "min": m, "max": M,
+  ///    "sum": S, "p50": ..., "p90": ..., "p99": ...,
+  ///    "buckets": [[index, count], ...]}   (non-empty buckets only)
+  std::string to_json() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace qp::obs

@@ -1,0 +1,88 @@
+#include "obs/obs.hpp"
+
+#include "obs/trace.hpp"
+
+namespace qp::obs {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_[name];
+}
+
+TimerStat& Registry::timer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_[name];
+}
+
+void Registry::append_series(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  series_[name].push_back(value);
+}
+
+std::map<std::string, std::uint64_t> Registry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter.value();
+  return out;
+}
+
+std::map<std::string, double> Registry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge.value();
+  return out;
+}
+
+std::map<std::string, std::pair<std::uint64_t, double>>
+Registry::timer_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::pair<std::uint64_t, double>> out;
+  for (const auto& [name, timer] : timers_) {
+    out[name] = {timer.calls(),
+                 static_cast<double>(timer.total_nanos()) / 1e6};
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<double>> Registry::series_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return series_;
+}
+
+void Registry::reset_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter.reset();
+  for (auto& [name, gauge] : gauges_) gauge.reset();
+  for (auto& [name, timer] : timers_) timer.reset();
+  for (auto& [name, series] : series_) series.clear();
+}
+
+ScopedTimer::ScopedTimer(const char* name)
+    : name_(name), start_(std::chrono::steady_clock::now()) {}
+
+ScopedTimer::~ScopedTimer() {
+  const auto end = std::chrono::steady_clock::now();
+  const std::int64_t nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count();
+  // Cache per call site would need the macro layer; a ScopedTimer is placed
+  // at phase granularity, so one map lookup per activation is fine.
+  Registry::instance().timer(name_).add(nanos);
+  TraceRecorder& recorder = TraceRecorder::instance();
+  if (recorder.enabled()) {
+    const double dur_us = static_cast<double>(nanos) / 1e3;
+    recorder.record(name_, recorder.now_us() - dur_us, dur_us);
+  }
+}
+
+}  // namespace qp::obs

@@ -1,0 +1,168 @@
+#include "obs/run_report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace qp::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_string(std::string& out, const std::string& text) {
+  out.push_back('"');
+  append_escaped(out, text);
+  out.push_back('"');
+}
+
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+/// Emits `"key": <value>` pairs of a pre-rendered map as a JSON object.
+void append_object(std::string& out,
+                   const std::map<std::string, std::string>& rendered) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : rendered) {
+    if (!first) out += ", ";
+    first = false;
+    append_string(out, key);
+    out += ": ";
+    out += value;
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+void RunReport::set_context(const std::string& key, const std::string& value) {
+  context_[key] = value;
+}
+
+void RunReport::add_histogram(const std::string& name,
+                              const LogHistogram& histogram) {
+  histograms_[name] = histogram.to_json();
+}
+
+void RunReport::add_nondeterministic_json(const std::string& key,
+                                          const std::string& json) {
+  extra_nondeterministic_[key] = json;
+}
+
+std::string RunReport::to_json() const {
+  const Registry& registry = Registry::instance();
+
+  std::string out = "{\"schema\": \"qplace.run_report.v1\", \"command\": ";
+  append_string(out, command_);
+
+  out += ", \"context\": ";
+  {
+    std::map<std::string, std::string> rendered;
+    for (const auto& [key, value] : context_) {
+      std::string cell;
+      append_string(cell, value);
+      rendered[key] = cell;
+    }
+    append_object(out, rendered);
+  }
+
+  out += ", \"deterministic\": {\"counters\": ";
+  {
+    std::map<std::string, std::string> rendered;
+    for (const auto& [name, value] : registry.counter_values()) {
+      std::string cell;
+      append_uint(cell, value);
+      rendered[name] = cell;
+    }
+    append_object(out, rendered);
+  }
+  out += ", \"series\": ";
+  {
+    std::map<std::string, std::string> rendered;
+    for (const auto& [name, values] : registry.series_values()) {
+      std::string cell = "[";
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i > 0) cell += ", ";
+        append_double(cell, values[i]);
+      }
+      cell += "]";
+      rendered[name] = cell;
+    }
+    append_object(out, rendered);
+  }
+  out += ", \"histograms\": ";
+  append_object(out, histograms_);
+  out += "}";
+
+  out += ", \"nondeterministic\": {\"timers\": ";
+  {
+    std::map<std::string, std::string> rendered;
+    for (const auto& [name, stat] : registry.timer_values()) {
+      std::string cell = "{\"calls\": ";
+      append_uint(cell, stat.first);
+      cell += ", \"total_ms\": ";
+      append_double(cell, stat.second);
+      cell += "}";
+      rendered[name] = cell;
+    }
+    append_object(out, rendered);
+  }
+  out += ", \"gauges\": ";
+  {
+    std::map<std::string, std::string> rendered;
+    for (const auto& [name, value] : registry.gauge_values()) {
+      std::string cell;
+      append_double(cell, value);
+      rendered[name] = cell;
+    }
+    append_object(out, rendered);
+  }
+  for (const auto& [key, json] : extra_nondeterministic_) {
+    out += ", ";
+    append_string(out, key);
+    out += ": ";
+    out += json;
+  }
+  out += "}}";
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream stream(path, std::ios::binary | std::ios::trunc);
+  if (!stream) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  stream << contents;
+  if (!stream) {
+    throw std::runtime_error("failed writing '" + path + "'");
+  }
+}
+
+}  // namespace qp::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file trace.hpp
+/// Thread-safe trace recorder emitting Chrome trace_event JSON.
+///
+/// Each thread that records events owns a fixed-capacity ring buffer; when a
+/// buffer is full the oldest events are overwritten and a drop counter is
+/// bumped, so recording never allocates or blocks on the hot path beyond one
+/// relaxed enabled-check. to_chrome_json() merges all buffers (stable order:
+/// by recorder-assigned thread id, then by record order) into the JSON Object
+/// Format understood by chrome://tracing and Perfetto:
+///
+///   {"traceEvents": [{"name": "...", "cat": "qplace", "ph": "X",
+///                     "ts": <us>, "dur": <us>, "pid": 1, "tid": <id>}, ...],
+///    "displayTimeUnit": "ms"}
+///
+/// Tracing is off by default; obs::ScopedTimer only records a slice when
+/// set_enabled(true) was called (the CLI's --trace-out flag does this).
+/// Timestamps are microseconds since the recorder was constructed (or last
+/// cleared) on the steady clock. Timestamps and durations are inherently
+/// nondeterministic; everything else about a run's trace (event names,
+/// counts per name) follows the docs/PARALLEL.md determinism contract.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qp::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< string literal; never owned
+  double ts_us = 0.0;          ///< start, microseconds since recorder epoch
+  double dur_us = 0.0;         ///< duration, microseconds
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  /// Enables/disables recording. Cheap to leave disabled: record() bails on
+  /// one relaxed atomic load.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Records a completed slice for the calling thread. No-op when disabled.
+  void record(const char* name, double ts_us, double dur_us);
+
+  /// Microseconds since the recorder epoch, for pairing with record().
+  double now_us() const;
+
+  /// Merges every thread's buffer into Chrome trace JSON. Call from
+  /// sequential code (after parallel regions have completed).
+  std::string to_chrome_json() const;
+
+  /// Events currently held (across all threads, excluding dropped ones).
+  std::size_t event_count() const;
+  /// Events overwritten because some ring buffer was full.
+  std::uint64_t dropped_count() const;
+
+  /// Drops all recorded events and restarts the epoch. Buffers registered by
+  /// live threads are kept (their cached pointers must stay valid).
+  void clear();
+
+  /// Ring capacity per recording thread.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  /// Opaque per-thread ring buffer; defined in trace.cpp only.
+  struct ThreadBuffer;
+
+ private:
+  TraceRecorder();
+  ThreadBuffer& local_buffer();
+
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace qp::obs

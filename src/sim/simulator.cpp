@@ -8,6 +8,7 @@
 #include "check/contracts.hpp"
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
+#include "obs/obs.hpp"
 
 namespace qp::sim {
 
@@ -19,7 +20,8 @@ struct Event {
   double time = 0.0;
   EventType type = EventType::kArrival;
   /// kArrival: the client issuing an access; kProbeArrive: the node the
-  /// probe reaches; unused for kProbeDone.
+  /// probe reaches; kProbeDone: the node that served the probe under
+  /// queueing (-1 without queueing, where no node state is tracked).
   int where = 0;
   std::int64_t access = 0;  ///< the access a probe belongs to
 
@@ -57,6 +59,12 @@ SimulationResult simulate(const core::QppInstance& instance,
   if (config.latency_jitter < 0.0 || config.latency_jitter >= 1.0) {
     throw std::invalid_argument("simulate: latency_jitter must lie in [0, 1)");
   }
+  // Contract restatement of the throw above: a measurement window of zero
+  // (or negative) length would make every statistic below vacuous.
+  QP_REQUIRE(config.duration > config.warmup,
+             "simulate: the measurement window (duration - warmup) must be "
+             "positive");
+  QP_SPAN("sim.simulate");
 
   std::mt19937_64 rng(config.seed);
   std::discrete_distribution<int> quorum_picker(
@@ -110,6 +118,22 @@ SimulationResult simulate(const core::QppInstance& instance,
   result.per_client_count.assign(static_cast<std::size_t>(n), 0);
   result.per_node_access_share.assign(static_cast<std::size_t>(n), 0.0);
   result.per_node_utilization.assign(static_cast<std::size_t>(n), 0.0);
+  result.per_node_mean_queue_depth.assign(static_cast<std::size_t>(n), 0.0);
+  result.per_node_max_queue_depth.assign(static_cast<std::size_t>(n), 0);
+
+  // Time-weighted queue-depth tracking (probes waiting or in service at a
+  // node). Only maintained under queueing; without it probes never contend.
+  std::vector<std::int64_t> node_depth(static_cast<std::size_t>(n), 0);
+  std::vector<double> depth_area(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> depth_since(static_cast<std::size_t>(n), 0.0);
+  const auto change_depth = [&](int node, double now, std::int64_t delta) {
+    const auto v = static_cast<std::size_t>(node);
+    depth_area[v] += static_cast<double>(node_depth[v]) * (now - depth_since[v]);
+    depth_since[v] = now;
+    node_depth[v] += delta;
+    result.per_node_max_queue_depth[v] =
+        std::max(result.per_node_max_queue_depth[v], node_depth[v]);
+  };
 
   std::int64_t measured_accesses = 0;
   double measured_total_accesses = 0.0;  // incl. clients with 0 weight
@@ -136,7 +160,7 @@ SimulationResult simulate(const core::QppInstance& instance,
     if (queueing) {
       return Event{arrive, EventType::kProbeArrive, node, id};
     }
-    return Event{arrive, EventType::kProbeDone, 0, id};
+    return Event{arrive, EventType::kProbeDone, -1, id};
   };
 
   while (!queue.empty() && queue.top().time <= config.duration) {
@@ -180,11 +204,16 @@ SimulationResult simulate(const core::QppInstance& instance,
       const double done = start_service + service_time;
       node_free[static_cast<std::size_t>(node)] = done;
       node_busy[static_cast<std::size_t>(node)] += service_time;
-      queue.push({done, EventType::kProbeDone, 0, event.access});
+      change_depth(node, event.time, +1);
+      if (event.time >= config.warmup) {
+        result.queue_wait.record(start_service - event.time);
+      }
+      queue.push({done, EventType::kProbeDone, node, event.access});
       continue;
     }
 
     // kProbeDone.
+    if (queueing) change_depth(event.where, event.time, -1);
     Access& access = accesses[static_cast<std::size_t>(event.access)];
     --access.outstanding;
     if (config.mode == AccessMode::kSequential &&
@@ -198,6 +227,7 @@ SimulationResult simulate(const core::QppInstance& instance,
     if (access.outstanding == 0 && access.start >= config.warmup) {
       const double delay = event.time - access.start;
       total_delay_sum += delay;
+      result.access_delay.record(delay);
       ++measured_accesses;
       result.per_client_mean_delay[static_cast<std::size_t>(access.client)] +=
           delay;
@@ -223,7 +253,19 @@ SimulationResult simulate(const core::QppInstance& instance,
     }
     result.per_node_utilization[static_cast<std::size_t>(v)] =
         node_busy[static_cast<std::size_t>(v)] / config.duration;
+    // Close the depth integral at the horizon (probes still in flight at
+    // `duration` contribute their tail).
+    change_depth(v, config.duration, 0);
+    result.per_node_mean_queue_depth[static_cast<std::size_t>(v)] =
+        depth_area[static_cast<std::size_t>(v)] / config.duration;
   }
+  // Totals are a pure function of (instance, placement, config) -- the event
+  // loop is sequential -- so they satisfy the determinism contract.
+  QP_COUNTER_ADD("sim.runs", 1);
+  QP_COUNTER_ADD("sim.completed_accesses", measured_accesses);
+  double measured_probes = 0.0;
+  for (double c : node_probe_count) measured_probes += c;
+  QP_COUNTER_ADD("sim.measured_probes", measured_probes);
   return result;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "obs/histogram.hpp"
 
 namespace qp::sim {
 
@@ -57,7 +58,12 @@ struct SimulationConfig {
   /// queueing, the paper's pure-latency model).
   double service_rate = 0.0;
   std::uint64_t seed = 1;
-  /// Warm-up period excluded from statistics.
+  /// Warm-up period excluded from statistics. Applies uniformly: accesses
+  /// starting before `warmup` are excluded from the means AND from the
+  /// latency histograms, and probes reaching a node before `warmup` are
+  /// excluded from access shares and the queue-wait histogram. Must satisfy
+  /// 0 <= warmup < duration (enforced: std::invalid_argument otherwise,
+  /// backed by a QP_REQUIRE contract).
   double warmup = 0.0;
   /// Per-probe latency jitter: each probe's network delay is the metric
   /// distance times Uniform(1 - jitter, 1 + jitter). Zero reproduces the
@@ -76,8 +82,21 @@ struct SimulationResult {
   /// strategy: load_f(v)).
   std::vector<double> per_node_access_share;
   /// Node busy-time / simulated duration (only meaningful with finite
-  /// service rate).
+  /// service rate; this is the node's busy fraction).
   std::vector<double> per_node_utilization;
+  /// Distribution of per-access delay over the measured (post-warmup)
+  /// accesses -- the same population as overall_mean_delay. Quantiles via
+  /// access_delay.quantile(q); log-bucketed, so merge/compare is
+  /// deterministic (see obs/histogram.hpp and docs/OBSERVABILITY.md).
+  obs::LogHistogram access_delay;
+  /// Distribution of per-probe queue wait (service start minus arrival at
+  /// the node) over post-warmup probes. Empty unless service_rate > 0.
+  obs::LogHistogram queue_wait;
+  /// Time-weighted mean number of probes at each node (waiting + in
+  /// service), averaged over the full duration. Zero without queueing.
+  std::vector<double> per_node_mean_queue_depth;
+  /// Peak number of probes simultaneously at each node.
+  std::vector<std::int64_t> per_node_max_queue_depth;
 };
 
 /// Runs the simulation for a placement of the instance's quorum system.

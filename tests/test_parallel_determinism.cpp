@@ -21,7 +21,9 @@
 #include "exec/thread_pool.hpp"
 #include "graph/generators.hpp"
 #include "graph/metric.hpp"
+#include "obs/obs.hpp"
 #include "quorum/constructions.hpp"
+#include "sim/simulator.hpp"
 
 namespace qp {
 namespace {
@@ -245,6 +247,75 @@ TEST(ParallelDeterminism, LocalSearchTrajectoryBitIdentical) {
     EXPECT_EQ(at_one.delay, at_eight.delay) << named.name;
     EXPECT_EQ(at_one.moves, at_eight.moves) << named.name;
   }
+}
+
+TEST(ParallelDeterminism, ObsCountersAndSeriesBitIdentical) {
+  // The observability extension of the contract (docs/OBSERVABILITY.md):
+  // every counter total and every series trajectory in the registry must be
+  // bit-identical whether the pool has 1 thread or 8. Timers/gauges carry
+  // wall time and are deliberately excluded.
+  const std::vector<NamedInstance> instances = make_instances();
+  const auto run = [&](int threads) {
+    obs::Registry::instance().reset_all();
+    with_threads(threads, [&] {
+      for (const NamedInstance& named : instances) {
+        core::QppSolveOptions options;
+        options.alpha = 2.0;
+        core::solve_qpp(named.instance, options);
+        // The QPP placement may violate capacities (the guarantee is
+        // bicriteria), so descend from a seeded feasible start instead.
+        std::mt19937_64 rng(7);
+        const auto start =
+            core::random_feasible_placement(named.instance, rng);
+        if (!start) continue;
+        core::LocalSearchOptions search;
+        search.max_moves = 20;
+        core::local_search_max_delay(named.instance, *start, search);
+      }
+      return 0;
+    });
+    return std::make_pair(obs::Registry::instance().counter_values(),
+                          obs::Registry::instance().series_values());
+  };
+  const auto at_one = run(1);
+  const auto at_eight = run(8);
+  EXPECT_EQ(at_one.first, at_eight.first);
+  EXPECT_EQ(at_one.second, at_eight.second);
+  if (obs::compiled_in()) {
+    // The run must actually have produced instrumentation to compare.
+    EXPECT_GT(at_one.first.at("lp.solves"), 0u);
+    EXPECT_FALSE(at_one.second.empty());
+  }
+}
+
+TEST(ParallelDeterminism, SimulatorHistogramsBitIdentical) {
+  // The simulator is sequential, but its inputs (the solved placement) come
+  // from the parallel solver; histogram bucket vectors must match exactly
+  // end to end.
+  const NamedInstance named = make_instances().front();
+  const auto run = [&](int threads) {
+    return with_threads(threads, [&] {
+      core::QppSolveOptions options;
+      options.alpha = 2.0;
+      const auto solved = core::solve_qpp(named.instance, options);
+      sim::SimulationConfig config;
+      config.duration = 100.0;
+      config.warmup = 10.0;
+      config.service_rate = 50.0;
+      return sim::simulate(named.instance, solved->placement, config);
+    });
+  };
+  const sim::SimulationResult at_one = run(1);
+  const sim::SimulationResult at_eight = run(8);
+  EXPECT_EQ(at_one.access_delay.buckets(), at_eight.access_delay.buckets());
+  EXPECT_EQ(at_one.access_delay.count(), at_eight.access_delay.count());
+  EXPECT_EQ(at_one.access_delay.sum(), at_eight.access_delay.sum());
+  EXPECT_EQ(at_one.queue_wait.buckets(), at_eight.queue_wait.buckets());
+  EXPECT_EQ(at_one.per_node_mean_queue_depth,
+            at_eight.per_node_mean_queue_depth);
+  EXPECT_EQ(at_one.per_node_max_queue_depth,
+            at_eight.per_node_max_queue_depth);
+  EXPECT_GT(at_one.access_delay.count(), 0u);
 }
 
 TEST(ParallelDeterminism, EvaluatorsBitIdenticalAcrossThreadCounts) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <random>
 
 #include "core/evaluators.hpp"
@@ -124,6 +126,56 @@ TEST(Simulator, WarmupExcludesEarlyAccesses) {
   const auto b = simulate(instance, f, without);
   EXPECT_LT(a.completed_accesses, b.completed_accesses);
   EXPECT_GT(a.completed_accesses, 0);
+}
+
+TEST(Simulator, HistogramCoversSamePopulationAsMeans) {
+  // The latency histogram applies the identical warmup exclusion as the
+  // means: same count, and (the samples being summed in the same order)
+  // bit-identical mean.
+  const core::QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2));
+  const core::Placement f = {0, 1, 2, 3};
+  SimulationConfig config;
+  config.duration = 500.0;
+  config.warmup = 100.0;
+  config.seed = 11;
+  const SimulationResult result = simulate(instance, f, config);
+  EXPECT_EQ(result.access_delay.count(),
+            static_cast<std::uint64_t>(result.completed_accesses));
+  EXPECT_EQ(result.access_delay.mean(), result.overall_mean_delay);
+  EXPECT_GT(result.access_delay.quantile(0.99),
+            result.access_delay.quantile(0.50) * (1.0 - 1e-12));
+  EXPECT_GE(result.access_delay.max(), result.overall_mean_delay);
+  // No queueing configured: the queue-wait histogram stays empty and all
+  // queue depths are zero.
+  EXPECT_EQ(result.queue_wait.count(), 0u);
+  for (double depth : result.per_node_mean_queue_depth) {
+    EXPECT_EQ(depth, 0.0);
+  }
+}
+
+TEST(Simulator, QueueDepthStatsTrackContention) {
+  // One node hosts every element with a service rate well below the offered
+  // probe rate: its queue must build up, all other nodes stay idle.
+  const core::QppInstance instance =
+      make_instance(graph::path_graph(4), quorum::grid(2));
+  const core::Placement f = {0, 0, 0, 0};
+  SimulationConfig config;
+  config.duration = 300.0;
+  config.arrival_rate_per_client = 2.0;
+  config.service_rate = 1.0;
+  config.seed = 13;
+  const SimulationResult result = simulate(instance, f, config);
+  EXPECT_GT(result.per_node_max_queue_depth[0], 1);
+  EXPECT_GT(result.per_node_mean_queue_depth[0], 0.0);
+  for (int v = 1; v < 4; ++v) {
+    EXPECT_EQ(result.per_node_max_queue_depth[static_cast<std::size_t>(v)], 0);
+    EXPECT_EQ(result.per_node_mean_queue_depth[static_cast<std::size_t>(v)],
+              0.0);
+  }
+  EXPECT_GT(result.queue_wait.count(), 0u);
+  // Under heavy overload most probes wait: p90 wait strictly positive.
+  EXPECT_GT(result.queue_wait.quantile(0.9), 0.0);
 }
 
 TEST(Simulator, QueueingInflatesDelayUnderOverload) {

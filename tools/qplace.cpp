@@ -26,6 +26,9 @@
 #include "check/certificate.hpp"
 #include "check/validate.hpp"
 #include "cli/options.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/run_report.hpp"
+#include "obs/trace.hpp"
 #include "core/evaluators.hpp"
 #include "core/majority_layout.hpp"
 #include "core/placement_report.hpp"
@@ -55,10 +58,58 @@ int usage() {
       "  check      solve, then verify the certified bounds "
       "(Thm 1.2/3.7/5.1, Eq. 19)\n"
       "common flags: --system --topology --nodes --seed --threads N\n"
-      "              (--threads: solver thread pool size, default hardware;\n"
-      "               results are identical for every N -- docs/PARALLEL.md)\n";
+      "              (--threads: solver thread pool size; defaults to the\n"
+      "               QPLACE_THREADS env var, else hardware concurrency;\n"
+      "               results are identical for every N -- docs/PARALLEL.md)\n"
+      "observability (docs/OBSERVABILITY.md):\n"
+      "  --stats-out FILE  write a qplace.run_report.v1 JSON run report\n"
+      "                    (phase timers, solver counters, histograms)\n"
+      "  --trace-out FILE  record phase spans and write Chrome trace_event\n"
+      "                    JSON loadable in chrome://tracing or Perfetto\n";
   return 2;
 }
+
+/// --stats-out / --trace-out plumbing: tracing is switched on before the
+/// command runs; artifacts are written after it returns.
+class ObsSession {
+ public:
+  ObsSession(const cli::ParsedArgs& args, int threads)
+      : stats_path_(args.get("stats-out", "")),
+        trace_path_(args.get("trace-out", "")),
+        report_(args.command()) {
+    report_.set_context("threads", std::to_string(threads));
+    for (const auto& [name, value] : args.raw_flags()) {
+      report_.set_context("flag." + name, value);
+    }
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::instance().set_enabled(true);
+    }
+  }
+
+  obs::RunReport& report() { return report_; }
+
+  /// Writes the requested artifacts. \throws std::runtime_error on I/O
+  /// failure (surfaced as exit code 2 by main's handler).
+  void finish() {
+    if (!trace_path_.empty()) {
+      obs::TraceRecorder::instance().set_enabled(false);
+      obs::write_file(trace_path_,
+                      obs::TraceRecorder::instance().to_chrome_json());
+    }
+    if (!stats_path_.empty()) {
+      report_.add_nondeterministic_json("pool", exec::pool_stats_json());
+      obs::write_file(stats_path_, report_.to_json());
+    }
+  }
+
+ private:
+  std::string stats_path_;
+  std::string trace_path_;
+  obs::RunReport report_;
+};
+
+/// Session of the current invocation; commands may add histograms etc.
+ObsSession* g_obs = nullptr;
 
 /// Uniform capacities: --cap (default 1.2) times the max element load.
 std::vector<double> capacities_for(const cli::ParsedArgs& args,
@@ -295,12 +346,26 @@ int cmd_simulate(const cli::ParsedArgs& args) {
                     : sim::AccessMode::kParallel;
   const sim::SimulationResult result =
       sim::simulate(instance, solved->placement, config);
+  if (g_obs != nullptr) {
+    g_obs->report().add_histogram("sim.access_delay", result.access_delay);
+    if (result.queue_wait.count() > 0) {
+      g_obs->report().add_histogram("sim.queue_wait", result.queue_wait);
+    }
+  }
 
   report::Table table({"metric", "value"});
   table.add_row({"completed accesses",
                  std::to_string(result.completed_accesses)});
   table.add_row({"simulated mean delay",
                  report::Table::num(result.overall_mean_delay, 4)});
+  table.add_row({"simulated p50 delay",
+                 report::Table::num(result.access_delay.quantile(0.50), 4)});
+  table.add_row({"simulated p90 delay",
+                 report::Table::num(result.access_delay.quantile(0.90), 4)});
+  table.add_row({"simulated p99 delay",
+                 report::Table::num(result.access_delay.quantile(0.99), 4)});
+  table.add_row({"simulated max delay",
+                 report::Table::num(result.access_delay.max(), 4)});
   table.add_row(
       {"analytic mean delay",
        report::Table::num(
@@ -321,7 +386,9 @@ int main(int argc, char** argv) {
   }
   try {
     const cli::ParsedArgs args = cli::parse_args(raw);
-    cli::configure_threads(args);
+    const int threads = cli::configure_threads(args);
+    ObsSession session(args, threads);
+    g_obs = &session;
     int code = 2;
     if (args.command() == "topology") {
       code = cmd_topology(args);
@@ -337,6 +404,7 @@ int main(int argc, char** argv) {
       std::cerr << "unknown command '" << args.command() << "'\n";
       return usage();
     }
+    session.finish();
     for (const std::string& flag : args.unread_flags()) {
       std::cerr << "warning: unused flag --" << flag << "\n";
     }
