@@ -7,14 +7,51 @@
 # identical across thread counts; this script records what the parallelism
 # costs or buys in wall time on the current host.
 #
-# Usage:  bench/run_bench.sh [build-dir]     (default: build)
+# Usage:  bench/run_bench.sh [--quick] [build-dir]     (default: build)
+#
+# --quick: perf-regression gate only (docs/OBSERVABILITY.md §7). Re-runs
+# the one instrumented `qplace solve` whose deterministic counters are
+# embedded in the committed BENCH_parallel.json and diffs them with
+# `qplace analyze --diff`; exits non-zero when a work counter (lp.pivots,
+# graph.heap_pops, exec.chunks, ...) drifted beyond the tolerance
+# (QPLACE_BENCH_TOLERANCE, default 0.10). Needs only the qplace binary --
+# no perf_* builds, no google-benchmark -- so CI can run it cheaply. Does
+# NOT rewrite the baseline; run the full script for that.
 set -euo pipefail
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+  shift
+fi
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_json="$repo_root/BENCH_parallel.json"
 work_dir="$(mktemp -d)"
 trap 'rm -rf "$work_dir"' EXIT
+
+if [[ "$quick" == 1 ]]; then
+  qplace_bin="$build_dir/tools/qplace"
+  if [[ ! -x "$qplace_bin" ]]; then
+    echo "error: $qplace_bin not built" \
+         "(run: cmake --build $build_dir --target qplace_cli)" >&2
+    exit 1
+  fi
+  if [[ ! -f "$out_json" ]]; then
+    echo "error: $out_json missing; run the full bench/run_bench.sh once" >&2
+    exit 1
+  fi
+  tolerance="${QPLACE_BENCH_TOLERANCE:-0.10}"
+  fresh="$work_dir/solve_stats.json"
+  echo "== quick perf-regression gate (tolerance $tolerance)"
+  # Same instrumented solve the full run embeds into the baseline.
+  "$qplace_bin" solve --system grid --k 2 --topology geometric --nodes 16 \
+    --algorithm qpp --alpha 2 --seed 1 --stats-out "$fresh" >/dev/null
+  "$qplace_bin" analyze --diff "$out_json" --against "$fresh" \
+    --tolerance "$tolerance"
+  exit 0
+fi
 
 binaries=(perf_graph perf_lp perf_placement perf_sim)
 threads=(1 2 4 8)

@@ -1,6 +1,8 @@
 #include "core/instance.hpp"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace qp::core {
@@ -90,6 +92,62 @@ SsqppInstance::SsqppInstance(graph::Metric metric,
     throw std::invalid_argument("SsqppInstance: source out of range");
   }
   element_loads_ = quorum::element_loads(system_, strategy_);
+}
+
+namespace {
+
+/// FNV-1a 64-bit, folded over typed field streams below.
+class Fnv1a {
+ public:
+  void mix(std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash_ ^= (value >> (8 * byte)) & 0xFFU;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void mix(int value) { mix(static_cast<std::uint64_t>(value)); }
+  void mix(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(bits);
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace
+
+std::uint64_t instance_digest(const QppInstance& instance) {
+  Fnv1a fnv;
+  const int n = instance.num_nodes();
+  fnv.mix(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      fnv.mix(instance.metric()(i, j));
+    }
+  }
+  for (double cap : instance.capacities()) fnv.mix(cap);
+  fnv.mix(instance.system().universe_size());
+  fnv.mix(instance.system().num_quorums());
+  for (const quorum::Quorum& q : instance.system().quorums()) {
+    fnv.mix(static_cast<int>(q.size()));
+    for (int element : q) fnv.mix(element);
+  }
+  for (int q = 0; q < instance.strategy().num_quorums(); ++q) {
+    fnv.mix(instance.strategy().probability(q));
+  }
+  for (double w : instance.client_weights()) fnv.mix(w);
+  return fnv.value();
+}
+
+std::string instance_digest_hex(const QppInstance& instance) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(instance_digest(instance)));
+  return buf;
 }
 
 bool is_valid_placement(const Placement& placement, int universe_size,

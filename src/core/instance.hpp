@@ -9,6 +9,8 @@
 /// A placement is the map f : U -> V (paper Sec 1.2), represented as a
 /// vector indexed by element id.
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "check/contracts.hpp"
@@ -93,5 +95,17 @@ class SsqppInstance {
 /// True iff placement maps every element to a valid node id.
 bool is_valid_placement(const Placement& placement, int universe_size,
                         int num_nodes);
+
+/// Order-sensitive FNV-1a content digest over every defining datum of the
+/// instance: the full distance matrix, capacities, quorum membership,
+/// access-strategy probabilities and client weights (doubles are hashed by
+/// bit pattern, so the digest is exact, not tolerance-based). Two runs over
+/// the same instance always agree; observability artifacts (run reports,
+/// access logs -- docs/OBSERVABILITY.md) embed it so `qplace analyze` can
+/// refuse to compare artifacts from different instances.
+std::uint64_t instance_digest(const QppInstance& instance);
+
+/// instance_digest() rendered as 16 lowercase hex digits.
+std::string instance_digest_hex(const QppInstance& instance);
 
 }  // namespace qp::core

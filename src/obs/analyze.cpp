@@ -1,0 +1,459 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "check/contracts.hpp"
+#include "core/evaluators.hpp"
+#include "obs/obs.hpp"
+
+namespace qp::obs {
+
+namespace {
+
+/// Net-only access delay reconstructed from the probe records: the paper's
+/// delta_f(v, Q) (parallel: slowest probe) or gamma_f(v, Q) (sequential:
+/// sum of probe legs). Queue waits are deliberately excluded so the value
+/// estimates the quantity the analytic model bounds even when the
+/// simulation ran with a finite service rate.
+double net_delay(const AccessRecord& record, bool sequential) {
+  double value = 0.0;
+  for (const AccessProbe& probe : record.probes) {
+    if (sequential) {
+      value += probe.net_delay;
+    } else {
+      value = std::max(value, probe.net_delay);
+    }
+  }
+  return value;
+}
+
+/// Expected net delay of `client` under the strategy: Delta_f(v) /
+/// Gamma_f(v), with every probe path routed through `relay` when >= 0
+/// (Lemma 3.1's access model, eq. (4)).
+double analytic_delay(const core::QppInstance& instance,
+                      const core::Placement& placement, int client,
+                      bool sequential, int relay) {
+  const graph::Metric& metric = instance.metric();
+  double expected = 0.0;
+  for (int q = 0; q < instance.system().num_quorums(); ++q) {
+    double per_quorum = 0.0;
+    for (const int element : instance.system().quorum(q)) {
+      const int node = placement[static_cast<std::size_t>(element)];
+      const double path = relay >= 0
+                              ? metric(client, relay) + metric(relay, node)
+                              : metric(client, node);
+      if (sequential) {
+        per_quorum += path;
+      } else {
+        per_quorum = std::max(per_quorum, path);
+      }
+    }
+    expected += instance.strategy().probability(q) * per_quorum;
+  }
+  return expected;
+}
+
+struct RunningStat {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+
+  void add(double value) {
+    ++count;
+    sum += value;
+    sum_sq += value * value;
+  }
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Sample standard deviation (n - 1 denominator); 0 below 2 samples.
+  double stddev() const {
+    if (count < 2) return 0.0;
+    const double n = static_cast<double>(count);
+    const double variance =
+        std::max(0.0, (sum_sq - sum * sum / n) / (n - 1.0));
+    return std::sqrt(variance);
+  }
+  double half_width(double z) const {
+    return count > 0 ? z * stddev() / std::sqrt(static_cast<double>(count))
+                     : 0.0;
+  }
+};
+
+double context_number(const ParsedAccessLog& log, const std::string& key,
+                      double fallback) {
+  const std::string raw = log.context_or(key, "");
+  if (raw.empty()) return fallback;
+  try {
+    return std::stod(raw);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::map<std::string, std::uint64_t> extract_counters(
+    const json::Value& report, bool* found) {
+  std::map<std::string, std::uint64_t> counters;
+  const json::Value* source = nullptr;
+  if (const json::Value* det = report.find("deterministic")) {
+    source = det->find("counters");
+  } else {
+    source = report.find("solver_counters");  // bench baseline format
+  }
+  *found = source != nullptr && source->is_object();
+  if (!*found) return counters;
+  for (const auto& [name, value] : source->object) {
+    if (value.type == json::Value::Type::kNumber) {
+      counters[name] = static_cast<std::uint64_t>(value.number);
+    }
+  }
+  return counters;
+}
+
+std::string report_digest(const json::Value& report) {
+  if (const json::Value* context = report.find("context")) {
+    return context->get_string("instance_digest", "");
+  }
+  return "";
+}
+
+bool report_obs_off(const json::Value& report) {
+  if (const json::Value* context = report.find("context")) {
+    return context->get_string("obs_compiled_in", "true") == "false";
+  }
+  return false;
+}
+
+}  // namespace
+
+AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
+                                     const core::Placement& placement,
+                                     const ParsedAccessLog& log,
+                                     const AnalyzeOptions& options) {
+  const int n = instance.num_nodes();
+  if (!core::is_valid_placement(placement, instance.system().universe_size(),
+                                n)) {
+    throw std::invalid_argument("analyze_access_log: invalid placement");
+  }
+  const std::int64_t min_samples = std::max<std::int64_t>(2, options.min_samples);
+
+  AccessLogAnalysis analysis;
+  analysis.sequential = log.context_or("mode", "parallel") == "sequential";
+  analysis.relay = static_cast<int>(context_number(log, "relay", -1.0));
+  analysis.jitter = context_number(log, "jitter", 0.0);
+  analysis.service_rate = context_number(log, "service_rate", 0.0);
+  if (analysis.relay >= n) {
+    throw std::invalid_argument("analyze_access_log: relay out of range");
+  }
+
+  // A parallel access's max-of-jittered-probes is biased above the
+  // analytic max (docs/OBSERVABILITY.md); sums stay mean-preserving, so
+  // the sequential check survives jitter.
+  const bool estimator_unbiased =
+      analysis.sequential || analysis.jitter == 0.0;
+
+  std::vector<RunningStat> per_client(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> per_node_probes(static_cast<std::size_t>(n), 0);
+  std::map<int, RunningStat> per_quorum;
+  RunningStat overall;
+  RunningStat wall;
+  RunningStat waits;
+
+  for (const AccessRecord& record : log.records) {
+    if (record.client < 0 || record.client >= n) {
+      throw std::invalid_argument("analyze_access_log: client out of range");
+    }
+    if (record.quorum < 0 ||
+        record.quorum >= instance.system().num_quorums()) {
+      throw std::invalid_argument("analyze_access_log: quorum out of range");
+    }
+    const double value = net_delay(record, analysis.sequential);
+    per_client[static_cast<std::size_t>(record.client)].add(value);
+    per_quorum[record.quorum].add(value);
+    overall.add(value);
+    wall.add(record.finish - record.start);
+    for (const AccessProbe& probe : record.probes) {
+      if (probe.node < 0 || probe.node >= n) {
+        throw std::invalid_argument("analyze_access_log: node out of range");
+      }
+      ++per_node_probes[static_cast<std::size_t>(probe.node)];
+      waits.add(probe.queue_wait);
+      analysis.max_queue_wait =
+          std::max(analysis.max_queue_wait, probe.queue_wait);
+    }
+  }
+
+  analysis.total_accesses = overall.count;
+  analysis.wall_mean = wall.mean();
+  analysis.mean_queue_wait = waits.mean();
+
+  // Per-client empirical Delta/Gamma vs the evaluator.
+  for (int v = 0; v < n; ++v) {
+    const RunningStat& stat = per_client[static_cast<std::size_t>(v)];
+    if (stat.count == 0) continue;
+    ClientCheck check;
+    check.client = v;
+    check.count = stat.count;
+    check.empirical_mean = stat.mean();
+    check.half_width = stat.half_width(options.z);
+    check.analytic = analytic_delay(instance, placement, v,
+                                    analysis.sequential, analysis.relay);
+    check.checked = estimator_unbiased && stat.count >= min_samples;
+    if (check.checked) {
+      const double slack = check.half_width + options.tolerance +
+                           options.tolerance * std::abs(check.analytic);
+      check.ok = std::abs(check.empirical_mean - check.analytic) <= slack;
+      ++analysis.clients_checked;
+      if (check.ok) ++analysis.clients_ok;
+    }
+    analysis.clients.push_back(check);
+  }
+
+  // Overall weighted objective: accesses arrive proportionally to client
+  // weights, so the plain mean estimates Avg_v Delta_f(v) directly.
+  analysis.overall_mean = overall.mean();
+  analysis.overall_half_width = overall.half_width(options.z);
+  if (analysis.relay < 0) {
+    analysis.overall_analytic =
+        analysis.sequential ? core::average_total_delay(instance, placement)
+                            : core::average_max_delay(instance, placement);
+  } else {
+    double weighted = 0.0;
+    for (int v = 0; v < n; ++v) {
+      weighted += instance.client_weights()[static_cast<std::size_t>(v)] *
+                  analytic_delay(instance, placement, v, analysis.sequential,
+                                 analysis.relay);
+    }
+    analysis.overall_analytic = weighted;
+  }
+  analysis.overall_checked =
+      estimator_unbiased && overall.count >= min_samples;
+  if (analysis.overall_checked) {
+    const double slack = analysis.overall_half_width + options.tolerance +
+                         options.tolerance * std::abs(analysis.overall_analytic);
+    analysis.overall_ok =
+        std::abs(analysis.overall_mean - analysis.overall_analytic) <= slack;
+  }
+
+  // Per-node observed load vs the certificate bound (alpha+1) * cap(v).
+  const std::vector<double> analytic_loads = core::node_loads(
+      instance.element_loads(), placement, n);
+  for (int v = 0; v < n; ++v) {
+    NodeCheck check;
+    check.node = v;
+    check.probes = per_node_probes[static_cast<std::size_t>(v)];
+    check.observed_load =
+        analysis.total_accesses > 0
+            ? static_cast<double>(check.probes) /
+                  static_cast<double>(analysis.total_accesses)
+            : 0.0;
+    check.analytic_load = analytic_loads[static_cast<std::size_t>(v)];
+    check.capacity = instance.capacity(v);
+    check.bound = (options.alpha + 1.0) * check.capacity *
+                  (1.0 + options.load_slack);
+    check.ok = check.observed_load <= check.bound + options.tolerance;
+    if (!check.ok) analysis.loads_ok = false;
+    analysis.nodes.push_back(check);
+  }
+
+  for (const auto& [q, stat] : per_quorum) {
+    QuorumBreakdown breakdown;
+    breakdown.quorum = q;
+    breakdown.count = stat.count;
+    breakdown.share = analysis.total_accesses > 0
+                          ? static_cast<double>(stat.count) /
+                                static_cast<double>(analysis.total_accesses)
+                          : 0.0;
+    breakdown.strategy_probability = instance.strategy().probability(q);
+    breakdown.mean_delay = stat.mean();
+    analysis.quorums.push_back(breakdown);
+  }
+
+  QP_COUNTER_ADD("analyze.access_log_records", analysis.total_accesses);
+  return analysis;
+}
+
+double CounterDiff::rel_drift() const {
+  if (in_base != in_cand) {
+    const std::uint64_t present = in_base ? base : cand;
+    return present == 0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  const double reference = std::max<double>(static_cast<double>(base), 1.0);
+  const double delta = static_cast<double>(cand) > static_cast<double>(base)
+                           ? static_cast<double>(cand - base)
+                           : static_cast<double>(base - cand);
+  return delta / reference;
+}
+
+double ReportDiff::max_deterministic_drift() const {
+  double drift = 0.0;
+  for (const CounterDiff& counter : counters) {
+    drift = std::max(drift, counter.rel_drift());
+  }
+  for (const SeriesDiff& entry : series) {
+    if (!entry.equal || entry.in_base != entry.in_cand) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
+  return drift;
+}
+
+ReportDiff diff_run_reports(const json::Value& base, const json::Value& cand) {
+  ReportDiff diff;
+  bool base_has_counters = false;
+  bool cand_has_counters = false;
+  const auto base_counters = extract_counters(base, &base_has_counters);
+  const auto cand_counters = extract_counters(cand, &cand_has_counters);
+  if (!base_has_counters || !cand_has_counters) {
+    diff.error =
+        "not a qplace.run_report.v1 document (no deterministic.counters or "
+        "solver_counters)";
+    return diff;
+  }
+  const std::string digest_base = report_digest(base);
+  const std::string digest_cand = report_digest(cand);
+  if (!digest_base.empty() && !digest_cand.empty() &&
+      digest_base != digest_cand) {
+    diff.error = "instance digests differ (" + digest_base + " vs " +
+                 digest_cand + "); refusing to compare different instances";
+    return diff;
+  }
+  diff.obs_off_base = report_obs_off(base);
+  diff.obs_off_cand = report_obs_off(cand);
+
+  std::set<std::string> names;
+  for (const auto& [name, value] : base_counters) names.insert(name);
+  for (const auto& [name, value] : cand_counters) names.insert(name);
+  for (const std::string& name : names) {
+    CounterDiff entry;
+    entry.name = name;
+    const auto in_base = base_counters.find(name);
+    const auto in_cand = cand_counters.find(name);
+    entry.in_base = in_base != base_counters.end();
+    entry.in_cand = in_cand != cand_counters.end();
+    if (entry.in_base) entry.base = in_base->second;
+    if (entry.in_cand) entry.cand = in_cand->second;
+    diff.counters.push_back(entry);
+  }
+
+  // Series: exact element-wise equality, the same contract the metamorphic
+  // suite enforces in-process.
+  const json::Value* base_det = base.find("deterministic");
+  const json::Value* cand_det = cand.find("deterministic");
+  const json::Value* base_series =
+      base_det != nullptr ? base_det->find("series") : nullptr;
+  const json::Value* cand_series =
+      cand_det != nullptr ? cand_det->find("series") : nullptr;
+  std::set<std::string> series_names;
+  if (base_series != nullptr) {
+    for (const auto& [name, value] : base_series->object) {
+      series_names.insert(name);
+    }
+  }
+  if (cand_series != nullptr) {
+    for (const auto& [name, value] : cand_series->object) {
+      series_names.insert(name);
+    }
+  }
+  for (const std::string& name : series_names) {
+    SeriesDiff entry;
+    entry.name = name;
+    const json::Value* in_base =
+        base_series != nullptr ? base_series->find(name) : nullptr;
+    const json::Value* in_cand =
+        cand_series != nullptr ? cand_series->find(name) : nullptr;
+    entry.in_base = in_base != nullptr;
+    entry.in_cand = in_cand != nullptr;
+    if (in_base != nullptr && in_cand != nullptr) {
+      entry.equal = in_base->array.size() == in_cand->array.size();
+      if (entry.equal) {
+        for (std::size_t i = 0; i < in_base->array.size(); ++i) {
+          if (in_base->array[i].number != in_cand->array[i].number) {
+            entry.equal = false;
+            break;
+          }
+        }
+      }
+    }
+    diff.series.push_back(entry);
+  }
+
+  // Histograms: distribution-shape shift (counts, mean, quantiles).
+  const json::Value* base_hists =
+      base_det != nullptr ? base_det->find("histograms") : nullptr;
+  const json::Value* cand_hists =
+      cand_det != nullptr ? cand_det->find("histograms") : nullptr;
+  std::set<std::string> hist_names;
+  if (base_hists != nullptr) {
+    for (const auto& [name, value] : base_hists->object) {
+      hist_names.insert(name);
+    }
+  }
+  if (cand_hists != nullptr) {
+    for (const auto& [name, value] : cand_hists->object) {
+      hist_names.insert(name);
+    }
+  }
+  for (const std::string& name : hist_names) {
+    HistogramDiff entry;
+    entry.name = name;
+    if (const json::Value* h =
+            base_hists != nullptr ? base_hists->find(name) : nullptr) {
+      entry.count_base = h->get_number("count", 0.0);
+      entry.mean_base = h->get_number("mean", 0.0);
+      entry.p50_base = h->get_number("p50", 0.0);
+      entry.p90_base = h->get_number("p90", 0.0);
+      entry.p99_base = h->get_number("p99", 0.0);
+    }
+    if (const json::Value* h =
+            cand_hists != nullptr ? cand_hists->find(name) : nullptr) {
+      entry.count_cand = h->get_number("count", 0.0);
+      entry.mean_cand = h->get_number("mean", 0.0);
+      entry.p50_cand = h->get_number("p50", 0.0);
+      entry.p90_cand = h->get_number("p90", 0.0);
+      entry.p99_cand = h->get_number("p99", 0.0);
+    }
+    diff.histograms.push_back(entry);
+  }
+
+  // Timers: wall time, reported but never gated.
+  const json::Value* base_nondet = base.find("nondeterministic");
+  const json::Value* cand_nondet = cand.find("nondeterministic");
+  const json::Value* base_timers =
+      base_nondet != nullptr ? base_nondet->find("timers") : nullptr;
+  const json::Value* cand_timers =
+      cand_nondet != nullptr ? cand_nondet->find("timers") : nullptr;
+  std::set<std::string> timer_names;
+  if (base_timers != nullptr) {
+    for (const auto& [name, value] : base_timers->object) {
+      timer_names.insert(name);
+    }
+  }
+  if (cand_timers != nullptr) {
+    for (const auto& [name, value] : cand_timers->object) {
+      timer_names.insert(name);
+    }
+  }
+  for (const std::string& name : timer_names) {
+    TimerDiff entry;
+    entry.name = name;
+    if (const json::Value* t =
+            base_timers != nullptr ? base_timers->find(name) : nullptr) {
+      entry.calls_base = t->get_number("calls", 0.0);
+      entry.ms_base = t->get_number("total_ms", 0.0);
+    }
+    if (const json::Value* t =
+            cand_timers != nullptr ? cand_timers->find(name) : nullptr) {
+      entry.calls_cand = t->get_number("calls", 0.0);
+      entry.ms_cand = t->get_number("total_ms", 0.0);
+    }
+    diff.timers.push_back(entry);
+  }
+  return diff;
+}
+
+}  // namespace qp::obs

@@ -1,0 +1,201 @@
+#pragma once
+
+/// \file analyze.hpp
+/// Consumers for the observability artifacts the rest of the layer emits:
+///
+///  1. analyze_access_log(): replays a `qplace.access_log.v1` per-access
+///     event log against the *analytic* model the paper proves bounds for.
+///     Per client it recomputes the empirical mean of delta_f(v, Q)
+///     (parallel) / gamma_f(v, Q) (sequential) from the logged per-probe
+///     network delays -- reconstructed net-only, so the comparison stays
+///     valid under queueing -- and cross-checks it against the evaluator's
+///     Delta_f(v) / Gamma_f(v) within a CLT confidence half-width. Per node
+///     it checks the observed probe share (the empirical load_f(v)) against
+///     the certificate bound load_f(v) <= (alpha+1) cap(v) that `qplace
+///     check` certifies analytically (docs/CONTRACTS.md).
+///
+///  2. diff_run_reports(): a structured diff of two
+///     `qplace.run_report.v1` documents (or the bench baseline's embedded
+///     `solver_counters`): deterministic counter deltas, series equality,
+///     histogram distribution shift, and wall-time ratios explicitly
+///     labelled nondeterministic. The deterministic half doubles as the
+///     perf-regression gate -- `qplace analyze --diff` exits non-zero when
+///     a work counter drifts beyond the tolerance, which CI runs against
+///     the committed BENCH_parallel.json baseline
+///     (docs/OBSERVABILITY.md §7).
+///
+/// Both refuse to compare artifacts whose embedded instance digests
+/// (core::instance_digest) disagree.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "obs/access_log.hpp"
+#include "obs/json.hpp"
+
+namespace qp::obs {
+
+// ---------------------------------------------------------------- access log
+
+struct AnalyzeOptions {
+  /// The alpha the placement was solved with; the load bound is
+  /// (alpha+1) * cap(v) (Thm 1.2 / Thm 3.7).
+  double alpha = 2.0;
+  /// CI half-width multiplier (1.96 = 95% normal CI).
+  double z = 1.96;
+  /// Clients with fewer measured accesses are reported but not checked
+  /// (their CI is meaningless). Clamped to >= 2.
+  std::int64_t min_samples = 10;
+  /// Relative slack on the load bound absorbing sampling noise of the
+  /// observed shares.
+  double load_slack = 0.05;
+  /// Absolute + relative floating-point slack of the delay comparison.
+  double tolerance = 1e-9;
+};
+
+/// Empirical-vs-analytic delay check for one client.
+struct ClientCheck {
+  int client = 0;
+  std::int64_t count = 0;
+  double empirical_mean = 0.0;  ///< mean net-only delta/gamma_f(v, Q)
+  double half_width = 0.0;      ///< z * s / sqrt(count)
+  double analytic = 0.0;        ///< Delta_f(v) / Gamma_f(v), relay-adjusted
+  bool checked = false;         ///< enough samples and an unbiased estimator
+  bool ok = false;              ///< |empirical - analytic| <= half_width
+};
+
+/// Observed-load-vs-certificate check for one node.
+struct NodeCheck {
+  int node = 0;
+  std::int64_t probes = 0;
+  double observed_load = 0.0;  ///< probes touching v / logged accesses
+  double analytic_load = 0.0;  ///< load_f(v) under the strategy
+  double capacity = 0.0;
+  double bound = 0.0;  ///< (alpha+1) * cap(v) * (1 + load_slack)
+  bool ok = false;
+};
+
+/// Access mix and latency per quorum.
+struct QuorumBreakdown {
+  int quorum = 0;
+  std::int64_t count = 0;
+  double share = 0.0;                 ///< count / logged accesses
+  double strategy_probability = 0.0;  ///< p(Q) the share should converge to
+  double mean_delay = 0.0;            ///< mean net-only delta/gamma
+};
+
+struct AccessLogAnalysis {
+  // Echoed from the log header.
+  bool sequential = false;
+  int relay = -1;
+  double jitter = 0.0;
+  double service_rate = 0.0;
+
+  std::int64_t total_accesses = 0;
+  /// Weighted-overall empirical net-only mean vs Avg_v Delta_f(v) (clients
+  /// are sampled proportionally to their weights, so the plain per-access
+  /// mean estimates the paper's weighted objective directly).
+  double overall_mean = 0.0;
+  double overall_half_width = 0.0;
+  double overall_analytic = 0.0;
+  bool overall_checked = false;
+  bool overall_ok = false;
+  /// Wall-clock (finish - start) mean; differs from overall_mean exactly by
+  /// the queueing the analytic model abstracts away.
+  double wall_mean = 0.0;
+  double mean_queue_wait = 0.0;
+  double max_queue_wait = 0.0;
+
+  std::vector<ClientCheck> clients;
+  int clients_checked = 0;
+  int clients_ok = 0;
+  std::vector<NodeCheck> nodes;
+  bool loads_ok = true;
+  std::vector<QuorumBreakdown> quorums;
+
+  bool delays_ok() const { return clients_ok == clients_checked &&
+                                  (!overall_checked || overall_ok); }
+  bool ok() const { return delays_ok() && loads_ok; }
+};
+
+/// Cross-checks a parsed access log against the instance + placement it was
+/// recorded for. The caller is responsible for digest-matching the log to
+/// the instance first (see access log context key "instance_digest").
+/// \throws std::invalid_argument on an invalid placement or records whose
+/// client/quorum ids fall outside the instance.
+AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
+                                     const core::Placement& placement,
+                                     const ParsedAccessLog& log,
+                                     const AnalyzeOptions& options = {});
+
+// ---------------------------------------------------------------- report diff
+
+struct CounterDiff {
+  std::string name;
+  bool in_base = false;
+  bool in_cand = false;
+  std::uint64_t base = 0;
+  std::uint64_t cand = 0;
+
+  /// |cand - base| / max(base, 1); +infinity when the counter exists on
+  /// only one side with a non-zero value (an appearing/vanishing
+  /// instrument is always a drift).
+  double rel_drift() const;
+};
+
+struct SeriesDiff {
+  std::string name;
+  bool in_base = false;
+  bool in_cand = false;
+  bool equal = false;  ///< element-wise exact equality
+};
+
+struct HistogramDiff {
+  std::string name;
+  double count_base = 0.0, count_cand = 0.0;
+  double mean_base = 0.0, mean_cand = 0.0;
+  double p50_base = 0.0, p50_cand = 0.0;
+  double p90_base = 0.0, p90_cand = 0.0;
+  double p99_base = 0.0, p99_cand = 0.0;
+};
+
+/// Wall-time comparison -- informational only, never gated.
+struct TimerDiff {
+  std::string name;
+  double calls_base = 0.0, calls_cand = 0.0;
+  double ms_base = 0.0, ms_cand = 0.0;
+};
+
+struct ReportDiff {
+  /// Non-empty when the documents are not comparable (schema mismatch,
+  /// disagreeing instance digests); every other field is then unset.
+  std::string error;
+  /// True when the respective report was produced by a -DQPLACE_OBS=OFF
+  /// build (context "obs_compiled_in" == "false"): its counter map is
+  /// structurally empty, so a "zero drift" verdict would be vacuous.
+  bool obs_off_base = false;
+  bool obs_off_cand = false;
+
+  std::vector<CounterDiff> counters;    // deterministic -- gated
+  std::vector<SeriesDiff> series;       // deterministic -- gated
+  std::vector<HistogramDiff> histograms;  // deterministic -- reported
+  std::vector<TimerDiff> timers;        // nondeterministic -- informational
+
+  /// Largest relative counter drift (0 when there are no counters);
+  /// +infinity when a counter or series exists on only one side or a
+  /// series diverged.
+  double max_deterministic_drift() const;
+  bool deterministic_ok(double tolerance) const {
+    return error.empty() && max_deterministic_drift() <= tolerance;
+  }
+};
+
+/// Diffs two parsed documents. Accepts `qplace.run_report.v1` reports and
+/// the BENCH_parallel.json baseline (whose `solver_counters` member acts as
+/// a counters-only report).
+ReportDiff diff_run_reports(const json::Value& base, const json::Value& cand);
+
+}  // namespace qp::obs

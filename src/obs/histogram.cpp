@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace qp::obs {
@@ -87,11 +88,16 @@ void LogHistogram::merge(const LogHistogram& other) {
   sum_ += other.sum_;
 }
 
+double LogHistogram::mean() const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  return sum_ / static_cast<double>(count_);
+}
+
 double LogHistogram::quantile(double q) const {
   if (!(q >= 0.0) || q > 1.0) {
     throw std::invalid_argument("LogHistogram::quantile: q must be in [0, 1]");
   }
-  if (count_ == 0) return 0.0;
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
   const auto rank = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(
              std::ceil(q * static_cast<double>(count_))));
@@ -119,14 +125,16 @@ std::string LogHistogram::to_json() const {
   append_double(out, max());
   out += ", \"sum\": ";
   append_double(out, sum_);
+  // mean()/quantile() are NaN on an empty histogram; JSON has no NaN, so
+  // emit 0 there (matching min/max and the pre-guard byte output).
   out += ", \"mean\": ";
-  append_double(out, mean());
+  append_double(out, count_ > 0 ? mean() : 0.0);
   out += ", \"p50\": ";
-  append_double(out, quantile(0.50));
+  append_double(out, count_ > 0 ? quantile(0.50) : 0.0);
   out += ", \"p90\": ";
-  append_double(out, quantile(0.90));
+  append_double(out, count_ > 0 ? quantile(0.90) : 0.0);
   out += ", \"p99\": ";
-  append_double(out, quantile(0.99));
+  append_double(out, count_ > 0 ? quantile(0.99) : 0.0);
   out += ", \"buckets\": [";
   bool first = true;
   for (int b = 0; b < kNumBuckets; ++b) {

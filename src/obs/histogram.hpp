@@ -47,14 +47,17 @@ class LogHistogram {
   double min() const { return count_ > 0 ? min_ : 0.0; }
   double max() const { return count_ > 0 ? max_ : 0.0; }
   double sum() const { return sum_; }
-  double mean() const {
-    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
-  }
+  /// Mean of the recorded values; NaN when empty (an empty histogram has no
+  /// mean -- callers must not mistake it for "mean 0"; `qplace simulate`
+  /// skips the quantile rows in that case).
+  double mean() const;
 
   /// Value at quantile q in [0, 1]: the upper bound of the bucket containing
   /// the ceil(q * count)-th smallest sample (clamped to [min, max];
-  /// underflow counts resolve to min(), overflow to max()). Returns 0 when
-  /// empty. \throws std::invalid_argument when q is outside [0, 1].
+  /// underflow counts resolve to min(), overflow to max()). Returns NaN
+  /// when the histogram is empty (there is no such sample; a zero would
+  /// fabricate a bucket bound from no data).
+  /// \throws std::invalid_argument when q is outside [0, 1], empty or not.
   double quantile(double q) const;
 
   const std::vector<std::uint64_t>& buckets() const { return buckets_; }

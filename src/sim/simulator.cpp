@@ -24,6 +24,9 @@ struct Event {
   /// queueing (-1 without queueing, where no node state is tracked).
   int where = 0;
   std::int64_t access = 0;  ///< the access a probe belongs to
+  /// Index of the probe within its access's quorum; -1 for kArrival. Routes
+  /// per-probe queue waits into the access log record.
+  int probe = -1;
 
   bool operator>(const Event& other) const { return time > other.time; }
 };
@@ -59,6 +62,10 @@ SimulationResult simulate(const core::QppInstance& instance,
   if (config.latency_jitter < 0.0 || config.latency_jitter >= 1.0) {
     throw std::invalid_argument("simulate: latency_jitter must lie in [0, 1)");
   }
+  if (config.relay_node >= n) {
+    throw std::invalid_argument("simulate: relay_node out of range");
+  }
+  const int relay = config.relay_node < 0 ? -1 : config.relay_node;
   // Contract restatement of the throw above: a measurement window of zero
   // (or negative) length would make every statistic below vacuous.
   QP_REQUIRE(config.duration > config.warmup,
@@ -109,6 +116,16 @@ SimulationResult simulate(const core::QppInstance& instance,
   }
 
   std::vector<Access> accesses;
+  // Per-access event log records, parallel to `accesses`. Only populated
+  // for measured (post-warmup) accesses that pass the writer's sampling
+  // filter; an empty probes vector marks "not logged" (quorums are
+  // non-empty by construction).
+  obs::AccessLogWriter* logger = config.access_log;
+  std::vector<obs::AccessRecord> records;
+  const auto logged = [&](std::int64_t id) {
+    return logger != nullptr &&
+           !records[static_cast<std::size_t>(id)].probes.empty();
+  };
   std::vector<double> node_free(static_cast<std::size_t>(n), 0.0);
   std::vector<double> node_busy(static_cast<std::size_t>(n), 0.0);
   std::vector<double> node_probe_count(static_cast<std::size_t>(n), 0.0);
@@ -140,10 +157,11 @@ SimulationResult simulate(const core::QppInstance& instance,
   double total_delay_sum = 0.0;
 
   // Launches the probe for element index `idx` of the access's quorum at
-  // time `when`: the probe reaches its node after the metric distance, then
-  // (with queueing) waits for the node's FIFO queue. Returns the event to
-  // schedule next (kProbeArrive under queueing so that service is granted
-  // in true arrival order, kProbeDone otherwise).
+  // time `when`: the probe reaches its node after the metric distance
+  // (routed through the relay when configured), then (with queueing) waits
+  // for the node's FIFO queue. Returns the event to schedule next
+  // (kProbeArrive under queueing so that service is granted in true arrival
+  // order, kProbeDone otherwise).
   std::uniform_real_distribution<double> jitter(1.0 - config.latency_jitter,
                                                 1.0 + config.latency_jitter);
   const auto launch_probe = [&](const Access& access, std::int64_t id, int idx,
@@ -152,15 +170,26 @@ SimulationResult simulate(const core::QppInstance& instance,
     const int element = q[static_cast<std::size_t>(idx)];
     const int node = placement[static_cast<std::size_t>(element)];
     const double factor = config.latency_jitter > 0.0 ? jitter(rng) : 1.0;
-    const double arrive =
-        when + factor * instance.metric()(access.client, node);
+    const double path =
+        relay >= 0 ? instance.metric()(access.client, relay) +
+                         instance.metric()(relay, node)
+                   : instance.metric()(access.client, node);
+    const double arrive = when + factor * path;
     if (when >= config.warmup) {
       node_probe_count[static_cast<std::size_t>(node)] += 1.0;
     }
-    if (queueing) {
-      return Event{arrive, EventType::kProbeArrive, node, id};
+    if (logger != nullptr && logged(id)) {
+      obs::AccessProbe& probe =
+          records[static_cast<std::size_t>(id)]
+              .probes[static_cast<std::size_t>(idx)];
+      probe.element = element;
+      probe.node = node;
+      probe.net_delay = arrive - when;
     }
-    return Event{arrive, EventType::kProbeDone, -1, id};
+    if (queueing) {
+      return Event{arrive, EventType::kProbeArrive, node, id, idx};
+    }
+    return Event{arrive, EventType::kProbeDone, -1, id, idx};
   };
 
   while (!queue.empty() && queue.top().time <= config.duration) {
@@ -183,6 +212,18 @@ SimulationResult simulate(const core::QppInstance& instance,
       const auto id = static_cast<std::int64_t>(accesses.size());
       if (access.start >= config.warmup) measured_total_accesses += 1.0;
       access.outstanding = static_cast<int>(q.size());
+      if (logger != nullptr) {
+        records.emplace_back();
+        if (access.start >= config.warmup && logger->sampled(id)) {
+          obs::AccessRecord& record = records.back();
+          record.id = id;
+          record.client = access.client;
+          record.quorum = access.quorum;
+          record.relay = relay;
+          record.start = access.start;
+          record.probes.resize(q.size());
+        }
+      }
       if (config.mode == AccessMode::kParallel) {
         accesses.push_back(access);
         for (int idx = 0; idx < static_cast<int>(q.size()); ++idx) {
@@ -208,7 +249,13 @@ SimulationResult simulate(const core::QppInstance& instance,
       if (event.time >= config.warmup) {
         result.queue_wait.record(start_service - event.time);
       }
-      queue.push({done, EventType::kProbeDone, node, event.access});
+      if (logger != nullptr && logged(event.access)) {
+        records[static_cast<std::size_t>(event.access)]
+            .probes[static_cast<std::size_t>(event.probe)]
+            .queue_wait = start_service - event.time;
+      }
+      queue.push({done, EventType::kProbeDone, node, event.access,
+                  event.probe});
       continue;
     }
 
@@ -232,6 +279,14 @@ SimulationResult simulate(const core::QppInstance& instance,
       result.per_client_mean_delay[static_cast<std::size_t>(access.client)] +=
           delay;
       ++result.per_client_count[static_cast<std::size_t>(access.client)];
+      if (logger != nullptr && logged(event.access)) {
+        obs::AccessRecord& record =
+            records[static_cast<std::size_t>(event.access)];
+        record.finish = event.time;
+        logger->record(std::move(record));
+        // Leave a moved-from empty record behind; logged() is false for it
+        // from now on, which is correct -- the access is finished.
+      }
     }
   }
 
@@ -266,6 +321,9 @@ SimulationResult simulate(const core::QppInstance& instance,
   double measured_probes = 0.0;
   for (double c : node_probe_count) measured_probes += c;
   QP_COUNTER_ADD("sim.measured_probes", measured_probes);
+  if (logger != nullptr) {
+    QP_COUNTER_ADD("sim.logged_accesses", logger->recorded());
+  }
   return result;
 }
 

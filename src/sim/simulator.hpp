@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/instance.hpp"
+#include "obs/access_log.hpp"
 #include "obs/histogram.hpp"
 
 namespace qp::sim {
@@ -71,6 +72,20 @@ struct SimulationConfig {
   /// preserving per probe but BIASES the parallel (max) access delay
   /// upward -- E9 quantifies this gap between model and network reality.
   double latency_jitter = 0.0;
+  /// When >= 0, accesses are routed via this relay node, the Thm 1.2 /
+  /// Lemma 3.1 access model (paper eq. (4)): every probe's path is
+  /// d(client, relay) + d(relay, node), so with infinite service and zero
+  /// jitter a parallel access costs exactly d(v, v0) + delta_f(v0, Q) and
+  /// the mean converges to Avg_v d(v, v0) + Delta_f(v0) (paper eq. (8),
+  /// core::relay_delay). -1 (default) probes directly from the client.
+  /// Must be a valid node id when set (std::invalid_argument otherwise).
+  int relay_node = -1;
+  /// Optional per-access event log (docs/OBSERVABILITY.md, schema
+  /// qplace.access_log.v1). Not owned; may be nullptr. The simulator
+  /// records every completed post-warmup access -- the same population as
+  /// the means and histograms -- and the writer's sampling decides what is
+  /// kept. The caller closes the writer after simulate() returns.
+  obs::AccessLogWriter* access_log = nullptr;
 };
 
 struct SimulationResult {

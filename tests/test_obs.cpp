@@ -206,7 +206,12 @@ TEST(Histogram, QuantilesTrackExactSortedSampleQuantiles) {
 
 TEST(Histogram, QuantileEdgeCases) {
   obs::LogHistogram empty;
-  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  // An empty histogram has no distribution: quantiles and mean are NaN (not
+  // a fake 0 a caller could mistake for a measurement), while q validation
+  // still throws first.
+  EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(empty.mean()));
+  EXPECT_THROW(empty.quantile(-0.1), std::invalid_argument);
   EXPECT_EQ(empty.min(), 0.0);
   EXPECT_EQ(empty.max(), 0.0);
 

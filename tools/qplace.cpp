@@ -2,10 +2,12 @@
 ///
 ///   qplace topology --topology waxman --nodes 20 --seed 1      # DOT output
 ///   qplace analyze  --system majority --n 7 --t 4 --p 0.1      # quorum metrics
+///   qplace analyze  --access-log LOG --system grid --k 2 ...   # replay a log
+///   qplace analyze  --diff A.json --against B.json             # report diff
 ///   qplace solve    --system grid --k 2 --topology geometric
 ///                   --nodes 16 --algorithm qpp --alpha 2 --cap 1.0 [--dot]
 ///   qplace simulate --system grid --k 2 --topology waxman --nodes 16
-///                   --duration 1000 [--service-rate 20]
+///                   --duration 1000 [--service-rate 20] [--access-log LOG]
 ///   qplace check    --system grid --k 2 --topology geometric --nodes 16
 ///                   --algorithm qpp --alpha 2                # certify bounds
 ///
@@ -17,9 +19,21 @@
 /// then re-derives the LP lower bounds and verifies every reported
 /// approximation guarantee (Thm 1.2 / Thm 3.7 / Thm 5.1 / Eq. (19)) with
 /// check::check_certificate. Exit code 0 iff the whole certificate holds.
+///
+/// `analyze --access-log` rebuilds the instance and placement from the same
+/// flags the `simulate` run used (both are deterministic), replays the
+/// logged accesses, and cross-checks empirical Delta_f / Gamma_f and
+/// observed per-node load against the analytic evaluators and the
+/// certificate's (alpha+1)-cap bound. `analyze --diff A --against B`
+/// structurally diffs two run reports (counter deltas gated by
+/// --tolerance; wall times reported but never gated) -- the CI
+/// perf-regression gate (docs/OBSERVABILITY.md).
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <random>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,6 +41,10 @@
 #include "check/validate.hpp"
 #include "cli/options.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/access_log.hpp"
+#include "obs/analyze.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "obs/run_report.hpp"
 #include "obs/trace.hpp"
 #include "core/evaluators.hpp"
@@ -43,6 +61,12 @@
 #include "report/table.hpp"
 #include "sim/simulator.hpp"
 
+// Stamped into every run report so `analyze --diff` can tell which build
+// produced a baseline. tools/CMakeLists.txt captures it at configure time.
+#ifndef QPLACE_GIT_SHA
+#define QPLACE_GIT_SHA "unknown"
+#endif
+
 namespace {
 
 using namespace qp;
@@ -52,9 +76,14 @@ int usage() {
       "usage: qplace <command> [flags]\n"
       "commands:\n"
       "  topology   generate a topology and print Graphviz DOT\n"
-      "  analyze    quorum-system quality metrics (load, FT, availability)\n"
+      "  analyze    quorum-system quality metrics (load, FT, availability);\n"
+      "             with --access-log FILE: replay a simulator access log\n"
+      "             against the analytic model (needs the simulate flags);\n"
+      "             with --diff A --against B [--tolerance T]: structured\n"
+      "             run-report diff, exit 1 on deterministic counter drift\n"
       "  solve      place a quorum system on a topology\n"
       "  simulate   message-level simulation of a solved placement\n"
+      "             (--warmup W --jitter J --relay route via Thm 1.2 v0)\n"
       "  check      solve, then verify the certified bounds "
       "(Thm 1.2/3.7/5.1, Eq. 19)\n"
       "common flags: --system --topology --nodes --seed --threads N\n"
@@ -65,7 +94,11 @@ int usage() {
       "  --stats-out FILE  write a qplace.run_report.v1 JSON run report\n"
       "                    (phase timers, solver counters, histograms)\n"
       "  --trace-out FILE  record phase spans and write Chrome trace_event\n"
-      "                    JSON loadable in chrome://tracing or Perfetto\n";
+      "                    JSON loadable in chrome://tracing or Perfetto\n"
+      "  --access-log FILE (simulate) write one qplace.access_log.v1 JSONL\n"
+      "                    record per completed access; sampling via\n"
+      "                    --access-log-sample R (keep fraction R) and\n"
+      "                    --access-log-head N (first N records)\n";
   return 2;
 }
 
@@ -78,6 +111,11 @@ class ObsSession {
         trace_path_(args.get("trace-out", "")),
         report_(args.command()) {
     report_.set_context("threads", std::to_string(threads));
+    report_.set_context("git_sha", QPLACE_GIT_SHA);
+    // Stamped even (especially) when false: `analyze --diff` uses it to
+    // warn instead of silently diffing structurally empty counter maps.
+    report_.set_context("obs_compiled_in",
+                        obs::compiled_in() ? "true" : "false");
     for (const auto& [name, value] : args.raw_flags()) {
       report_.set_context("flag." + name, value);
     }
@@ -123,6 +161,49 @@ std::vector<double> capacities_for(const cli::ParsedArgs& args,
                              args.get_double("cap", 1.2) * max_load);
 }
 
+/// The instance every placement command works on, built deterministically
+/// from the flags (--system/--topology/--nodes/--seed/--cap): the same
+/// flags always rebuild the same instance, which is what lets `analyze
+/// --access-log` re-derive the placement a `simulate` run used. Stamps the
+/// instance content digest into the run-report context.
+struct InstanceBundle {
+  graph::Graph graph;
+  core::QppInstance instance;
+  std::string digest;  ///< core::instance_digest_hex(instance)
+};
+
+InstanceBundle build_instance(const cli::ParsedArgs& args) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  graph::Graph g = cli::make_topology(args, rng);
+  const graph::Metric metric = graph::Metric::from_graph(g);
+  const quorum::QuorumSystem system = cli::make_system(args);
+  const quorum::AccessStrategy strategy =
+      quorum::AccessStrategy::uniform(system);
+  const std::vector<double> caps =
+      capacities_for(args, system, strategy, g.num_nodes());
+  core::QppInstance instance(metric, caps, system, strategy);
+  std::string digest = core::instance_digest_hex(instance);
+  if (g_obs != nullptr) {
+    g_obs->report().set_context("instance_digest", digest);
+  }
+  return InstanceBundle{std::move(g), std::move(instance), std::move(digest)};
+}
+
+/// Reads and parses a whole JSON document (run report or bench baseline).
+obs::json::Value load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return obs::json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
 int cmd_topology(const cli::ParsedArgs& args) {
   std::mt19937_64 rng(
       static_cast<std::uint64_t>(args.get_int("seed", 1)));
@@ -131,7 +212,216 @@ int cmd_topology(const cli::ParsedArgs& args) {
   return 0;
 }
 
+/// `qplace analyze --access-log LOG <simulate flags>`: replay a recorded
+/// access log against the analytic model. The instance and placement are
+/// re-derived from the flags (both deterministic), digest-checked against
+/// the log header, and the empirical Delta/Gamma and observed loads are
+/// cross-checked against the evaluators and the certificate's load bound.
+/// Exit 0 = all checks pass, 1 = a check failed, 2 = wrong instance.
+int cmd_analyze_access_log(const cli::ParsedArgs& args) {
+  const std::string path = args.get("access-log", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open access log '" << path << "'\n";
+    return 2;
+  }
+  const obs::ParsedAccessLog log = obs::parse_access_log(in);
+
+  const InstanceBundle bundle = build_instance(args);
+  const std::string log_digest = log.context_or("instance_digest", "");
+  if (!log_digest.empty() && log_digest != bundle.digest) {
+    std::cerr << "error: instance digest mismatch: access log has "
+              << log_digest << ", flags rebuild " << bundle.digest
+              << " -- pass the same --system/--topology/--nodes/--seed/--cap "
+                 "flags the simulate run used\n";
+    return 2;
+  }
+
+  // Same solver invocation `qplace simulate` used, so the placement the
+  // log was recorded for is reproduced exactly.
+  core::QppSolveOptions solve_options;
+  const auto solved = core::solve_qpp(bundle.instance, solve_options);
+  if (!solved) {
+    std::cerr << "infeasible\n";
+    return 1;
+  }
+
+  obs::AnalyzeOptions options;
+  options.alpha = args.get_double("alpha", 2.0);
+  options.z = args.get_double("z", 1.96);
+  options.min_samples = args.get_int("min-samples", 10);
+  options.load_slack = args.get_double("load-slack", 0.05);
+  const obs::AccessLogAnalysis analysis = obs::analyze_access_log(
+      bundle.instance, solved->placement, log, options);
+
+  const char* objective = analysis.sequential ? "Gamma" : "Delta";
+  std::cout << "access log: " << analysis.total_accesses << " records ("
+            << (analysis.sequential ? "sequential" : "parallel")
+            << ", relay " << analysis.relay << ", jitter "
+            << report::Table::num(analysis.jitter, 3) << ", service rate "
+            << report::Table::num(analysis.service_rate, 3) << ")\n";
+
+  report::Table summary({"metric", "value"});
+  summary.add_row({std::string("empirical mean ") + objective,
+                   report::Table::num(analysis.overall_mean, 4) + " +/- " +
+                       report::Table::num(analysis.overall_half_width, 4)});
+  summary.add_row({std::string("analytic mean ") + objective,
+                   report::Table::num(analysis.overall_analytic, 4)});
+  summary.add_row({"mean wall-clock delay",
+                   report::Table::num(analysis.wall_mean, 4)});
+  summary.add_row({"mean probe queue wait",
+                   report::Table::num(analysis.mean_queue_wait, 4)});
+  summary.add_row({"max probe queue wait",
+                   report::Table::num(analysis.max_queue_wait, 4)});
+  summary.print(std::cout);
+
+  report::Table clients(
+      {"client", "accesses", "empirical", "+/-", "analytic", "status"});
+  for (const obs::ClientCheck& check : analysis.clients) {
+    clients.add_row({std::to_string(check.client),
+                     std::to_string(check.count),
+                     report::Table::num(check.empirical_mean, 4),
+                     report::Table::num(check.half_width, 4),
+                     report::Table::num(check.analytic, 4),
+                     check.checked ? (check.ok ? "ok" : "FAIL") : "skipped"});
+  }
+  std::cout << "\nper-client empirical vs analytic " << objective
+            << "_f(v) (" << analysis.clients_ok << "/"
+            << analysis.clients_checked << " checked clients ok):\n";
+  clients.print(std::cout);
+
+  report::Table nodes({"node", "probes", "observed load", "analytic load",
+                       "bound", "status"});
+  for (const obs::NodeCheck& check : analysis.nodes) {
+    if (check.probes == 0 && check.analytic_load == 0.0) continue;
+    nodes.add_row({std::to_string(check.node), std::to_string(check.probes),
+                   report::Table::num(check.observed_load, 4),
+                   report::Table::num(check.analytic_load, 4),
+                   report::Table::num(check.bound, 4),
+                   check.ok ? "ok" : "FAIL"});
+  }
+  std::cout << "\nper-node observed load vs (alpha+1)-cap bound:\n";
+  nodes.print(std::cout);
+
+  report::Table quorums(
+      {"quorum", "accesses", "share", "p(Q)", "mean delay"});
+  for (const obs::QuorumBreakdown& breakdown : analysis.quorums) {
+    quorums.add_row({std::to_string(breakdown.quorum),
+                     std::to_string(breakdown.count),
+                     report::Table::num(breakdown.share, 4),
+                     report::Table::num(breakdown.strategy_probability, 4),
+                     report::Table::num(breakdown.mean_delay, 4)});
+  }
+  std::cout << "\nper-quorum access mix:\n";
+  quorums.print(std::cout);
+
+  std::cout << (analysis.ok()
+                    ? "\nACCESS LOG OK: empirical delays and loads match the "
+                      "analytic model\n"
+                    : "\nACCESS LOG CHECK FAILED: see FAIL rows above\n");
+  return analysis.ok() ? 0 : 1;
+}
+
+/// `qplace analyze --diff BASE --against CAND [--tolerance T]`: structured
+/// run-report diff. Deterministic counters/series are gated on T (default
+/// 0), histograms are reported, wall times are labelled nondeterministic
+/// and never gated. Exit 0 = within tolerance, 1 = drift, 2 = not
+/// comparable (schema or instance digest mismatch, unreadable file).
+int cmd_analyze_diff(const cli::ParsedArgs& args) {
+  const std::string base_path = args.get("diff", "");
+  const std::string cand_path = args.require("against");
+  const double tolerance = args.get_double("tolerance", 0.0);
+
+  obs::json::Value base;
+  obs::json::Value cand;
+  try {
+    base = load_json_file(base_path);
+    cand = load_json_file(cand_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const obs::ReportDiff diff = obs::diff_run_reports(base, cand);
+  if (!diff.error.empty()) {
+    std::cerr << "error: " << diff.error << "\n";
+    return 2;
+  }
+  if (diff.obs_off_base || diff.obs_off_cand) {
+    std::cerr << "warning: "
+              << (diff.obs_off_base && diff.obs_off_cand
+                      ? "both reports"
+                      : (diff.obs_off_base ? "base report" : "candidate"))
+              << " from a -DQPLACE_OBS=OFF build: counter maps are empty, a "
+                 "zero-drift verdict is vacuous\n";
+  }
+
+  std::cout << "report diff: " << base_path << " (base) vs " << cand_path
+            << " (candidate)\n\ndeterministic counters (gated, tolerance "
+            << report::Table::num(tolerance, 4) << "):\n";
+  report::Table counters({"counter", "base", "candidate", "drift"});
+  for (const obs::CounterDiff& entry : diff.counters) {
+    counters.add_row(
+        {entry.name, entry.in_base ? std::to_string(entry.base) : "-",
+         entry.in_cand ? std::to_string(entry.cand) : "-",
+         report::Table::num(entry.rel_drift(), 4)});
+  }
+  counters.print(std::cout);
+
+  if (!diff.series.empty()) {
+    std::cout << "\ndeterministic series (gated, exact equality):\n";
+    report::Table series({"series", "status"});
+    for (const obs::SeriesDiff& entry : diff.series) {
+      series.add_row({entry.name,
+                      entry.in_base != entry.in_cand
+                          ? (entry.in_base ? "only in base" : "only in cand")
+                          : (entry.equal ? "equal" : "DIVERGED")});
+    }
+    series.print(std::cout);
+  }
+
+  if (!diff.histograms.empty()) {
+    std::cout << "\ndeterministic histograms (reported, not gated):\n";
+    report::Table hists({"histogram", "count b/c", "mean b/c", "p99 b/c"});
+    for (const obs::HistogramDiff& entry : diff.histograms) {
+      hists.add_row({entry.name,
+                     report::Table::num(entry.count_base, 0) + "/" +
+                         report::Table::num(entry.count_cand, 0),
+                     report::Table::num(entry.mean_base, 4) + "/" +
+                         report::Table::num(entry.mean_cand, 4),
+                     report::Table::num(entry.p99_base, 4) + "/" +
+                         report::Table::num(entry.p99_cand, 4)});
+    }
+    hists.print(std::cout);
+  }
+
+  if (!diff.timers.empty()) {
+    std::cout << "\nwall-time timers (NONDETERMINISTIC, never gated):\n";
+    report::Table timers({"timer", "calls b/c", "ms b/c", "ratio"});
+    for (const obs::TimerDiff& entry : diff.timers) {
+      timers.add_row({entry.name,
+                      report::Table::num(entry.calls_base, 0) + "/" +
+                          report::Table::num(entry.calls_cand, 0),
+                      report::Table::num(entry.ms_base, 3) + "/" +
+                          report::Table::num(entry.ms_cand, 3),
+                      entry.ms_base > 0.0
+                          ? report::Table::num(
+                                entry.ms_cand / entry.ms_base, 3)
+                          : "-"});
+    }
+    timers.print(std::cout);
+  }
+
+  const double drift = diff.max_deterministic_drift();
+  const bool ok = diff.deterministic_ok(tolerance);
+  std::cout << "\nmax deterministic drift: " << report::Table::num(drift, 6)
+            << " (tolerance " << report::Table::num(tolerance, 6) << ") -- "
+            << (ok ? "OK" : "REGRESSION") << "\n";
+  return ok ? 0 : 1;
+}
+
 int cmd_analyze(const cli::ParsedArgs& args) {
+  if (args.has("diff")) return cmd_analyze_diff(args);
+  if (args.has("access-log")) return cmd_analyze_access_log(args);
   const quorum::QuorumSystem system = cli::make_system(args);
   const double p = args.get_double("p", 0.1);
   std::cout << system.describe() << "\n";
@@ -161,15 +451,9 @@ int cmd_analyze(const cli::ParsedArgs& args) {
 }
 
 int cmd_solve(const cli::ParsedArgs& args) {
-  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-  const graph::Graph g = cli::make_topology(args, rng);
-  const graph::Metric metric = graph::Metric::from_graph(g);
-  const quorum::QuorumSystem system = cli::make_system(args);
-  const quorum::AccessStrategy strategy =
-      quorum::AccessStrategy::uniform(system);
-  const std::vector<double> caps =
-      capacities_for(args, system, strategy, g.num_nodes());
-  const core::QppInstance instance(metric, caps, system, strategy);
+  const InstanceBundle bundle = build_instance(args);
+  const core::QppInstance& instance = bundle.instance;
+  const graph::Graph& g = bundle.graph;
 
   const std::string algorithm = args.get("algorithm", "qpp");
   core::Placement placement;
@@ -185,7 +469,8 @@ int cmd_solve(const cli::ParsedArgs& args) {
     placement = result->placement;
     detail = "relay v0 = " + std::to_string(result->chosen_source);
   } else if (algorithm == "ssqpp") {
-    const core::SsqppInstance view(metric, caps, system, strategy,
+    const core::SsqppInstance view(instance.metric(), instance.capacities(),
+                                   instance.system(), instance.strategy(),
                                    args.get_int("source", 0));
     const auto result =
         core::solve_ssqpp(view, args.get_double("alpha", 2.0));
@@ -243,15 +528,8 @@ int cmd_solve(const cli::ParsedArgs& args) {
 
 /// `qplace check`: run a solver, then machine-verify every bound it claims.
 int cmd_check(const cli::ParsedArgs& args) {
-  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-  const graph::Graph g = cli::make_topology(args, rng);
-  const graph::Metric metric = graph::Metric::from_graph(g);
-  const quorum::QuorumSystem system = cli::make_system(args);
-  const quorum::AccessStrategy strategy =
-      quorum::AccessStrategy::uniform(system);
-  const std::vector<double> caps =
-      capacities_for(args, system, strategy, g.num_nodes());
-  const core::QppInstance instance(metric, caps, system, strategy);
+  const InstanceBundle bundle = build_instance(args);
+  const core::QppInstance& instance = bundle.instance;
 
   const check::ValidationReport instance_report =
       check::validate_instance(instance);
@@ -277,7 +555,8 @@ int cmd_check(const cli::ParsedArgs& args) {
     claim = "Thm 1.2 (5a/(a-1)-approx, load <= (a+1) cap), relay v0 = " +
             std::to_string(result->chosen_source);
   } else if (algorithm == "ssqpp") {
-    const core::SsqppInstance view(metric, caps, system, strategy,
+    const core::SsqppInstance view(instance.metric(), instance.capacities(),
+                                   instance.system(), instance.strategy(),
                                    args.get_int("source", 0));
     const auto result = core::solve_ssqpp(view, options.alpha);
     if (!result) {
@@ -297,7 +576,8 @@ int cmd_check(const cli::ParsedArgs& args) {
   } else if (algorithm == "majority") {
     const int n = args.get_int("n", 5);
     const int t = args.get_int("t", n / 2 + 1);
-    const core::SsqppInstance view(metric, caps, system, strategy,
+    const core::SsqppInstance view(instance.metric(), instance.capacities(),
+                                   instance.system(), instance.strategy(),
                                    args.get_int("source", 0));
     const auto result = core::majority_layout(view, t);
     if (!result) {
@@ -320,15 +600,8 @@ int cmd_check(const cli::ParsedArgs& args) {
 }
 
 int cmd_simulate(const cli::ParsedArgs& args) {
-  std::mt19937_64 rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-  const graph::Graph g = cli::make_topology(args, rng);
-  const graph::Metric metric = graph::Metric::from_graph(g);
-  const quorum::QuorumSystem system = cli::make_system(args);
-  const quorum::AccessStrategy strategy =
-      quorum::AccessStrategy::uniform(system);
-  const std::vector<double> caps =
-      capacities_for(args, system, strategy, g.num_nodes());
-  const core::QppInstance instance(metric, caps, system, strategy);
+  const InstanceBundle bundle = build_instance(args);
+  const core::QppInstance& instance = bundle.instance;
 
   core::QppSolveOptions options;
   const auto solved = core::solve_qpp(instance, options);
@@ -344,8 +617,75 @@ int cmd_simulate(const cli::ParsedArgs& args) {
   config.mode = args.get("mode", "parallel") == "sequential"
                     ? sim::AccessMode::kSequential
                     : sim::AccessMode::kParallel;
+  config.warmup = args.get_double("warmup", 0.0);
+  config.latency_jitter = args.get_double("jitter", 0.0);
+  if (!args.get("relay", "").empty()) {
+    // Route every access via the Thm 1.2 relay v0 the solver chose -- the
+    // Lemma 3.1 access model the bound is actually proved for (eq. (4)).
+    // The relay argument only exists for parallel (max-delay) accesses.
+    if (config.mode == sim::AccessMode::kSequential) {
+      std::cerr << "error: --relay applies to the parallel access model "
+                   "(Thm 1.2); drop it or use --mode parallel\n";
+      return 2;
+    }
+    config.relay_node = solved->chosen_source;
+  }
+
+  // Optional per-access event log (schema qplace.access_log.v1).
+  const std::string log_path = args.get("access-log", "");
+  std::ofstream log_stream;
+  std::unique_ptr<obs::AccessLogWriter> log_writer;
+  if (!log_path.empty()) {
+    log_stream.open(log_path);
+    if (!log_stream) {
+      std::cerr << "error: cannot open access log '" << log_path
+                << "' for writing\n";
+      return 2;
+    }
+    obs::AccessLogConfig log_config;
+    log_config.sample_rate = args.get_double("access-log-sample", 1.0);
+    log_config.head_limit = args.get_int("access-log-head", 0);
+    log_config.sample_seed =
+        static_cast<std::uint64_t>(args.get_int("access-log-seed", 0));
+    log_writer =
+        std::make_unique<obs::AccessLogWriter>(log_stream, log_config);
+    // Everything `qplace analyze --access-log` needs to rebuild the
+    // instance/model and to refuse a mismatched one.
+    log_writer->set_context("instance_digest", bundle.digest);
+    log_writer->set_context("git_sha", QPLACE_GIT_SHA);
+    log_writer->set_context(
+        "mode", config.mode == sim::AccessMode::kSequential ? "sequential"
+                                                            : "parallel");
+    log_writer->set_context("relay", std::to_string(config.relay_node));
+    log_writer->set_context("seed", std::to_string(config.seed));
+    log_writer->set_context("duration",
+                            report::Table::num(config.duration, 6));
+    log_writer->set_context("warmup", report::Table::num(config.warmup, 6));
+    log_writer->set_context("jitter",
+                            report::Table::num(config.latency_jitter, 6));
+    log_writer->set_context("service_rate",
+                            report::Table::num(config.service_rate, 6));
+    log_writer->set_context("rate",
+                            report::Table::num(
+                                config.arrival_rate_per_client, 6));
+    log_writer->set_context("sample_rate",
+                            report::Table::num(log_config.sample_rate, 6));
+    log_writer->set_context("head_limit",
+                            std::to_string(log_config.head_limit));
+    log_writer->set_context("sample_seed",
+                            std::to_string(log_config.sample_seed));
+    config.access_log = log_writer.get();
+  }
+
   const sim::SimulationResult result =
       sim::simulate(instance, solved->placement, config);
+  if (log_writer != nullptr) {
+    log_writer->close();  // surface I/O errors here, not in the destructor
+    if (!log_stream) {
+      std::cerr << "error: failed writing access log '" << log_path << "'\n";
+      return 2;
+    }
+  }
   if (g_obs != nullptr) {
     g_obs->report().add_histogram("sim.access_delay", result.access_delay);
     if (result.queue_wait.count() > 0) {
@@ -356,24 +696,39 @@ int cmd_simulate(const cli::ParsedArgs& args) {
   report::Table table({"metric", "value"});
   table.add_row({"completed accesses",
                  std::to_string(result.completed_accesses)});
+  if (config.relay_node >= 0) {
+    table.add_row({"relay node (Thm 1.2 v0)",
+                   std::to_string(config.relay_node)});
+  }
   table.add_row({"simulated mean delay",
                  report::Table::num(result.overall_mean_delay, 4)});
-  table.add_row({"simulated p50 delay",
-                 report::Table::num(result.access_delay.quantile(0.50), 4)});
-  table.add_row({"simulated p90 delay",
-                 report::Table::num(result.access_delay.quantile(0.90), 4)});
-  table.add_row({"simulated p99 delay",
-                 report::Table::num(result.access_delay.quantile(0.99), 4)});
-  table.add_row({"simulated max delay",
-                 report::Table::num(result.access_delay.max(), 4)});
-  table.add_row(
-      {"analytic mean delay",
-       report::Table::num(
-           config.mode == sim::AccessMode::kParallel
-               ? core::average_max_delay(instance, solved->placement)
-               : core::average_total_delay(instance, solved->placement),
-           4)});
+  // Quantiles/max are NaN-guarded: an empty measurement window (everything
+  // inside warmup, or duration too short) has no distribution to report.
+  if (result.access_delay.count() > 0) {
+    table.add_row({"simulated p50 delay",
+                   report::Table::num(result.access_delay.quantile(0.50), 4)});
+    table.add_row({"simulated p90 delay",
+                   report::Table::num(result.access_delay.quantile(0.90), 4)});
+    table.add_row({"simulated p99 delay",
+                   report::Table::num(result.access_delay.quantile(0.99), 4)});
+    table.add_row({"simulated max delay",
+                   report::Table::num(result.access_delay.max(), 4)});
+  }
+  double analytic = 0.0;
+  if (config.relay_node >= 0) {
+    analytic = core::relay_delay(instance, solved->placement,
+                                 config.relay_node);
+  } else if (config.mode == sim::AccessMode::kParallel) {
+    analytic = core::average_max_delay(instance, solved->placement);
+  } else {
+    analytic = core::average_total_delay(instance, solved->placement);
+  }
+  table.add_row({"analytic mean delay", report::Table::num(analytic, 4)});
   table.print(std::cout);
+  if (log_writer != nullptr) {
+    std::cout << "access log: " << log_writer->recorded() << " records -> "
+              << log_path << "\n";
+  }
   return 0;
 }
 
