@@ -48,8 +48,16 @@ if [[ "$quick" == 1 ]]; then
   # Same instrumented solve the full run embeds into the baseline.
   "$qplace_bin" solve --system grid --k 2 --topology geometric --nodes 16 \
     --algorithm qpp --alpha 2 --seed 1 --stats-out "$fresh" >/dev/null
-  "$qplace_bin" analyze --diff "$out_json" --against "$fresh" \
-    --tolerance "$tolerance"
+  if ! "$qplace_bin" analyze --diff "$out_json" --against "$fresh" \
+      --tolerance "$tolerance"; then
+    # The diff names each offending counter above; say how to widen the
+    # gate vs. re-baseline so the failure is actionable in CI logs.
+    echo "error: deterministic work counters drifted beyond tolerance" \
+         "$tolerance (see the counter lines above)" >&2
+    echo "hint: raise QPLACE_BENCH_TOLERANCE for an expected change, or" \
+         "re-run bench/run_bench.sh (no --quick) to re-baseline" >&2
+    exit 1
+  fi
   exit 0
 fi
 

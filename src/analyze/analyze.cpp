@@ -1,4 +1,4 @@
-#include "obs/analyze.hpp"
+#include "analyze/analyze.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -154,6 +154,23 @@ FractionalGap solve_gap_lp(const GapInstance& instance) {
         }
       }
     }
+    QP_INVARIANT(
+        [&] {
+          for (int j = 0; j < jobs; ++j) {
+            double mass = 0.0;
+            for (int i = 0; i < machines; ++i) {
+              const double y =
+                  out.y[static_cast<std::size_t>(i) *
+                            static_cast<std::size_t>(jobs) +
+                        static_cast<std::size_t>(j)];
+              if (y < -1e-7 || y > 1.0 + 1e-7) return false;
+              mass += y;
+            }
+            if (std::abs(mass - 1.0) > 1e-6) return false;
+          }
+          return true;
+        }(),
+        "LP (16)-(17) must fully assign every job with y in [0, 1]");
   }
   return out;
 }
@@ -293,6 +310,18 @@ std::optional<GapAssignment> greedy_gap(const GapInstance& instance) {
     out.total_cost += instance.cost(best, j);
     out.machine_loads[static_cast<std::size_t>(best)] += instance.load(best, j);
   }
+  QP_INVARIANT(
+      [&] {
+        for (int i = 0; i < machines; ++i) {
+          if (out.machine_loads[static_cast<std::size_t>(i)] >
+              instance.capacity(i) + 1e-9) {
+            return false;
+          }
+        }
+        return true;
+      }(),
+      "greedy GAP assignment must respect machine capacities exactly "
+      "(no T_i + pmax_i slack)");
   return out;
 }
 

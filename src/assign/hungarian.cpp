@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace qp::assign {
 
 std::optional<Matching> min_cost_assignment(int num_rows, int num_columns,
@@ -83,6 +85,20 @@ std::optional<Matching> min_cost_assignment(int num_rows, int num_columns,
     if (j < 0) return std::nullopt;  // defensive; should not happen
     result.total_cost += at(i, j);
   }
+  QP_INVARIANT(
+      [&] {
+        std::vector<char> taken(static_cast<std::size_t>(num_columns), 0);
+        for (int i = 0; i < num_rows; ++i) {
+          const int j = result.row_to_column[static_cast<std::size_t>(i)];
+          if (j < 0 || j >= num_columns || taken[static_cast<std::size_t>(j)]) {
+            return false;
+          }
+          if (at(i, j) == kForbidden) return false;
+          taken[static_cast<std::size_t>(j)] = 1;
+        }
+        return true;
+      }(),
+      "Hungarian matching must be injective and use only allowed edges");
   return result;
 }
 

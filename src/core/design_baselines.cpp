@@ -1,7 +1,10 @@
 #include "core/design_baselines.hpp"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "check/contracts.hpp"
 
 namespace qp::core {
 
@@ -49,6 +52,19 @@ SinglePointDesign lin_single_point_design(
   quorum::AccessStrategy strategy(system, {1.0});
   SinglePointDesign out{std::move(system), std::move(strategy),
                         Placement{median}, median, best / total_weight};
+  QP_INVARIANT(
+      [&] {
+        if (median < 0 || median >= n) return false;
+        double recomputed = 0.0;
+        for (int client = 0; client < n; ++client) {
+          recomputed +=
+              weights[static_cast<std::size_t>(client)] * metric(client, median);
+        }
+        return std::abs(recomputed / total_weight - out.average_delay) <=
+               1e-9 + 1e-9 * std::abs(out.average_delay);
+      }(),
+      "single-point design must report the delay its median actually "
+      "achieves");
   return out;
 }
 

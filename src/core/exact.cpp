@@ -1,9 +1,12 @@
 #include "core/exact.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <vector>
+
+#include "check/contracts.hpp"
 
 namespace qp::core {
 
@@ -71,6 +74,24 @@ std::optional<ExactResult> branch_and_bound(
 
   if (best.delay == kInf) return std::nullopt;
   best.explored_states = states;
+  QP_INVARIANT(
+      [&] {
+        std::vector<double> used(capacities.size(), 0.0);
+        for (std::size_t u = 0; u < best.placement.size(); ++u) {
+          const int v = best.placement[u];
+          if (v < 0 || v >= num_nodes) return false;
+          used[static_cast<std::size_t>(v)] += element_loads[u];
+        }
+        const double slack =
+            kCapacityTolerance *
+            (1.0 + static_cast<double>(best.placement.size()));
+        for (std::size_t v = 0; v < used.size(); ++v) {
+          if (used[v] > capacities[v] + slack) return false;
+        }
+        return std::isfinite(best.delay) && best.delay >= 0.0;
+      }(),
+      "exact search must return a capacity-feasible complete placement "
+      "with a finite non-negative delay");
   return best;
 }
 

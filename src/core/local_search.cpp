@@ -244,7 +244,12 @@ std::optional<Placement> random_feasible_placement(const QppInstance& instance,
           loads[static_cast<std::size_t>(u)];
       placement[static_cast<std::size_t>(u)] = node;
     }
-    if (ok) return placement;
+    if (ok) {
+      QP_INVARIANT(
+          check::validate_placement(instance, placement, {1.0, 1e-6}).ok(),
+          "random restart must only return capacity-feasible placements");
+      return placement;
+    }
   }
   return std::nullopt;
 }

@@ -163,6 +163,9 @@ std::optional<Placement> greedy_nearest_placement(
     }
     if (!placed) return std::nullopt;
   }
+  QP_INVARIANT(max_capacity_violation(loads, instance.capacities(),
+                                      placement) <= 1.0 + 1e-9,
+               "greedy nearest placement must respect node capacities");
   return placement;
 }
 

@@ -21,6 +21,9 @@ namespace {
 thread_local bool tl_in_pool_task = false;
 
 #if QPLACE_OBS
+// Per-worker busy/idle timing feeds the nondeterministic run-report subtree
+// only; solver results never read the clock.
+// qplace-lint: allow(wall-clock) -- worker stats are observability-only wall time
 using StatsClock = std::chrono::steady_clock;
 std::int64_t nanos_since(StatsClock::time_point start) {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "obs/obs.hpp"
 
 namespace qp::lp {
@@ -331,6 +332,24 @@ Solution solve(const Model& model, const SimplexOptions& options) {
   // Bland fallback, fixed tie-breaks), so these totals are reproducible.
   QP_COUNTER_ADD("lp.iterations", solution.iterations);
   QP_COUNTER_ADD("lp.pivots", tableau.pivots());
+  QP_INVARIANT(
+      solution.status != SolveStatus::kOptimal ||
+          [&] {
+            if (static_cast<int>(solution.values.size()) !=
+                model.num_variables()) {
+              return false;
+            }
+            double recomputed = 0.0;
+            for (int j = 0; j < model.num_variables(); ++j) {
+              const double x = solution.values[static_cast<std::size_t>(j)];
+              if (!std::isfinite(x)) return false;
+              recomputed += model.objective()[static_cast<std::size_t>(j)] * x;
+            }
+            return std::abs(recomputed - solution.objective) <=
+                   1e-6 + 1e-6 * std::abs(solution.objective);
+          }(),
+      "optimal simplex solution must carry one finite value per variable "
+      "and an objective equal to c.x");
   return solution;
 }
 

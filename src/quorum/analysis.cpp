@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "lp/model.hpp"
 
 namespace qp::quorum {
@@ -20,6 +21,8 @@ class HittingSetSolver {
     std::vector<char> chosen(static_cast<std::size_t>(system_.universe_size()),
                              0);
     recurse(chosen, 0);
+    QP_INVARIANT(best_ >= 0 && best_ <= system_.universe_size(),
+                 "minimum hitting set size must lie in [0, |U|]");
     return best_;
   }
 
@@ -199,6 +202,10 @@ OptimalStrategy optimal_load_strategy(const QuorumSystem& system) {
     total += probabilities[static_cast<std::size_t>(q)];
   }
   for (double& p : probabilities) p /= total;  // exact renormalization
+  QP_INVARIANT(
+      solution.objective >= load_lower_bound(system) - 1e-6,
+      "LP-optimal load must not beat the Naor-Wool lower bound "
+      "max(1/c(S), c(S)/n)");
   OptimalStrategy out{AccessStrategy(system, std::move(probabilities)),
                       solution.objective};
   return out;

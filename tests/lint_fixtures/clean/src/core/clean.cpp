@@ -1,0 +1,7 @@
+#include "core/clean.hpp"
+
+Widget make_clean() {
+  Widget w;
+  QP_REQUIRE(w.id == 0, "fresh widget starts at id 0");
+  return w;
+}

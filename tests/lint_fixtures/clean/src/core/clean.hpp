@@ -1,0 +1,7 @@
+#pragma once
+
+struct Widget {
+  int id = 0;
+};
+
+Widget make_clean();

@@ -1,0 +1,21 @@
+#include "core/widgets.hpp"
+
+Widget make_direct() {
+  Widget w;
+  QP_REQUIRE(w.id == 0, "fresh widget starts at id 0");
+  return w;
+}
+
+static Widget helper_make() {
+  Widget w;
+  QP_INVARIANT(w.id >= 0, "ids are non-negative");
+  return w;
+}
+
+Widget make_delegating() {
+  return helper_make();
+}
+
+std::optional<Widget> make_uncovered() {
+  return Widget{};
+}

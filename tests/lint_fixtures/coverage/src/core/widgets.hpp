@@ -1,0 +1,11 @@
+#pragma once
+#include <optional>
+
+struct Widget {
+  int id = 0;
+};
+
+Widget make_direct();
+Widget make_delegating();
+std::optional<Widget> make_uncovered();
+Widget make_undefined();

@@ -1,0 +1,9 @@
+#include <map>
+
+int bad_entropy() {
+  std::unordered_map<int, int> cache;
+  int seed = rand();
+  auto stamp = std::chrono::system_clock::now();
+  (void)stamp;
+  return seed + static_cast<int>(cache.size());
+}

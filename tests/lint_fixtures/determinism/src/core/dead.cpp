@@ -1,0 +1,2 @@
+// qplace-lint: allow(ambient-rng) -- fixture: suppresses nothing at all
+int dead_pragma() { return 7; }

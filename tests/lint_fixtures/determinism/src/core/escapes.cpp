@@ -1,0 +1,5 @@
+// qplace-lint: allow(unordered-container,ambient-rng) -- fixture: one pragma, two rules
+int escape_both() { std::unordered_map<int, int> m; return rand() + static_cast<int>(m.size()); }
+
+// qplace-lint: allow(ambient-rng)
+int missing_reason() { return rand(); }

@@ -1,0 +1,2 @@
+// qplace-lint: allow(wall-clock) -- fixture: suppresses a hit but is not in the manifest
+long unlisted_clock() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,1 @@
+long obs_now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }

@@ -1,0 +1,2 @@
+#include "c/c.hpp"
+#include "d/d.hpp"

@@ -1,0 +1,1 @@
+// module c: leaf, no includes

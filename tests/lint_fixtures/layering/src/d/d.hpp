@@ -1,0 +1,1 @@
+// module d: leaf, no includes; nobody is allowed to depend on it

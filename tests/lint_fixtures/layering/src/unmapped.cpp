@@ -1,0 +1,1 @@
+// deliberately not assigned to any module in layers.conf

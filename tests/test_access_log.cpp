@@ -1,5 +1,5 @@
 /// Tests for the per-access event log (obs/access_log.hpp), its analyzer
-/// (obs/analyze.hpp), and the run-report diff: schema round-trip, the
+/// (analyze/analyze.hpp), and the run-report diff: schema round-trip, the
 /// sampling subset/prefix guarantees, simulator population, and the
 /// empirical-vs-analytic cross-checks of docs/OBSERVABILITY.md.
 
@@ -18,7 +18,7 @@
 #include "graph/generators.hpp"
 #include "graph/metric.hpp"
 #include "obs/access_log.hpp"
-#include "obs/analyze.hpp"
+#include "analyze/analyze.hpp"
 #include "obs/json.hpp"
 #include "quorum/constructions.hpp"
 #include "sim/simulator.hpp"

@@ -1,0 +1,178 @@
+/// Unit tests for qplace-lint (tools/lint/): each rule family is driven
+/// against a small fixture tree under tests/lint_fixtures/<name>/ with its
+/// own config directory, and the diagnostics are asserted *exactly* --
+/// rule, file, line, and message -- so a change in analyzer behavior is a
+/// reviewable test diff, not a silent drift.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using qp::lint::Result;
+
+/// Loads the fixture's own three config files and runs the analyzer over
+/// its src/ tree, auditing src/core for contract coverage.
+Result run_fixture(const std::string& name) {
+  const std::string root = std::string(QPLACE_LINT_FIXTURES) + "/" + name;
+  std::vector<std::string> errors;
+  const qp::lint::LayerConfig layers =
+      qp::lint::load_layer_config(root + "/lint/layers.conf", errors);
+  const qp::lint::Allowlist allowlist =
+      qp::lint::load_allowlist(root + "/lint/allowlist.conf", errors);
+  const qp::lint::ContractManifest manifest =
+      qp::lint::load_contract_manifest(root + "/lint/contracts.manifest",
+                                       errors);
+  qp::lint::Options options;
+  options.root = root;
+  options.scan_paths = {"src"};
+  options.audit_dirs = {"src/core"};
+  Result result = qp::lint::run(options, layers, allowlist, manifest);
+  result.config_errors.insert(result.config_errors.begin(), errors.begin(),
+                              errors.end());
+  return result;
+}
+
+std::vector<std::string> rendered(const Result& result) {
+  std::vector<std::string> out;
+  out.reserve(result.findings.size());
+  for (const qp::lint::Finding& finding : result.findings) {
+    out.push_back(finding.to_string());
+  }
+  return out;
+}
+
+constexpr const char* kBanTail =
+    "' is banned in deterministic code (docs/CONTRACTS.md); use a seeded "
+    "RNG / ordered container, or add an escape pragma with a reason";
+
+TEST(LintDeterminism, ExactDiagnosticsPerSite) {
+  const Result result = run_fixture("determinism");
+  ASSERT_TRUE(result.config_errors.empty());
+
+  const std::vector<std::string> expected = {
+      "src/core/bad.cpp:4: [unordered-container] 'unordered_map" +
+          std::string(kBanTail),
+      "src/core/bad.cpp:5: [ambient-rng] 'rand" + std::string(kBanTail),
+      "src/core/bad.cpp:6: [wall-clock] 'system_clock" +
+          std::string(kBanTail),
+      "src/core/dead.cpp:1: [allowlist-stale] escape pragma for rule "
+      "'ambient-rng' suppresses no finding; remove it",
+      "src/core/escapes.cpp:4: [pragma-missing-reason] escape pragma must "
+      "name rules and carry a reason: // qplace-lint: allow(<rule>) -- "
+      "<reason>",
+      "src/core/escapes.cpp:5: [ambient-rng] 'rand" + std::string(kBanTail),
+      "src/core/stale.cpp:1: [allowlist-stale] allowlist manifest lists "
+      "'pragma src/core/stale.cpp wall-clock' but no matching pragma "
+      "suppresses a hit",
+      "src/core/unlisted.cpp:1: [pragma-unlisted] escape pragma for rule "
+      "'wall-clock' is not in the allowlist manifest; add: pragma "
+      "src/core/unlisted.cpp wall-clock",
+  };
+  EXPECT_EQ(rendered(result), expected);
+}
+
+TEST(LintDeterminism, GrantedDirAndListedPragmaSuppress) {
+  const Result result = run_fixture("determinism");
+  // src/obs/timer.cpp (dir grant) and src/core/escapes.cpp line 2 (listed
+  // multi-rule pragma) must produce no findings at their sites.
+  for (const qp::lint::Finding& finding : result.findings) {
+    EXPECT_NE(finding.file, "src/obs/timer.cpp") << finding.to_string();
+    EXPECT_FALSE(finding.file == "src/core/escapes.cpp" && finding.line == 2)
+        << finding.to_string();
+  }
+}
+
+TEST(LintLayering, ReportsOffendingIncludeChains) {
+  const Result result = run_fixture("layering");
+  ASSERT_TRUE(result.config_errors.empty());
+
+  const std::vector<std::string> expected = {
+      "src/a/a.cpp:2: [layering] module 'a' may not depend on 'd' (chain: "
+      "src/a/a.cpp -> src/b/b.hpp -> src/d/d.hpp)",
+      "src/b/b.hpp:2: [layering] module 'b' may not depend on 'd' (chain: "
+      "src/b/b.hpp -> src/d/d.hpp)",
+      "src/unmapped.cpp:1: [layering] file is not mapped to any module in "
+      "layers.conf",
+  };
+  EXPECT_EQ(rendered(result), expected);
+}
+
+TEST(LintLayering, TransitiveReachabilityIsAllowed) {
+  const Result result = run_fixture("layering");
+  // a -> b -> c is legal: `allow a b` plus `allow b c` makes c reachable
+  // from a, so neither the direct b include nor the transitive c include
+  // may fire.
+  for (const qp::lint::Finding& finding : result.findings) {
+    EXPECT_EQ(finding.message.find("'c'"), std::string::npos)
+        << finding.to_string();
+  }
+}
+
+TEST(LintLayering, DeclaredCycleIsAConfigError) {
+  const Result result = run_fixture("cycle");
+  ASSERT_FALSE(result.config_errors.empty());
+  EXPECT_NE(result.config_errors.front().find("cycle"), std::string::npos)
+      << result.config_errors.front();
+}
+
+TEST(LintCoverage, UncoveredDriftAndGhostsAreFindings) {
+  const Result result = run_fixture("coverage");
+  ASSERT_TRUE(result.config_errors.empty());
+
+  const std::vector<std::string> expected = {
+      "src/core/widgets.cpp:19: [contract-coverage] public solver function "
+      "'make_uncovered' returns a certified result type but never reaches "
+      "a QP_REQUIRE / QP_INVARIANT / validate_* call",
+      "src/core/widgets.hpp:1: [manifest-drift] audited function "
+      "'make_direct' moved from src/core/other.hpp to src/core/widgets.hpp; "
+      "update contracts.manifest",
+      "src/core/widgets.hpp:1: [manifest-drift] audited function "
+      "'make_uncovered' is not in contracts.manifest; add: function "
+      "make_uncovered src/core/widgets.hpp (qplace-lint --print-manifest "
+      "regenerates the list)",
+      "src/core/widgets.hpp:1: [manifest-drift] contracts.manifest lists "
+      "'ghost_widget' but no audited declaration was found; remove the "
+      "stale entry",
+      "src/core/widgets.hpp:11: [contract-coverage] no definition found "
+      "for audited function 'make_undefined' in the audited directories",
+  };
+  EXPECT_EQ(rendered(result), expected);
+}
+
+TEST(LintCoverage, CoverageReachesThroughInternalHelpers) {
+  const Result result = run_fixture("coverage");
+  // make_direct has a QP_REQUIRE in its body; make_delegating only calls
+  // helper_make(), whose QP_INVARIANT must count as reached.
+  for (const qp::lint::Finding& finding : result.findings) {
+    EXPECT_EQ(finding.message.find("'make_direct' returns"),
+              std::string::npos)
+        << finding.to_string();
+    EXPECT_EQ(finding.message.find("'make_delegating' returns"),
+              std::string::npos)
+        << finding.to_string();
+  }
+}
+
+TEST(LintCoverage, RecomputedManifestListsEveryAuditedFunction) {
+  const Result result = run_fixture("coverage");
+  EXPECT_EQ(qp::lint::format_manifest(result.computed_functions),
+            "function make_delegating src/core/widgets.hpp\n"
+            "function make_direct src/core/widgets.hpp\n"
+            "function make_uncovered src/core/widgets.hpp\n"
+            "function make_undefined src/core/widgets.hpp\n");
+}
+
+TEST(LintClean, FullyContractedTreeIsClean) {
+  const Result result = run_fixture("clean");
+  EXPECT_TRUE(result.clean()) << (result.findings.empty()
+                                      ? result.config_errors.front()
+                                      : result.findings.front().to_string());
+  EXPECT_EQ(result.files_scanned, 2);
+}
+
+}  // namespace

@@ -1,0 +1,27 @@
+/// libFuzzer harness for the edge-list graph parser (src/graph/io.cpp),
+/// the entry point through which deployments feed real topologies into the
+/// CLI. Contract: parse the documented format, throw std::invalid_argument
+/// on anything else. The round-trip check on accepted inputs also fuzzes
+/// the serializer against its own parser.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "graph/io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const qp::graph::Graph g = qp::graph::parse_edge_list(text);
+    // Accepted input must round-trip through the matching serializer.
+    const qp::graph::Graph again =
+        qp::graph::parse_edge_list(qp::graph::to_edge_list(g));
+    if (again.num_nodes() != g.num_nodes()) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+    // Malformed input rejected: the documented path.
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+/// libFuzzer harness for the strict JSON reader (src/obs/json.cpp), the
+/// parser every `qplace analyze` invocation feeds with run reports, access
+/// logs, and the committed bench baseline. The reader's contract is simple:
+/// parse valid JSON, throw std::runtime_error on anything else -- so the
+/// only bugs a fuzzer can find are the interesting ones (crashes, UB,
+/// unbounded recursion), not "rejected bad input".
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const qp::obs::json::Value value = qp::obs::json::parse(text);
+    // Exercise the accessors on whatever shape came back.
+    (void)value.find("schema");
+    (void)value.get_string("schema", "");
+    (void)value.get_number("counters", 0.0);
+  } catch (const std::runtime_error&) {
+    // Malformed input rejected with position context: the documented path.
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// Standalone replay driver: links a harness's LLVMFuzzerTestOneInput and
+/// feeds it every file passed on the command line. This is the gcc / no-
+/// libFuzzer fallback that keeps the committed corpus running under ctest
+/// (fuzz_json_corpus_replay, fuzz_graph_corpus_replay) on every toolchain;
+/// actual coverage-guided fuzzing needs the clang + -fsanitize=fuzzer
+/// build that CI's fuzz-smoke job uses.
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "replay: cannot open " << argv[i] << "\n";
+      return 2;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " corpus file(s)\n";
+  return 0;
+}

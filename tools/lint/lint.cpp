@@ -1,0 +1,961 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace qp::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small string helpers
+// ---------------------------------------------------------------------------
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split a C++ source into comment-stripped code (strings/chars
+// blanked too, newlines preserved so line numbers survive) plus the comment
+// stream for pragma detection.
+// ---------------------------------------------------------------------------
+
+struct Pragma {
+  int line = 0;
+  std::vector<std::string> rules;
+  bool has_reason = false;
+};
+
+struct LexedFile {
+  std::string code;             ///< same length as input; non-code blanked
+  std::vector<Pragma> pragmas;  ///< every "qplace-lint:" comment
+};
+
+/// Parse one comment's text for a lint pragma. Returns true when the
+/// comment is a pragma (well-formed or not). Only comments *starting* with
+/// the marker count, so prose that merely mentions the syntax (docs,
+/// examples nested behind another "//") is not a pragma.
+bool parse_pragma(const std::string& comment, int line, Pragma& out) {
+  const std::string kMarker = "qplace-lint:";
+  const std::string text = trim(comment);
+  if (!starts_with(text, kMarker)) return false;
+  const std::size_t mark = 0;
+  out = Pragma{};
+  out.line = line;
+  std::size_t pos = text.find("allow", mark + kMarker.size());
+  if (pos == std::string::npos) return true;  // malformed: no rules
+  pos = text.find('(', pos);
+  const std::size_t close = text.find(')', pos == std::string::npos
+                                                  ? std::string::npos
+                                                  : pos);
+  if (pos == std::string::npos || close == std::string::npos) return true;
+  std::string rules = text.substr(pos + 1, close - pos - 1);
+  std::replace(rules.begin(), rules.end(), ',', ' ');
+  out.rules = split_ws(rules);
+  // Reason: anything non-empty after the closing paren, once separator
+  // punctuation ("--", an em dash, ":") is peeled off.
+  std::string rest = trim(text.substr(close + 1));
+  while (!rest.empty() &&
+         (rest[0] == '-' || rest[0] == ':' ||
+          static_cast<unsigned char>(rest[0]) >= 0x80)) {
+    rest.erase(0, 1);
+  }
+  out.has_reason = !trim(rest).empty();
+  return true;
+}
+
+LexedFile lex(const std::string& text) {
+  LexedFile out;
+  out.code.assign(text.size(), ' ');
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string comment;       // accumulating comment text
+  int comment_line = 0;      // line the current comment started on
+  std::string raw_delim;     // raw-string delimiter, e.g. )foo"
+  int line = 1;
+
+  auto flush_comment = [&]() {
+    Pragma pragma;
+    if (parse_pragma(comment, comment_line, pragma)) {
+      out.pragmas.push_back(pragma);
+    }
+    comment.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    if (c == '\n') {
+      out.code[i] = '\n';
+      ++line;
+    }
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          comment_line = line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          comment_line = line;
+          ++i;
+        } else if (c == '"') {
+          // Raw string literal? Look back for R (possibly u8R etc.).
+          if (i > 0 && text[i - 1] == 'R' &&
+              (i < 2 || !is_word(text[i - 2]) || text[i - 2] == '8' ||
+               text[i - 2] == 'u' || text[i - 2] == 'U' ||
+               text[i - 2] == 'L')) {
+            std::size_t p = i + 1;
+            std::string delim;
+            while (p < text.size() && text[p] != '(') delim += text[p++];
+            raw_delim = ")" + delim + "\"";
+            state = State::kRaw;
+            i = p;  // at '(' (or end)
+          } else {
+            state = State::kString;
+            out.code[i] = '"';
+          }
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.code[i] = '\'';
+        } else if (c != '\n') {
+          out.code[i] = c;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          flush_comment();
+          state = State::kCode;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          flush_comment();
+          state = State::kCode;
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < text.size() && text[i] == '\n') ++line;
+        } else if (c == '"') {
+          out.code[i] = '"';
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          out.code[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRaw:
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          for (std::size_t k = 0; k < raw_delim.size(); ++k) {
+            if (i - raw_delim.size() + 1 + k < text.size() &&
+                text[i - raw_delim.size() + 1 + k] == '\n') {
+              ++line;
+            }
+          }
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  if (state == State::kLine || state == State::kBlock) flush_comment();
+  return out;
+}
+
+/// Line number (1-based) of byte offset `pos` in `code`.
+int line_of(const std::string& code, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(code.begin(),
+                            code.begin() + static_cast<std::ptrdiff_t>(
+                                               std::min(pos, code.size())),
+                            '\n'));
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer over stripped code (identifiers and single-char punctuation).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  std::size_t pos = 0;
+};
+
+std::vector<Token> tokenize(const std::string& code) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (is_word(c)) {
+      std::size_t b = i;
+      while (i < code.size() && is_word(code[i])) ++i;
+      out.push_back({code.substr(b, i - b), b});
+    } else {
+      out.push_back({std::string(1, c), i});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scan state
+// ---------------------------------------------------------------------------
+
+struct IncludeEdge {
+  std::string target;  ///< as written, e.g. "graph/metric.hpp"
+  int line = 0;
+};
+
+struct SourceFile {
+  std::string rel_path;  ///< relative to root, '/'-separated
+  LexedFile lexed;
+  std::vector<Token> tokens;
+  std::vector<IncludeEdge> includes;
+};
+
+/// `code` is the comment/string-stripped view (so commented-out includes do
+/// not count) but string *contents* are blanked there, so the quoted path
+/// is read back from `raw`, which has identical byte offsets.
+std::vector<IncludeEdge> find_includes(const std::string& code,
+                                       const std::string& raw) {
+  std::vector<IncludeEdge> out;
+  std::size_t pos = 0;
+  while ((pos = code.find("#include", pos)) != std::string::npos) {
+    const std::size_t quote = code.find_first_of("\"<\n", pos + 8);
+    if (quote != std::string::npos && code[quote] == '"') {
+      const std::size_t end = code.find('"', quote + 1);
+      if (end != std::string::npos) {
+        out.push_back(
+            {raw.substr(quote + 1, end - quote - 1), line_of(code, pos)});
+      }
+    }
+    pos += 8;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+struct BannedPattern {
+  std::string rule;
+  std::string ident;       ///< identifier to match (word-bounded)
+  bool needs_call = false; ///< must be followed by '(' (e.g. time, rand)
+};
+
+const std::vector<BannedPattern>& banned_patterns() {
+  static const std::vector<BannedPattern> kPatterns = {
+      {"unordered-container", "unordered_map", false},
+      {"unordered-container", "unordered_set", false},
+      {"unordered-container", "unordered_multimap", false},
+      {"unordered-container", "unordered_multiset", false},
+      {"ambient-rng", "random_device", false},
+      {"ambient-rng", "rand", true},
+      {"ambient-rng", "srand", true},
+      {"ambient-rng", "rand_r", true},
+      {"wall-clock", "system_clock", false},
+      {"wall-clock", "steady_clock", false},
+      {"wall-clock", "high_resolution_clock", false},
+      {"wall-clock", "time", true},
+      {"wall-clock", "clock", true},
+      {"wall-clock", "gettimeofday", true},
+      {"wall-clock", "clock_gettime", true},
+  };
+  return kPatterns;
+}
+
+// ---------------------------------------------------------------------------
+// Module mapping
+// ---------------------------------------------------------------------------
+
+/// Most-specific assignment wins: exact file match beats the longest
+/// matching directory prefix. Returns "" when unmapped.
+std::string module_of(const LayerConfig& layers, const std::string& rel) {
+  std::string best_module;
+  std::size_t best_len = 0;
+  bool best_exact = false;
+  for (const auto& [path, module] : layers.assignments) {
+    if (path == rel) {
+      if (!best_exact || path.size() > best_len) {
+        best_module = module;
+        best_len = path.size();
+        best_exact = true;
+      }
+    } else if (!best_exact && !path.empty() && path.back() == '/' &&
+               starts_with(rel, path) && path.size() > best_len) {
+      best_module = module;
+      best_len = path.size();
+    }
+  }
+  return best_module;
+}
+
+// ---------------------------------------------------------------------------
+// Contract-coverage audit
+// ---------------------------------------------------------------------------
+
+struct AuditedFunction {
+  std::string name;
+  std::string header;     ///< declaring header (rel path)
+  int decl_line = 0;
+};
+
+struct Definition {
+  std::string file;
+  int line = 0;
+  bool direct_contract = false;  ///< body mentions QP_* / validate_*
+  std::set<std::string> called;  ///< functions the body calls (by name)
+};
+
+/// Tokens that look like `name (` but are never function definitions/calls
+/// we want in the reachability graph.
+bool is_cpp_keyword(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "while",   "for",      "switch",        "catch",
+      "sizeof", "alignof", "decltype", "static_assert", "noexcept",
+      "return", "new",     "delete",   "co_return",     "co_await",
+      "throw",  "assert",  "defined",  "alignas",       "requires"};
+  return kKeywords.count(word) != 0;
+}
+
+/// Scan a header's token stream for free-function declarations returning an
+/// audited type (optionally wrapped in std::optional<...> and/or
+/// namespace-qualified).
+void find_audited_declarations(const SourceFile& file,
+                               const std::set<std::string>& types,
+                               std::vector<AuditedFunction>& out) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (types.count(toks[i].text) == 0) continue;
+    // Reject member accesses / qualified uses where the type token is not a
+    // return type: previous token must not be '.', and a preceding "::"
+    // is fine only when it is a namespace qualifier (ns :: Type ident).
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == ">") ++j;  // optional<T > ident
+    if (j >= toks.size() || !is_word(toks[j].text[0])) continue;
+    const std::string& name = toks[j].text;
+    if (j + 1 >= toks.size() || toks[j + 1].text != "(") continue;
+    // Find the matching ')' then require ';' or '{' (declaration or inline
+    // definition) -- rules out expressions like `Type fn(...)` in a call
+    // context, which would be followed by an operator.
+    std::size_t k = j + 2;
+    int depth = 1;
+    while (k < toks.size() && depth > 0) {
+      if (toks[k].text == "(") ++depth;
+      if (toks[k].text == ")") --depth;
+      ++k;
+    }
+    if (depth != 0 || k >= toks.size()) continue;
+    if (toks[k].text != ";" && toks[k].text != "{") continue;
+    out.push_back({name, file.rel_path, line_of(file.lexed.code, toks[j].pos)});
+  }
+}
+
+/// Scan a file for every function definition: identifier + balanced parens
+/// + '{'. Records whether the body contains a contract call and which
+/// functions it calls, so coverage can be propagated along the call graph
+/// ("reaches a contract" rather than "textually contains one").
+void find_definitions(const SourceFile& file,
+                      std::vector<Definition>& out,
+                      std::map<std::string, std::vector<std::size_t>>& index) {
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!is_word(toks[i].text[0]) ||
+        std::isdigit(static_cast<unsigned char>(toks[i].text[0])) != 0 ||
+        is_cpp_keyword(toks[i].text)) {
+      continue;
+    }
+    if (toks[i + 1].text != "(") continue;
+    // A definition needs a return type in front; a call site is preceded by
+    // an operator, '(', ',', 'return', etc. Require the previous token to
+    // be an identifier or '>' / '&' (close of a template return type or a
+    // reference) and not a keyword that precedes calls.
+    if (i == 0) continue;
+    const std::string& prev = toks[i - 1].text;
+    const bool type_like =
+        (is_word(prev[0]) && !is_cpp_keyword(prev) && prev != "case" &&
+         prev != "else" && prev != "do" && prev != "goto") ||
+        prev == ">" || prev == "&" || prev == "*";
+    if (!type_like) continue;
+    std::size_t k = i + 2;
+    int depth = 1;
+    while (k < toks.size() && depth > 0) {
+      if (toks[k].text == "(") ++depth;
+      if (toks[k].text == ")") --depth;
+      ++k;
+    }
+    if (depth != 0 || k >= toks.size() || toks[k].text != "{") continue;
+    // Brace-match the body.
+    std::size_t body_begin = k;
+    int braces = 1;
+    std::size_t b = k + 1;
+    while (b < toks.size() && braces > 0) {
+      if (toks[b].text == "{") ++braces;
+      if (toks[b].text == "}") --braces;
+      ++b;
+    }
+    Definition def;
+    def.file = file.rel_path;
+    def.line = line_of(file.lexed.code, toks[i].pos);
+    for (std::size_t t = body_begin; t < b; ++t) {
+      const std::string& word = toks[t].text;
+      if (word == "QP_REQUIRE" || word == "QP_INVARIANT" ||
+          starts_with(word, "validate_")) {
+        def.direct_contract = true;
+      }
+      if (t + 1 < b && toks[t + 1].text == "(" && word != toks[i].text &&
+          is_word(word[0]) &&
+          std::isdigit(static_cast<unsigned char>(word[0])) == 0 &&
+          !is_cpp_keyword(word)) {
+        def.called.insert(word);
+      }
+    }
+    index[toks[i].text].push_back(out.size());
+    out.push_back(def);
+    i = b > i ? b - 1 : i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Config parsing
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<int, std::string>> read_config_lines(
+    const std::string& path, std::vector<std::string>& errors) {
+  std::vector<std::pair<int, std::string>> out;
+  std::ifstream in(path);
+  if (!in) {
+    errors.push_back("cannot open config file: " + path);
+    return out;
+  }
+  std::string line;
+  int number = 0;
+  while (std::getline(in, line)) {
+    ++number;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (!line.empty()) out.emplace_back(number, line);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string Finding::to_string() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+LayerConfig load_layer_config(const std::string& path,
+                              std::vector<std::string>& errors) {
+  LayerConfig out;
+  for (const auto& [number, line] : read_config_lines(path, errors)) {
+    const std::vector<std::string> words = split_ws(line);
+    const std::string& kind = words.front();
+    if (kind == "root" && words.size() == 2) {
+      out.include_roots.push_back(words[1]);
+    } else if (kind == "module" && words.size() >= 3) {
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        out.assignments.emplace_back(words[i], words[1]);
+      }
+    } else if (kind == "allow" && words.size() >= 3) {
+      for (std::size_t i = 2; i < words.size(); ++i) {
+        out.allowed[words[1]].insert(words[i]);
+      }
+    } else {
+      errors.push_back(path + ":" + std::to_string(number) +
+                       ": unrecognized layers.conf line: " + line);
+    }
+  }
+  if (out.include_roots.empty()) out.include_roots.push_back("src");
+  return out;
+}
+
+Allowlist load_allowlist(const std::string& path,
+                         std::vector<std::string>& errors) {
+  Allowlist out;
+  for (const auto& [number, line] : read_config_lines(path, errors)) {
+    const std::vector<std::string> words = split_ws(line);
+    if (words.size() == 3 && words[0] == "dir") {
+      out.dir_grants.emplace_back(words[1], words[2]);
+    } else if (words.size() == 3 && words[0] == "pragma") {
+      out.pragma_sites.emplace(words[1], words[2]);
+    } else {
+      errors.push_back(path + ":" + std::to_string(number) +
+                       ": unrecognized allowlist.conf line: " + line);
+    }
+  }
+  return out;
+}
+
+ContractManifest load_contract_manifest(const std::string& path,
+                                        std::vector<std::string>& errors) {
+  ContractManifest out;
+  for (const auto& [number, line] : read_config_lines(path, errors)) {
+    const std::vector<std::string> words = split_ws(line);
+    if (words.size() == 2 && words[0] == "type") {
+      out.audited_types.insert(words[1]);
+    } else if (words.size() == 3 && words[0] == "function") {
+      out.functions[words[1]] = words[2];
+    } else {
+      errors.push_back(path + ":" + std::to_string(number) +
+                       ": unrecognized contracts.manifest line: " + line);
+    }
+  }
+  return out;
+}
+
+std::string format_manifest(const std::map<std::string, std::string>& fns) {
+  std::string out;
+  for (const auto& [name, header] : fns) {
+    out += "function " + name + " " + header + "\n";
+  }
+  return out;
+}
+
+Result run(const Options& options, const LayerConfig& layers,
+           const Allowlist& allowlist, const ContractManifest& manifest) {
+  Result result;
+  const fs::path root(options.root);
+
+  // ---- collect + lex sources -------------------------------------------
+  std::vector<std::string> rel_paths;
+  for (const std::string& scan : options.scan_paths) {
+    const fs::path abs = root / scan;
+    std::error_code ec;
+    if (fs::is_regular_file(abs, ec)) {
+      rel_paths.push_back(scan);
+    } else if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext != ".hpp" && ext != ".cpp" && ext != ".h" && ext != ".cc") {
+          continue;
+        }
+        rel_paths.push_back(
+            fs::relative(it->path(), root).generic_string());
+      }
+    } else {
+      result.config_errors.push_back("scan path not found: " + abs.string());
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+  rel_paths.erase(std::unique(rel_paths.begin(), rel_paths.end()),
+                  rel_paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::ifstream in(root / rel, std::ios::binary);
+    if (!in) {
+      result.config_errors.push_back("cannot read: " + rel);
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+    SourceFile file;
+    file.rel_path = rel;
+    file.lexed = lex(raw);
+    file.tokens = tokenize(file.lexed.code);
+    file.includes = find_includes(file.lexed.code, raw);
+    files.push_back(std::move(file));
+  }
+  result.files_scanned = static_cast<int>(files.size());
+
+  auto add = [&result](const std::string& file, int line,
+                       const std::string& rule, const std::string& message) {
+    result.findings.push_back({file, line, rule, message});
+  };
+
+  // ---- rule family 1: determinism --------------------------------------
+  // Pragma bookkeeping: every well-formed pragma must be in the manifest
+  // and must suppress at least one hit (else it is stale at the site).
+  std::set<std::pair<std::string, std::string>> pragmas_seen;
+  std::set<std::pair<std::string, std::string>> pragmas_used;
+
+  for (const SourceFile& file : files) {
+    // Index pragmas by covered line.
+    std::map<int, const Pragma*> pragma_at;  // line -> pragma
+    for (const Pragma& pragma : file.lexed.pragmas) {
+      if (pragma.rules.empty() || !pragma.has_reason) {
+        add(file.rel_path, pragma.line, "pragma-missing-reason",
+            "escape pragma must name rules and carry a reason: "
+            "// qplace-lint: allow(<rule>) -- <reason>");
+        continue;
+      }
+      pragma_at[pragma.line] = &pragma;
+      for (const std::string& rule : pragma.rules) {
+        pragmas_seen.emplace(file.rel_path, rule);
+      }
+    }
+    auto pragma_for = [&](int line, const std::string& rule) -> const Pragma* {
+      for (int probe : {line, line - 1}) {
+        auto it = pragma_at.find(probe);
+        if (it != pragma_at.end() &&
+            std::find(it->second->rules.begin(), it->second->rules.end(),
+                      rule) != it->second->rules.end()) {
+          return it->second;
+        }
+      }
+      return nullptr;
+    };
+    auto dir_granted = [&](const std::string& rule) {
+      for (const auto& [prefix, granted_rule] : allowlist.dir_grants) {
+        if (granted_rule == rule && starts_with(file.rel_path, prefix)) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    const std::string& code = file.lexed.code;
+    for (const BannedPattern& pattern : banned_patterns()) {
+      std::size_t pos = 0;
+      while ((pos = code.find(pattern.ident, pos)) != std::string::npos) {
+        const std::size_t end = pos + pattern.ident.size();
+        const bool bounded =
+            (pos == 0 || !is_word(code[pos - 1])) &&
+            (end >= code.size() || !is_word(code[end]));
+        bool hit = bounded;
+        if (hit && pattern.needs_call) {
+          std::size_t after = end;
+          while (after < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+            ++after;
+          }
+          hit = after < code.size() && code[after] == '(';
+        }
+        if (hit && !dir_granted(pattern.rule)) {
+          const int line = line_of(code, pos);
+          if (const Pragma* pragma = pragma_for(line, pattern.rule)) {
+            pragmas_used.emplace(file.rel_path, pattern.rule);
+            if (allowlist.pragma_sites.count(
+                    {file.rel_path, pattern.rule}) == 0) {
+              add(file.rel_path, pragma->line, "pragma-unlisted",
+                  "escape pragma for rule '" + pattern.rule +
+                      "' is not in the allowlist manifest; add: pragma " +
+                      file.rel_path + " " + pattern.rule);
+            }
+          } else {
+            add(file.rel_path, line, pattern.rule,
+                "'" + pattern.ident +
+                    "' is banned in deterministic code (docs/CONTRACTS.md); "
+                    "use a seeded RNG / ordered container, or add an escape "
+                    "pragma with a reason");
+          }
+        }
+        pos = end;
+      }
+    }
+  }
+  // Manifest entries with no live pragma site are stale.
+  for (const auto& site : allowlist.pragma_sites) {
+    if (pragmas_used.count(site) == 0) {
+      add(site.first, 1, "allowlist-stale",
+          "allowlist manifest lists 'pragma " + site.first + " " +
+              site.second + "' but no matching pragma suppresses a hit");
+    }
+  }
+  // Pragmas that suppress nothing are dead weight.
+  for (const auto& site : pragmas_seen) {
+    if (pragmas_used.count(site) == 0) {
+      add(site.first, 1, "allowlist-stale",
+          "escape pragma for rule '" + site.second +
+              "' suppresses no finding; remove it");
+    }
+  }
+
+  // ---- rule family 2: layering -----------------------------------------
+  // Validate the declared DAG: compute transitive reachability, reject
+  // cycles.
+  std::map<std::string, std::set<std::string>> reachable;
+  {
+    std::set<std::string> modules;
+    for (const auto& [path, module] : layers.assignments) {
+      (void)path;
+      modules.insert(module);
+    }
+    for (const auto& [from, tos] : layers.allowed) {
+      modules.insert(from);
+      modules.insert(tos.begin(), tos.end());
+    }
+    for (const std::string& module : modules) {
+      // Iterative DFS with cycle detection.
+      std::vector<std::string> stack{module};
+      std::set<std::string>& reach = reachable[module];
+      while (!stack.empty()) {
+        const std::string at = stack.back();
+        stack.pop_back();
+        auto it = layers.allowed.find(at);
+        if (it == layers.allowed.end()) continue;
+        for (const std::string& to : it->second) {
+          if (to == module) {
+            result.config_errors.push_back(
+                "layers.conf: allowed-dependency graph has a cycle through "
+                "module '" +
+                module + "'");
+            continue;
+          }
+          if (reach.insert(to).second) stack.push_back(to);
+        }
+      }
+    }
+  }
+
+  // Resolve includes to scanned files; build file-level graph.
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& file : files) by_path[file.rel_path] = &file;
+  auto resolve = [&](const std::string& target) -> std::string {
+    for (const std::string& inc_root : layers.include_roots) {
+      const std::string candidate =
+          inc_root.empty() ? target : inc_root + "/" + target;
+      if (by_path.count(candidate) != 0) return candidate;
+    }
+    return "";
+  };
+
+  for (const SourceFile& file : files) {
+    const std::string from_module = module_of(layers, file.rel_path);
+    if (from_module.empty()) {
+      add(file.rel_path, 1, "layering",
+          "file is not mapped to any module in layers.conf");
+      continue;
+    }
+    // BFS over the include closure, keeping parent pointers so a violation
+    // can be reported with its full include chain.
+    std::map<std::string, std::pair<std::string, int>> parent;  // file->(via,line)
+    std::queue<std::string> queue;
+    queue.push(file.rel_path);
+    parent[file.rel_path] = {"", 0};
+    std::set<std::string> reported_modules;
+    while (!queue.empty()) {
+      const std::string at = queue.front();
+      queue.pop();
+      const SourceFile* at_file = by_path[at];
+      if (at_file == nullptr) continue;
+      for (const IncludeEdge& edge : at_file->includes) {
+        const std::string target = resolve(edge.target);
+        if (target.empty() || parent.count(target) != 0) continue;
+        parent[target] = {at, edge.line};
+        const std::string to_module = module_of(layers, target);
+        if (!to_module.empty() && to_module != from_module &&
+            reachable[from_module].count(to_module) == 0 &&
+            reported_modules.insert(to_module).second) {
+          // Reconstruct the include chain file -> ... -> target.
+          std::vector<std::string> chain{target};
+          std::string walk = at;
+          while (!walk.empty() && walk != file.rel_path) {
+            chain.push_back(walk);
+            walk = parent[walk].first;
+          }
+          chain.push_back(file.rel_path);
+          std::reverse(chain.begin(), chain.end());
+          std::string text;
+          for (std::size_t i = 0; i < chain.size(); ++i) {
+            if (i > 0) text += " -> ";
+            text += chain[i];
+          }
+          add(file.rel_path, edge.line, "layering",
+              "module '" + from_module + "' may not depend on '" + to_module +
+                  "' (chain: " + text + ")");
+        } else {
+          queue.push(target);
+        }
+      }
+    }
+  }
+
+  // ---- rule family 3: contract coverage --------------------------------
+  std::vector<AuditedFunction> declarations;
+  for (const SourceFile& file : files) {
+    bool in_audit_dir = false;
+    for (const std::string& dir : options.audit_dirs) {
+      if (starts_with(file.rel_path, dir + "/")) in_audit_dir = true;
+    }
+    if (!in_audit_dir) continue;
+    if (!(file.rel_path.size() > 4 &&
+          file.rel_path.compare(file.rel_path.size() - 4, 4, ".hpp") == 0)) {
+      continue;
+    }
+    find_audited_declarations(file, manifest.audited_types, declarations);
+  }
+  std::set<std::string> audited_names;
+  for (const AuditedFunction& fn : declarations) {
+    audited_names.insert(fn.name);
+    auto it = result.computed_functions.find(fn.name);
+    if (it == result.computed_functions.end()) {
+      result.computed_functions[fn.name] = fn.header;
+    }
+  }
+
+  std::vector<Definition> definitions;
+  std::map<std::string, std::vector<std::size_t>> defs_by_name;
+  for (const SourceFile& file : files) {
+    bool in_audit_dir = false;
+    for (const std::string& dir : options.audit_dirs) {
+      if (starts_with(file.rel_path, dir + "/")) in_audit_dir = true;
+    }
+    if (!in_audit_dir) continue;
+    find_definitions(file, definitions, defs_by_name);
+  }
+
+  // Fixpoint over the whole call graph of the audited directories: a
+  // definition is covered when it contains a contract call or calls a
+  // function all of whose definitions are covered. Internal helpers (e.g. a
+  // `descend()` that both public entry points delegate to) propagate
+  // coverage to their callers; the audited set is only the set we *report*
+  // on, not the set we trace through.
+  std::map<std::string, bool> name_covered;
+  auto fn_covered = [&](const std::string& name) {
+    auto it = defs_by_name.find(name);
+    if (it == defs_by_name.end()) return false;
+    for (std::size_t idx : it->second) {
+      const Definition& def = definitions[idx];
+      if (def.direct_contract) continue;
+      bool via_call = false;
+      for (const std::string& callee : def.called) {
+        auto covered = name_covered.find(callee);
+        if (covered != name_covered.end() && covered->second) {
+          via_call = true;
+          break;
+        }
+      }
+      if (!via_call) return false;
+    }
+    return true;
+  };
+  for (const auto& [name, idxs] : defs_by_name) name_covered[name] = false;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, covered] : name_covered) {
+      if (!covered && fn_covered(name)) {
+        covered = true;
+        changed = true;
+      }
+    }
+  }
+
+  for (const AuditedFunction& fn : declarations) {
+    auto defs = defs_by_name.find(fn.name);
+    if (defs == defs_by_name.end()) {
+      add(fn.header, fn.decl_line, "contract-coverage",
+          "no definition found for audited function '" + fn.name +
+              "' in the audited directories");
+      continue;
+    }
+    if (!name_covered[fn.name]) {
+      const Definition& def = definitions[defs->second.front()];
+      add(def.file, def.line, "contract-coverage",
+          "public solver function '" + fn.name +
+              "' returns a certified result type but never reaches a "
+              "QP_REQUIRE / QP_INVARIANT / validate_* call");
+    }
+  }
+
+  // Manifest cross-check: drift in either direction is a finding.
+  for (const auto& [name, header] : result.computed_functions) {
+    auto it = manifest.functions.find(name);
+    if (it == manifest.functions.end()) {
+      add(header, 1, "manifest-drift",
+          "audited function '" + name +
+              "' is not in contracts.manifest; add: function " + name + " " +
+              header + " (qplace-lint --print-manifest regenerates the list)");
+    } else if (it->second != header) {
+      add(header, 1, "manifest-drift",
+          "audited function '" + name + "' moved from " + it->second +
+              " to " + header + "; update contracts.manifest");
+    }
+  }
+  for (const auto& [name, header] : manifest.functions) {
+    if (result.computed_functions.count(name) == 0) {
+      add(header, 1, "manifest-drift",
+          "contracts.manifest lists '" + name +
+              "' but no audited declaration was found; remove the stale "
+              "entry");
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+Result run_repo(const std::string& root, const std::string& config_dir) {
+  const std::string dir =
+      config_dir.empty() ? root + "/tools/lint" : config_dir;
+  std::vector<std::string> errors;
+  const LayerConfig layers = load_layer_config(dir + "/layers.conf", errors);
+  const Allowlist allowlist = load_allowlist(dir + "/allowlist.conf", errors);
+  const ContractManifest manifest =
+      load_contract_manifest(dir + "/contracts.manifest", errors);
+
+  Options options;
+  options.root = root;
+  options.scan_paths = {"src", "tools/qplace.cpp", "tools/lint"};
+  options.audit_dirs = {"src/core", "src/lp", "src/assign", "src/quorum"};
+  Result result = run(options, layers, allowlist, manifest);
+  result.config_errors.insert(result.config_errors.begin(), errors.begin(),
+                              errors.end());
+  return result;
+}
+
+}  // namespace qp::lint

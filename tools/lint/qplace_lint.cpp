@@ -1,0 +1,103 @@
+/// \file qplace_lint.cpp
+/// CLI for the project lint gate (docs/CONTRACTS.md, "Mechanically enforced
+/// rules"). Usage:
+///
+///   qplace-lint [--root DIR] [--config DIR] [--report FILE]
+///               [--print-manifest]
+///
+/// Exit codes: 0 = clean, 1 = findings, 2 = configuration error.
+/// --report writes the findings as JSON (schema qplace.lint_report.v1) for
+/// the CI artifact; --print-manifest emits the recomputed contract manifest
+/// `function` lines, for updating tools/lint/contracts.manifest after a
+/// deliberate API change.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "lint.hpp"
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--config DIR] [--report FILE]"
+               " [--print-manifest]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string config_dir;
+  std::string report_path;
+  bool print_manifest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--config" && i + 1 < argc) {
+      config_dir = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--print-manifest") {
+      print_manifest = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const qp::lint::Result result = qp::lint::run_repo(root, config_dir);
+
+  if (print_manifest) {
+    std::cout << qp::lint::format_manifest(result.computed_functions);
+    return 0;
+  }
+
+  for (const std::string& error : result.config_errors) {
+    std::cerr << "config error: " << error << "\n";
+  }
+  for (const qp::lint::Finding& finding : result.findings) {
+    std::cout << finding.to_string() << "\n";
+  }
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path);
+    out << "{\n  \"schema\": \"qplace.lint_report.v1\",\n  \"files_scanned\": "
+        << result.files_scanned << ",\n  \"findings\": [";
+    bool first = true;
+    for (const qp::lint::Finding& finding : result.findings) {
+      out << (first ? "" : ",") << "\n    {\"file\": \""
+          << json_escape(finding.file) << "\", \"line\": " << finding.line
+          << ", \"rule\": \"" << json_escape(finding.rule)
+          << "\", \"message\": \"" << json_escape(finding.message) << "\"}";
+      first = false;
+    }
+    out << "\n  ]\n}\n";
+  }
+
+  if (!result.config_errors.empty()) return 2;
+  if (!result.findings.empty()) {
+    std::cerr << result.findings.size() << " finding(s) over "
+              << result.files_scanned << " files\n";
+    return 1;
+  }
+  std::cerr << "qplace-lint: clean (" << result.files_scanned << " files)\n";
+  return 0;
+}

@@ -42,7 +42,7 @@
 #include "cli/options.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/access_log.hpp"
-#include "obs/analyze.hpp"
+#include "analyze/analyze.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
 #include "obs/run_report.hpp"
@@ -416,6 +416,27 @@ int cmd_analyze_diff(const cli::ParsedArgs& args) {
   std::cout << "\nmax deterministic drift: " << report::Table::num(drift, 6)
             << " (tolerance " << report::Table::num(tolerance, 6) << ") -- "
             << (ok ? "OK" : "REGRESSION") << "\n";
+  if (!ok) {
+    // Name every offender so a failing gate says what regressed, not just
+    // that something did.
+    for (const obs::CounterDiff& entry : diff.counters) {
+      if (entry.rel_drift() > tolerance) {
+        std::cout << "  counter '" << entry.name << "' drifted "
+                  << report::Table::num(entry.rel_drift(), 6)
+                  << " > tolerance " << report::Table::num(tolerance, 6)
+                  << " (base " << entry.base << ", candidate " << entry.cand
+                  << ")\n";
+      }
+    }
+    for (const obs::SeriesDiff& entry : diff.series) {
+      if (entry.in_base != entry.in_cand || !entry.equal) {
+        std::cout << "  series '" << entry.name
+                  << (entry.in_base != entry.in_cand
+                          ? "' present in only one report\n"
+                          : "' diverged (gated at exact equality)\n");
+      }
+    }
+  }
   return ok ? 0 : 1;
 }
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Run the qplace-lint gate over src/ and tools/ exactly as CI does.
+#
+#   tools/run_lint.sh [build-dir] [report-file]
+#
+# Builds the analyzer (a plain CMake target, no clang/libclang needed) and
+# runs it against the repo root with the committed configuration under
+# tools/lint/ (layers.conf, allowlist.conf, contracts.manifest). Exits
+# non-zero on any finding; writes a JSON report (qplace.lint_report.v1) for
+# CI artifact upload when a report path is given.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-lint}"
+REPORT="${2:-}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target qplace_lint -j "$(nproc)" >/dev/null
+
+args=(--root .)
+if [[ -n "$REPORT" ]]; then
+  args+=(--report "$REPORT")
+fi
+"$BUILD_DIR/tools/lint/qplace-lint" "${args[@]}"

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
 # Run the clang-tidy gate over src/ exactly as CI does.
 #
-#   tools/run_tidy.sh [build-dir]
+#   tools/run_tidy.sh [--tests] [build-dir]
 #
 # Configures the `tidy` build tree (compile_commands.json with contracts
 # compiled in, so contract-only code paths are analyzed too), then runs
 # clang-tidy with the repo's committed .clang-tidy over every translation
-# unit under src/. Exits non-zero on any tidy error, i.e. on any finding in
-# the WarningsAsErrors set.
+# unit under src/. With --tests, tests/ is covered too (under its own
+# tests/.clang-tidy overlay; tests/lint_fixtures/ is excluded -- those
+# files are analyzer test data, not code). Exits non-zero on any tidy
+# error, i.e. on any finding in the WarningsAsErrors set.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+WITH_TESTS=0
+if [[ "${1:-}" == "--tests" ]]; then
+  WITH_TESTS=1
+  shift
+fi
 BUILD_DIR="${1:-build-tidy}"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -25,7 +33,11 @@ cmake -B "$BUILD_DIR" -S . \
   -DQPLACE_FORCE_CONTRACTS=ON >/dev/null
 
 mapfile -t sources < <(find src -name '*.cpp' | sort)
-echo "clang-tidy over ${#sources[@]} files in src/ (compile db: $BUILD_DIR)"
+if [[ "$WITH_TESTS" == 1 ]]; then
+  mapfile -t -O "${#sources[@]}" sources \
+    < <(find tests -name '*.cpp' -not -path 'tests/lint_fixtures/*' | sort)
+fi
+echo "clang-tidy over ${#sources[@]} files (compile db: $BUILD_DIR)"
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
   run-clang-tidy -p "$BUILD_DIR" -quiet "${sources[@]/#/$PWD/}"
