@@ -9,6 +9,7 @@
 #include "check/contracts.hpp"
 #include "core/evaluators.hpp"
 #include "obs/obs.hpp"
+#include "quorum/intersection.hpp"
 
 namespace qp::obs {
 
@@ -133,7 +134,8 @@ bool report_obs_off(const json::Value& report) {
 AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
                                      const core::Placement& placement,
                                      const ParsedAccessLog& log,
-                                     const AnalyzeOptions& options) {
+                                     const AnalyzeOptions& options,
+                                     const sim::FaultSchedule* faults) {
   const int n = instance.num_nodes();
   if (!core::is_valid_placement(placement, instance.system().universe_size(),
                                 n)) {
@@ -149,12 +151,7 @@ AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
   if (analysis.relay >= n) {
     throw std::invalid_argument("analyze_access_log: relay out of range");
   }
-
-  // A parallel access's max-of-jittered-probes is biased above the
-  // analytic max (docs/OBSERVABILITY.md); sums stay mean-preserving, so
-  // the sequential check survives jitter.
-  const bool estimator_unbiased =
-      analysis.sequential || analysis.jitter == 0.0;
+  analysis.faulty = !log.context_or("fault_digest", "").empty();
 
   std::vector<RunningStat> per_client(static_cast<std::size_t>(n));
   std::vector<std::int64_t> per_node_probes(static_cast<std::size_t>(n), 0);
@@ -171,15 +168,31 @@ AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
         record.quorum >= instance.system().num_quorums()) {
       throw std::invalid_argument("analyze_access_log: quorum out of range");
     }
-    const double value = net_delay(record, analysis.sequential);
-    per_client[static_cast<std::size_t>(record.client)].add(value);
-    per_quorum[record.quorum].add(value);
-    overall.add(value);
+    if (record.outcome != AccessOutcome::kOk || record.attempts > 1) {
+      analysis.faulty = true;
+    }
+    analysis.total_retries += record.attempts - 1;
     wall.add(record.finish - record.start);
+    if (record.outcome == AccessOutcome::kOk) {
+      ++analysis.ok_accesses;
+      // Delay statistics only over successes: a failed access has no
+      // delta/gamma, and its final attempt carries net_delay = -1
+      // sentinels for unanswered probes.
+      const double value = net_delay(record, analysis.sequential);
+      per_client[static_cast<std::size_t>(record.client)].add(value);
+      per_quorum[record.quorum].add(value);
+      overall.add(value);
+    } else {
+      ++analysis.failed_accesses;
+      if (record.outcome == AccessOutcome::kUnavailable) {
+        ++analysis.unavailable_accesses;
+      }
+    }
     for (const AccessProbe& probe : record.probes) {
       if (probe.node < 0 || probe.node >= n) {
         throw std::invalid_argument("analyze_access_log: node out of range");
       }
+      if (probe.net_delay < 0.0) continue;  // dropped: never reached a node
       ++per_node_probes[static_cast<std::size_t>(probe.node)];
       waits.add(probe.queue_wait);
       analysis.max_queue_wait =
@@ -187,9 +200,24 @@ AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
     }
   }
 
-  analysis.total_accesses = overall.count;
+  analysis.total_accesses =
+      analysis.ok_accesses + analysis.failed_accesses;
+  analysis.availability =
+      analysis.total_accesses > 0
+          ? static_cast<double>(analysis.ok_accesses) /
+                static_cast<double>(analysis.total_accesses)
+          : 1.0;
   analysis.wall_mean = wall.mean();
   analysis.mean_queue_wait = waits.mean();
+
+  // A parallel access's max-of-jittered-probes is biased above the
+  // analytic max (docs/OBSERVABILITY.md); sums stay mean-preserving, so
+  // the sequential check survives jitter. Fault injection biases BOTH
+  // modes: re-selection skews the quorum mix away from the strategy and
+  // gray windows inflate net delays, so faulty logs skip the CI checks
+  // and are validated against the schedule instead.
+  const bool estimator_unbiased =
+      (analysis.sequential || analysis.jitter == 0.0) && !analysis.faulty;
 
   // Per-client empirical Delta/Gamma vs the evaluator.
   for (int v = 0; v < n; ++v) {
@@ -255,7 +283,11 @@ AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
     check.capacity = instance.capacity(v);
     check.bound = (options.alpha + 1.0) * check.capacity *
                   (1.0 + options.load_slack);
-    check.ok = check.observed_load <= check.bound + options.tolerance;
+    // The certificate bound is about the failure-free strategy mix;
+    // retries inflate probe counts, so faulty logs report loads without
+    // gating them.
+    check.ok = analysis.faulty ||
+               check.observed_load <= check.bound + options.tolerance;
     if (!check.ok) analysis.loads_ok = false;
     analysis.nodes.push_back(check);
   }
@@ -271,6 +303,81 @@ AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
     breakdown.strategy_probability = instance.strategy().probability(q);
     breakdown.mean_delay = stat.mean();
     analysis.quorums.push_back(breakdown);
+  }
+
+  // ---- fault-schedule cross-checks (docs/SIMULATION.md) ----
+  if (faults != nullptr) {
+    analysis.faults_checked = true;
+    const auto flag = [&](const AccessRecord& record,
+                          const std::string& what) {
+      ++analysis.fault_violations;
+      if (analysis.fault_findings.size() < 16) {
+        analysis.fault_findings.push_back(
+            "access " + std::to_string(record.id) + " (client " +
+            std::to_string(record.client) + "): " + what);
+      }
+    };
+    const double timeout = context_number(log, "timeout", 0.0);
+    const int max_attempts =
+        static_cast<int>(context_number(log, "retries", 0.0));
+    // Worst fault-free probe delay across every client/element pair: when
+    // the configured timeout exceeds it, a fault-free attempt can never
+    // time out, so every retry/failure MUST overlap an active fault
+    // window. (With a tighter timeout, jitter alone can cause retries and
+    // the window check would report false positives, so it is skipped.)
+    double worst_net = 0.0;
+    const graph::Metric& metric = instance.metric();
+    for (int v = 0; v < n; ++v) {
+      for (int u = 0; u < instance.system().universe_size(); ++u) {
+        const int node = placement[static_cast<std::size_t>(u)];
+        const double path =
+            analysis.relay >= 0
+                ? metric(v, analysis.relay) + metric(analysis.relay, node)
+                : metric(v, node);
+        worst_net = std::max(worst_net, path);
+      }
+    }
+    worst_net *= 1.0 + analysis.jitter;
+    const bool retries_imply_faults =
+        timeout > 0.0 && timeout >= worst_net &&
+        analysis.service_rate <= 0.0;
+    for (const AccessRecord& record : log.records) {
+      if (max_attempts > 0 && record.attempts > max_attempts) {
+        flag(record, "has " + std::to_string(record.attempts) +
+                         " attempts, above the configured maximum of " +
+                         std::to_string(max_attempts));
+      }
+      if (record.outcome == AccessOutcome::kTimeout && max_attempts > 0 &&
+          record.attempts != max_attempts) {
+        flag(record, "timed out after " + std::to_string(record.attempts) +
+                         " attempts instead of the configured " +
+                         std::to_string(max_attempts));
+      }
+      if (retries_imply_faults &&
+          (record.attempts > 1 || record.outcome != AccessOutcome::kOk) &&
+          !faults->any_active(record.start, record.finish)) {
+        flag(record,
+             "retried or failed outside every fault window, yet the "
+             "timeout exceeds the worst fault-free probe delay");
+      }
+      if (record.outcome == AccessOutcome::kUnavailable) {
+        // The verdict time is record.finish: re-derive the live set there
+        // and demand genuine unavailability.
+        const quorum::LivenessReport report = quorum::check_liveness(
+            instance.system(),
+            faults->failed_elements(placement, record.client,
+                                    record.finish));
+        if (report.available()) {
+          flag(record,
+               "was declared unavailable although " +
+                   std::to_string(report.live_quorums.size()) +
+                   " quorums were live at the verdict time");
+        }
+      }
+    }
+    QP_COUNTER_ADD("analyze.fault_checked_records",
+                   static_cast<std::int64_t>(log.records.size()));
+    QP_COUNTER_ADD("analyze.fault_violations", analysis.fault_violations);
   }
 
   QP_COUNTER_ADD("analyze.access_log_records", analysis.total_accesses);

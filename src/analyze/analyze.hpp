@@ -3,7 +3,7 @@
 /// \file analyze.hpp
 /// Consumers for the observability artifacts the rest of the layer emits:
 ///
-///  1. analyze_access_log(): replays a `qplace.access_log.v1` per-access
+///  1. analyze_access_log(): replays a `qplace.access_log.v2` per-access
 ///     event log against the *analytic* model the paper proves bounds for.
 ///     Per client it recomputes the empirical mean of delta_f(v, Q)
 ///     (parallel) / gamma_f(v, Q) (sequential) from the logged per-probe
@@ -13,6 +13,17 @@
 ///     it checks the observed probe share (the empirical load_f(v)) against
 ///     the certificate bound load_f(v) <= (alpha+1) cap(v) that `qplace
 ///     check` certifies analytically (docs/CONTRACTS.md).
+///
+///     Fault-injected logs (docs/SIMULATION.md) switch the function into a
+///     schedule cross-check mode: re-selection, gray slowdowns, and retry
+///     backoff all bias the delay/load estimators, so the CI checks above
+///     are skipped, and instead every retry or failure is validated
+///     against the sim::FaultSchedule the run was driven by -- a retried /
+///     failed access must overlap an active fault window (strict when the
+///     configured timeout provably exceeds the worst fault-free probe
+///     delay), an "unavailable" verdict must be reproducible by
+///     quorum::check_liveness at the verdict time, and attempt counts must
+///     respect the configured maximum.
 ///
 ///  2. diff_run_reports(): a structured diff of two
 ///     `qplace.run_report.v1` documents (or the bench baseline's embedded
@@ -35,6 +46,7 @@
 #include "core/instance.hpp"
 #include "obs/access_log.hpp"
 #include "obs/json.hpp"
+#include "sim/fault_schedule.hpp"
 
 namespace qp::obs {
 
@@ -116,20 +128,42 @@ struct AccessLogAnalysis {
   bool loads_ok = true;
   std::vector<QuorumBreakdown> quorums;
 
+  // ---- fault-injection subtree (schema v2; docs/SIMULATION.md) ----
+  /// The log was recorded under fault injection (context "fault_digest"
+  /// set, or any record retried / failed). Delay and load CI checks are
+  /// skipped: re-selection and backoff bias both estimators.
+  bool faulty = false;
+  std::int64_t ok_accesses = 0;
+  std::int64_t failed_accesses = 0;        ///< outcome != ok
+  std::int64_t unavailable_accesses = 0;   ///< outcome == unavailable
+  std::int64_t total_retries = 0;          ///< sum of (attempts - 1)
+  double availability = 1.0;  ///< ok_accesses / total_accesses (1 if empty)
+  /// Schedule cross-check results; only populated when a FaultSchedule was
+  /// supplied to analyze_access_log.
+  bool faults_checked = false;
+  std::int64_t fault_violations = 0;
+  /// Human-readable description of the first few violations.
+  std::vector<std::string> fault_findings;
+  bool faults_ok() const { return fault_violations == 0; }
+
   bool delays_ok() const { return clients_ok == clients_checked &&
                                   (!overall_checked || overall_ok); }
-  bool ok() const { return delays_ok() && loads_ok; }
+  bool ok() const { return delays_ok() && loads_ok && faults_ok(); }
 };
 
 /// Cross-checks a parsed access log against the instance + placement it was
-/// recorded for. The caller is responsible for digest-matching the log to
-/// the instance first (see access log context key "instance_digest").
+/// recorded for; with `faults` supplied, additionally validates every
+/// retry/failure against the schedule (see the file comment). The caller is
+/// responsible for digest-matching the log to the instance and the
+/// schedule first (context keys "instance_digest" / "fault_digest").
 /// \throws std::invalid_argument on an invalid placement or records whose
 /// client/quorum ids fall outside the instance.
 AccessLogAnalysis analyze_access_log(const core::QppInstance& instance,
                                      const core::Placement& placement,
                                      const ParsedAccessLog& log,
-                                     const AnalyzeOptions& options = {});
+                                     const AnalyzeOptions& options = {},
+                                     const sim::FaultSchedule* faults =
+                                         nullptr);
 
 // ---------------------------------------------------------------- report diff
 

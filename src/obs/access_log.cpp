@@ -53,6 +53,25 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
+std::string access_outcome_name(AccessOutcome outcome) {
+  switch (outcome) {
+    case AccessOutcome::kOk:
+      return "ok";
+    case AccessOutcome::kTimeout:
+      return "timeout";
+    case AccessOutcome::kUnavailable:
+      return "unavailable";
+  }
+  throw std::runtime_error("access_outcome_name: unknown outcome");
+}
+
+AccessOutcome access_outcome_from_name(const std::string& name) {
+  if (name == "ok") return AccessOutcome::kOk;
+  if (name == "timeout") return AccessOutcome::kTimeout;
+  if (name == "unavailable") return AccessOutcome::kUnavailable;
+  throw std::runtime_error("access log has unknown outcome '" + name + "'");
+}
+
 std::string render_access_record(const AccessRecord& record) {
   std::string out = "{\"id\": ";
   append_int(out, record.id);
@@ -62,6 +81,10 @@ std::string render_access_record(const AccessRecord& record) {
   append_int(out, record.quorum);
   out += ", \"relay\": ";
   append_int(out, record.relay);
+  out += ", \"attempts\": ";
+  append_int(out, record.attempts);
+  out += ", \"outcome\": ";
+  append_escaped_string(out, access_outcome_name(record.outcome));
   out += ", \"start\": ";
   append_double(out, record.start);
   out += ", \"finish\": ";
@@ -132,7 +155,7 @@ void AccessLogWriter::record(AccessRecord record) {
 void AccessLogWriter::close() {
   if (closed_) return;
   closed_ = true;
-  std::string header = "{\"schema\": \"qplace.access_log.v1\", \"context\": {";
+  std::string header = "{\"schema\": \"qplace.access_log.v2\", \"context\": {";
   bool first = true;
   for (const auto& [key, value] : context_) {
     if (!first) header += ", ";
@@ -181,10 +204,11 @@ ParsedAccessLog parse_access_log(std::istream& in) {
     }
     if (!saw_header) {
       const std::string schema = value.get_string("schema", "");
-      if (schema != "qplace.access_log.v1") {
+      if (schema != "qplace.access_log.v2" &&
+          schema != "qplace.access_log.v1") {
         throw std::runtime_error(
             "access log header has schema '" + schema +
-            "', expected 'qplace.access_log.v1'");
+            "', expected 'qplace.access_log.v2' (or legacy v1)");
       }
       if (const json::Value* context = value.find("context")) {
         for (const auto& [key, member] : context->object) {
@@ -208,6 +232,16 @@ ParsedAccessLog parse_access_log(std::istream& in) {
     record.client = static_cast<int>(value.get_number("client", 0));
     record.quorum = static_cast<int>(value.get_number("quorum", 0));
     record.relay = static_cast<int>(value.get_number("relay", -1));
+    // v2 fields; absent in legacy v1 records, where every logged access
+    // was a single-attempt success.
+    record.attempts = static_cast<int>(value.get_number("attempts", 1));
+    record.outcome =
+        access_outcome_from_name(value.get_string("outcome", "ok"));
+    if (record.attempts < 1) {
+      throw std::runtime_error("access log line " +
+                               std::to_string(line_number) +
+                               " has attempts < 1");
+    }
     record.start = value.get_number("start", 0.0);
     record.finish = value.get_number("finish", 0.0);
     record.probes.reserve(probes->array.size());

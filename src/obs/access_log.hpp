@@ -2,23 +2,32 @@
 
 /// \file access_log.hpp
 /// Per-access event log for the message-level simulator (schema
-/// `qplace.access_log.v1`, docs/OBSERVABILITY.md §5).
+/// `qplace.access_log.v2`, docs/OBSERVABILITY.md §5, docs/SIMULATION.md).
 ///
 /// The aggregate observability layer (histograms, counters) answers "what
 /// was the latency distribution?"; this log answers the paper's
 /// *per-access* questions: which client saw which delta_f(v, Q), through
 /// which relay, against which quorum, split into network delay and queue
-/// wait per quorum element. One JSONL line per completed post-warmup
-/// access:
+/// wait per quorum element -- and, under fault injection, how many attempts
+/// the access needed and how it ended. One JSONL line per resolved
+/// post-warmup access (completed OR failed):
 ///
 ///   {"id": 12, "client": 3, "quorum": 1, "relay": -1,
-///    "start": 1.25, "finish": 3.5,
+///    "attempts": 2, "outcome": "ok", "start": 1.25, "finish": 3.5,
 ///    "probes": [[element, node, net_delay, queue_wait], ...]}
 ///
-/// preceded by one header line carrying the schema tag and a string-valued
-/// context map (instance digest, mode, seed, sampling knobs):
+/// `attempts` counts quorum selections (1 without retries); `outcome` is
+/// "ok", "timeout" (K attempts all timed out) or "unavailable" (no live
+/// quorum at re-selection). The probes array describes the FINAL attempt;
+/// a probe that never replied (dropped by a crash/partition, or still in
+/// flight when the attempt timed out) carries net_delay = -1. Readers of
+/// the v1 schema see the two fields defaulted (attempts = 1, outcome ok):
+/// parse_access_log accepts both versions.
 ///
-///   {"schema": "qplace.access_log.v1", "context": {"seed": "1", ...}}
+/// The header line carries the schema tag and a string-valued context map
+/// (instance digest, mode, seed, sampling knobs, fault-schedule digest):
+///
+///   {"schema": "qplace.access_log.v2", "context": {"seed": "1", ...}}
 ///
 /// Determinism contract: the simulator's event loop is sequential, so the
 /// full byte stream is a pure function of (instance, placement, config) --
@@ -49,19 +58,37 @@ namespace qp::obs {
 struct AccessProbe {
   int element = 0;
   int node = 0;
+  /// One-way propagation delay; -1 when the probe never replied (dropped
+  /// by a crash/partition or unanswered at the attempt deadline).
   double net_delay = 0.0;
   double queue_wait = 0.0;
 };
 
-/// One completed quorum access.
+/// How an access resolved (docs/SIMULATION.md). Everything except kOk only
+/// occurs under fault injection / probe timeouts.
+enum class AccessOutcome {
+  kOk,           ///< a quorum replied in full within the deadline
+  kTimeout,      ///< all K attempts timed out
+  kUnavailable,  ///< no live quorum existed at re-selection time
+};
+
+/// Schema spelling of an outcome ("ok" / "timeout" / "unavailable").
+std::string access_outcome_name(AccessOutcome outcome);
+/// Inverse of access_outcome_name. \throws std::runtime_error on an
+/// unknown spelling.
+AccessOutcome access_outcome_from_name(const std::string& name);
+
+/// One resolved quorum access.
 struct AccessRecord {
   std::int64_t id = 0;  ///< sequential in access start order
   int client = 0;
-  int quorum = 0;   ///< index into the quorum system
+  int quorum = 0;   ///< final attempt's quorum index
   int relay = -1;   ///< Thm 1.2 relay v0 when routed through one, else -1
+  int attempts = 1;  ///< quorum selections, 1 without retries
+  AccessOutcome outcome = AccessOutcome::kOk;
   double start = 0.0;
-  double finish = 0.0;
-  std::vector<AccessProbe> probes;
+  double finish = 0.0;  ///< completion, or the time of the failure verdict
+  std::vector<AccessProbe> probes;  ///< final attempt only
 };
 
 /// Sampling knobs. Both filters compose: the probabilistic filter picks the
@@ -136,7 +163,8 @@ struct ParsedAccessLog {
                          const std::string& fallback) const;
 };
 
-/// Parses a `qplace.access_log.v1` JSONL document.
+/// Parses a `qplace.access_log.v2` (or legacy v1) JSONL document; v1
+/// records get attempts = 1 and outcome "ok".
 /// \throws std::runtime_error on malformed JSON, a missing/foreign schema
 /// tag, or records missing required fields.
 ParsedAccessLog parse_access_log(std::istream& in);

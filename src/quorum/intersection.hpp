@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file intersection.hpp
+/// Liveness and safety audit of a quorum system under element failures.
+///
+/// The paper's model never fails a probe, so every quorum is always
+/// usable. The fault-aware simulator (src/sim/, docs/SIMULATION.md) breaks
+/// that assumption: elements become unreachable when the node hosting them
+/// crashes or is partitioned away from the client. A quorum is *live* when
+/// all of its elements are reachable; a client that times out re-selects
+/// among the live quorums, and the two classic quorum-system guarantees
+/// become run-time questions:
+///
+///  - safety: every pair of live quorums still intersects (a live
+///    sub-family of an intersecting family is trivially intersecting, but
+///    read/write systems whose read quorums do not pairwise intersect can
+///    lose the read/write intersection guarantee under failures);
+///  - availability: at least one quorum is live; when none is, the access
+///    is unavailable (Naor-Wool's failure probability F_p, here evaluated
+///    against one concrete failure set instead of i.i.d. element failures).
+///
+/// check_liveness() answers both for a concrete failure set, and is the
+/// oracle the simulator consults on every quorum re-selection.
+
+#include <utility>
+#include <vector>
+
+#include "quorum/quorum_system.hpp"
+
+namespace qp::quorum {
+
+/// Verdict of a liveness/safety audit for one failure set.
+struct LivenessReport {
+  /// Indices (ascending) of quorums whose elements are all alive.
+  std::vector<int> live_quorums;
+  /// Safety: every pair of live quorums intersects. Vacuously true with
+  /// fewer than two live quorums.
+  bool pairwise_intersecting = true;
+  /// Witness of the first safety violation in (i, j) index order, as a
+  /// pair of quorum indices; (-1, -1) when safe.
+  std::pair<int, int> violation{-1, -1};
+
+  /// At least one quorum is live (the access can proceed).
+  bool available() const { return !live_quorums.empty(); }
+  bool safe() const { return pairwise_intersecting; }
+};
+
+/// Audits `system` under `failed_elements` (one flag per universe element;
+/// true = failed). Certifies that every pair of live quorums intersects and
+/// reports unavailability when none is live.
+/// \throws std::invalid_argument when failed_elements does not have exactly
+/// universe_size entries.
+LivenessReport check_liveness(const QuorumSystem& system,
+                              const std::vector<bool>& failed_elements);
+
+}  // namespace qp::quorum

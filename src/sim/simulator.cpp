@@ -1,7 +1,9 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
 #include <stdexcept>
 
@@ -9,12 +11,22 @@
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
 #include "obs/obs.hpp"
+#include "quorum/intersection.hpp"
 
 namespace qp::sim {
 
 namespace {
 
-enum class EventType { kArrival, kProbeArrive, kProbeDone };
+enum class EventType {
+  kArrival,
+  kProbeArrive,
+  kProbeDone,
+  /// Attempt deadline (launch + probe_timeout) for the access's attempt
+  /// carried in Event::attempt; stale once the access resolved or retried.
+  kTimeout,
+  /// Backoff expired: re-select a quorum and launch the next attempt.
+  kRetry,
+};
 
 struct Event {
   double time = 0.0;
@@ -27,16 +39,22 @@ struct Event {
   /// Index of the probe within its access's quorum; -1 for kArrival. Routes
   /// per-probe queue waits into the access log record.
   int probe = -1;
+  /// Attempt number the event belongs to; probe/timeout events from a
+  /// superseded attempt are discarded as stale.
+  int attempt = 1;
 
   bool operator>(const Event& other) const { return time > other.time; }
 };
 
 struct Access {
   int client = 0;
-  int quorum = 0;
+  int quorum = 0;  ///< current attempt's quorum
   double start = 0.0;
   int next_element_index = 0;  ///< sequential mode: next probe to launch
-  int outstanding = 0;         ///< probes not yet completed
+  int outstanding = 0;         ///< probes of the current attempt not done
+  int attempt = 1;             ///< current attempt number
+  bool resolved = false;       ///< completed or failed
+  std::vector<int> tried;      ///< quorum indices attempted so far
 };
 
 }  // namespace
@@ -65,6 +83,25 @@ SimulationResult simulate(const core::QppInstance& instance,
   if (config.relay_node >= n) {
     throw std::invalid_argument("simulate: relay_node out of range");
   }
+  if (config.probe_timeout < 0.0 || config.max_attempts < 1 ||
+      config.retry_backoff < 0.0) {
+    throw std::invalid_argument(
+        "simulate: probe_timeout and retry_backoff must be non-negative "
+        "and max_attempts >= 1");
+  }
+  const FaultSchedule* faults = config.faults;
+  if (faults != nullptr && faults->empty()) faults = nullptr;
+  if (faults != nullptr) {
+    if (!(config.probe_timeout > 0.0)) {
+      throw std::invalid_argument(
+          "simulate: fault injection requires probe_timeout > 0 (a dropped "
+          "probe would otherwise hang its access forever)");
+    }
+    if (faults->max_node() >= n) {
+      throw std::invalid_argument(
+          "simulate: fault schedule references a node outside the instance");
+    }
+  }
   const int relay = config.relay_node < 0 ? -1 : config.relay_node;
   // Contract restatement of the throw above: a measurement window of zero
   // (or negative) length would make every statistic below vacuous.
@@ -78,13 +115,15 @@ SimulationResult simulate(const core::QppInstance& instance,
       instance.strategy().probabilities().begin(),
       instance.strategy().probabilities().end());
 
+  const int num_quorums = instance.system().num_quorums();
+
   // Nearest-quorum policy: the chosen quorum per client is fixed by the
   // placement, so precompute it.
   std::vector<int> nearest_quorum(static_cast<std::size_t>(n), 0);
   if (config.selection == SelectionPolicy::kNearestQuorum) {
     for (int v = 0; v < n; ++v) {
       double best = std::numeric_limits<double>::infinity();
-      for (int q = 0; q < instance.system().num_quorums(); ++q) {
+      for (int q = 0; q < num_quorums; ++q) {
         const double d = core::max_delay(instance.metric(),
                                          instance.system().quorum(q),
                                          placement, v);
@@ -92,6 +131,44 @@ SimulationResult simulate(const core::QppInstance& instance,
           best = d;
           nearest_quorum[static_cast<std::size_t>(v)] = q;
         }
+      }
+    }
+  }
+
+  // Re-selection preference order (docs/SIMULATION.md): retries draw no
+  // randomness. Under kStrategy the fallback order is strategy probability
+  // descending (ties: lower index); under kNearestQuorum it is
+  // delta_f(v, .) ascending per client (ties: lower index).
+  const bool timeouts_enabled = config.probe_timeout > 0.0;
+  std::vector<int> strategy_preference;
+  std::vector<std::vector<int>> nearest_preference;
+  if (timeouts_enabled) {
+    if (config.selection == SelectionPolicy::kStrategy) {
+      strategy_preference.resize(static_cast<std::size_t>(num_quorums));
+      for (int q = 0; q < num_quorums; ++q) {
+        strategy_preference[static_cast<std::size_t>(q)] = q;
+      }
+      std::stable_sort(strategy_preference.begin(), strategy_preference.end(),
+                       [&](int a, int b) {
+                         return instance.strategy().probability(a) >
+                                instance.strategy().probability(b);
+                       });
+    } else {
+      nearest_preference.assign(static_cast<std::size_t>(n), {});
+      for (int v = 0; v < n; ++v) {
+        std::vector<double> delta(static_cast<std::size_t>(num_quorums), 0.0);
+        auto& order = nearest_preference[static_cast<std::size_t>(v)];
+        order.resize(static_cast<std::size_t>(num_quorums));
+        for (int q = 0; q < num_quorums; ++q) {
+          delta[static_cast<std::size_t>(q)] =
+              core::max_delay(instance.metric(), instance.system().quorum(q),
+                              placement, v);
+          order[static_cast<std::size_t>(q)] = q;
+        }
+        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+          return delta[static_cast<std::size_t>(a)] <
+                 delta[static_cast<std::size_t>(b)];
+        });
       }
     }
   }
@@ -156,26 +233,56 @@ SimulationResult simulate(const core::QppInstance& instance,
   double measured_total_accesses = 0.0;  // incl. clients with 0 weight
   double total_delay_sum = 0.0;
 
+  // Availability time series: per-bucket success fraction over access
+  // start times in the measured window.
+  const double bucket_width = config.availability_bucket;
+  const int num_buckets =
+      bucket_width > 0.0
+          ? static_cast<int>(
+                std::ceil((config.duration - config.warmup) / bucket_width))
+          : 0;
+  std::vector<std::int64_t> bucket_total(static_cast<std::size_t>(
+                                             std::max(num_buckets, 0)),
+                                         0);
+  std::vector<std::int64_t> bucket_ok(bucket_total.size(), 0);
+  const auto bucket_count = [&](double start, bool ok) {
+    if (num_buckets <= 0 || start < config.warmup) return;
+    const auto idx = static_cast<std::size_t>(std::min<double>(
+        num_buckets - 1, std::floor((start - config.warmup) / bucket_width)));
+    ++bucket_total[idx];
+    if (ok) ++bucket_ok[idx];
+  };
+
   // Launches the probe for element index `idx` of the access's quorum at
   // time `when`: the probe reaches its node after the metric distance
-  // (routed through the relay when configured), then (with queueing) waits
-  // for the node's FIFO queue. Returns the event to schedule next
-  // (kProbeArrive under queueing so that service is granted in true arrival
-  // order, kProbeDone otherwise).
+  // (routed through the relay when configured), scaled by jitter and any
+  // active gray window, then (with queueing) waits for the node's FIFO
+  // queue. Returns the event to schedule next (kProbeArrive under queueing
+  // so that service is granted in true arrival order, kProbeDone
+  // otherwise), or nothing when the probe is dropped: partitions drop
+  // probes *sent* while active (checked against the client->node pair, so
+  // relay routing does not circumvent them), crashes drop probes *arriving*
+  // while the node is down.
   std::uniform_real_distribution<double> jitter(1.0 - config.latency_jitter,
                                                 1.0 + config.latency_jitter);
-  const auto launch_probe = [&](const Access& access, std::int64_t id, int idx,
-                                double when) {
+  const auto launch_probe =
+      [&](const Access& access, std::int64_t id, int idx,
+          double when) -> std::optional<Event> {
     const quorum::Quorum& q = instance.system().quorum(access.quorum);
     const int element = q[static_cast<std::size_t>(idx)];
     const int node = placement[static_cast<std::size_t>(element)];
     const double factor = config.latency_jitter > 0.0 ? jitter(rng) : 1.0;
+    const double gray =
+        faults != nullptr ? faults->gray_factor(node, when) : 1.0;
     const double path =
         relay >= 0 ? instance.metric()(access.client, relay) +
                          instance.metric()(relay, node)
                    : instance.metric()(access.client, node);
-    const double arrive = when + factor * path;
-    if (when >= config.warmup) {
+    const double arrive = when + factor * gray * path;
+    const bool delivered =
+        faults == nullptr || (!faults->partitioned(access.client, node, when) &&
+                              !faults->crashed(node, arrive));
+    if (delivered && when >= config.warmup) {
       node_probe_count[static_cast<std::size_t>(node)] += 1.0;
     }
     if (logger != nullptr && logged(id)) {
@@ -184,12 +291,118 @@ SimulationResult simulate(const core::QppInstance& instance,
               .probes[static_cast<std::size_t>(idx)];
       probe.element = element;
       probe.node = node;
-      probe.net_delay = arrive - when;
+      probe.net_delay = delivered ? arrive - when : -1.0;
     }
+    if (!delivered) return std::nullopt;
     if (queueing) {
-      return Event{arrive, EventType::kProbeArrive, node, id, idx};
+      return Event{arrive, EventType::kProbeArrive, node, id, idx,
+                   access.attempt};
     }
-    return Event{arrive, EventType::kProbeDone, -1, id, idx};
+    return Event{arrive, EventType::kProbeDone, -1, id, idx, access.attempt};
+  };
+
+  // Launches the current attempt of `id` at time `now`: resets the log
+  // record to the attempt's quorum, fires the probes (all at once in
+  // parallel mode, the first in sequential mode) and arms the deadline.
+  const auto launch_attempt = [&](std::int64_t id, double now) {
+    Access& access = accesses[static_cast<std::size_t>(id)];
+    const quorum::Quorum& q = instance.system().quorum(access.quorum);
+    access.outstanding = static_cast<int>(q.size());
+    if (logger != nullptr && logged(id)) {
+      obs::AccessRecord& record = records[static_cast<std::size_t>(id)];
+      record.quorum = access.quorum;
+      record.probes.assign(q.size(), obs::AccessProbe{});
+    }
+    if (config.mode == AccessMode::kParallel) {
+      for (int idx = 0; idx < static_cast<int>(q.size()); ++idx) {
+        if (auto event = launch_probe(access, id, idx, now)) {
+          queue.push(*event);
+        }
+      }
+    } else {
+      access.next_element_index = 1;
+      if (auto event = launch_probe(access, id, 0, now)) {
+        queue.push(*event);
+      }
+    }
+    if (timeouts_enabled) {
+      queue.push({now + config.probe_timeout, EventType::kTimeout,
+                  access.client, id, -1, access.attempt});
+    }
+  };
+
+  // Failure-aware re-selection at time `now`: the highest-preference
+  // quorum that quorum::check_liveness certifies live from the client's
+  // perspective, favoring quorums this access has not tried yet; -1 when
+  // none is live (the access is unavailable).
+  const auto select_quorum = [&](const Access& access, double now) -> int {
+    const std::vector<bool> failed =
+        faults != nullptr
+            ? faults->failed_elements(placement, access.client, now)
+            : std::vector<bool>(
+                  static_cast<std::size_t>(
+                      instance.system().universe_size()),
+                  false);
+    const quorum::LivenessReport report =
+        quorum::check_liveness(instance.system(), failed);
+    result.safety_ok = result.safety_ok && report.safe();
+    if (!report.available()) return -1;
+    std::vector<bool> live(static_cast<std::size_t>(num_quorums), false);
+    for (const int q : report.live_quorums) {
+      live[static_cast<std::size_t>(q)] = true;
+    }
+    const std::vector<int>& preference =
+        config.selection == SelectionPolicy::kStrategy
+            ? strategy_preference
+            : nearest_preference[static_cast<std::size_t>(access.client)];
+    int fallback = -1;
+    for (const int q : preference) {
+      if (!live[static_cast<std::size_t>(q)]) continue;
+      if (fallback < 0) fallback = q;
+      if (std::find(access.tried.begin(), access.tried.end(), q) ==
+          access.tried.end()) {
+        return q;
+      }
+    }
+    return fallback;  // every live quorum tried already: reuse the best
+  };
+
+  const auto finish_record = [&](std::int64_t id, double now,
+                                 obs::AccessOutcome outcome) {
+    if (logger == nullptr || !logged(id)) return;
+    obs::AccessRecord& record = records[static_cast<std::size_t>(id)];
+    const Access& access = accesses[static_cast<std::size_t>(id)];
+    record.finish = now;
+    record.attempts = static_cast<int>(access.tried.size());
+    record.outcome = outcome;
+    logger->record(std::move(record));
+    // Leave a moved-from empty record behind; logged() is false for it
+    // from now on, which is correct -- the access is resolved.
+  };
+
+  const auto fail_access = [&](std::int64_t id, double now,
+                               obs::AccessOutcome outcome) {
+    Access& access = accesses[static_cast<std::size_t>(id)];
+    access.resolved = true;
+    if (access.start >= config.warmup) {
+      ++result.failed_accesses;
+      if (outcome == obs::AccessOutcome::kUnavailable) {
+        ++result.unavailable_accesses;
+      }
+      bucket_count(access.start, false);
+    }
+    finish_record(id, now, outcome);
+  };
+
+  // Bounded exponential backoff after the k-th timed-out attempt
+  // (k = 1-based): base * 2^(k-1), capped.
+  const auto backoff = [&](int attempts_failed) {
+    double wait =
+        std::ldexp(config.retry_backoff, std::max(attempts_failed - 1, 0));
+    if (config.retry_backoff_cap > 0.0) {
+      wait = std::min(wait, config.retry_backoff_cap);
+    }
+    return wait;
   };
 
   while (!queue.empty() && queue.top().time <= config.duration) {
@@ -204,14 +417,17 @@ SimulationResult simulate(const core::QppInstance& instance,
 
       Access access;
       access.client = event.where;
+      // The first attempt follows the paper's model (a strategy draw, or
+      // the fixed nearest quorum) with no liveness knowledge: the client
+      // only learns of failures through timeouts.
       access.quorum = config.selection == SelectionPolicy::kNearestQuorum
                           ? nearest_quorum[static_cast<std::size_t>(event.where)]
                           : quorum_picker(rng);
       access.start = event.time;
+      access.tried.push_back(access.quorum);
       const auto& q = instance.system().quorum(access.quorum);
       const auto id = static_cast<std::int64_t>(accesses.size());
       if (access.start >= config.warmup) measured_total_accesses += 1.0;
-      access.outstanding = static_cast<int>(q.size());
       if (logger != nullptr) {
         records.emplace_back();
         if (access.start >= config.warmup && logger->sampled(id)) {
@@ -224,21 +440,49 @@ SimulationResult simulate(const core::QppInstance& instance,
           record.probes.resize(q.size());
         }
       }
-      if (config.mode == AccessMode::kParallel) {
-        accesses.push_back(access);
-        for (int idx = 0; idx < static_cast<int>(q.size()); ++idx) {
-          queue.push(launch_probe(access, id, idx, event.time));
-        }
-      } else {
-        access.next_element_index = 1;
-        accesses.push_back(access);
-        queue.push(launch_probe(access, id, 0, event.time));
+      accesses.push_back(std::move(access));
+      launch_attempt(id, event.time);
+      continue;
+    }
+
+    if (event.type == EventType::kTimeout) {
+      Access& access = accesses[static_cast<std::size_t>(event.access)];
+      if (access.resolved || access.attempt != event.attempt ||
+          access.outstanding == 0) {
+        continue;  // stale: the attempt completed or was superseded
       }
+      if (access.start >= config.warmup) ++result.timed_out_attempts;
+      if (access.attempt >= config.max_attempts) {
+        fail_access(event.access, event.time, obs::AccessOutcome::kTimeout);
+        continue;
+      }
+      const double wait = backoff(access.attempt);
+      ++access.attempt;  // invalidates the attempt's in-flight probe events
+      queue.push({event.time + wait, EventType::kRetry, access.client,
+                  event.access, -1, access.attempt});
+      continue;
+    }
+
+    if (event.type == EventType::kRetry) {
+      Access& access = accesses[static_cast<std::size_t>(event.access)];
+      if (access.resolved || access.attempt != event.attempt) continue;
+      const int next = select_quorum(access, event.time);
+      if (next < 0) {
+        fail_access(event.access, event.time,
+                    obs::AccessOutcome::kUnavailable);
+        continue;
+      }
+      if (access.start >= config.warmup) ++result.retries;
+      access.quorum = next;
+      access.tried.push_back(next);
+      launch_attempt(event.access, event.time);
       continue;
     }
 
     if (event.type == EventType::kProbeArrive) {
       // Grant service in true arrival order (events are processed by time).
+      // Nodes serve every delivered probe, including probes of attempts
+      // that already timed out -- the work was sent, the node does it.
       const int node = event.where;
       const double start_service =
           std::max(event.time, node_free[static_cast<std::size_t>(node)]);
@@ -249,44 +493,48 @@ SimulationResult simulate(const core::QppInstance& instance,
       if (event.time >= config.warmup) {
         result.queue_wait.record(start_service - event.time);
       }
-      if (logger != nullptr && logged(event.access)) {
+      const Access& access = accesses[static_cast<std::size_t>(event.access)];
+      if (!access.resolved && access.attempt == event.attempt &&
+          logger != nullptr && logged(event.access)) {
         records[static_cast<std::size_t>(event.access)]
             .probes[static_cast<std::size_t>(event.probe)]
             .queue_wait = start_service - event.time;
       }
       queue.push({done, EventType::kProbeDone, node, event.access,
-                  event.probe});
+                  event.probe, event.attempt});
       continue;
     }
 
     // kProbeDone.
     if (queueing) change_depth(event.where, event.time, -1);
     Access& access = accesses[static_cast<std::size_t>(event.access)];
+    if (access.resolved || access.attempt != event.attempt) {
+      continue;  // a late reply to a superseded attempt
+    }
     --access.outstanding;
     if (config.mode == AccessMode::kSequential &&
         access.next_element_index <
             static_cast<int>(
                 instance.system().quorum(access.quorum).size())) {
       const int idx = access.next_element_index++;
-      queue.push(launch_probe(access, event.access, idx, event.time));
+      if (auto next = launch_probe(access, event.access, idx, event.time)) {
+        queue.push(*next);
+      }
       continue;
     }
-    if (access.outstanding == 0 && access.start >= config.warmup) {
-      const double delay = event.time - access.start;
-      total_delay_sum += delay;
-      result.access_delay.record(delay);
-      ++measured_accesses;
-      result.per_client_mean_delay[static_cast<std::size_t>(access.client)] +=
-          delay;
-      ++result.per_client_count[static_cast<std::size_t>(access.client)];
-      if (logger != nullptr && logged(event.access)) {
-        obs::AccessRecord& record =
-            records[static_cast<std::size_t>(event.access)];
-        record.finish = event.time;
-        logger->record(std::move(record));
-        // Leave a moved-from empty record behind; logged() is false for it
-        // from now on, which is correct -- the access is finished.
+    if (access.outstanding == 0) {
+      access.resolved = true;
+      if (access.start >= config.warmup) {
+        const double delay = event.time - access.start;
+        total_delay_sum += delay;
+        result.access_delay.record(delay);
+        ++measured_accesses;
+        result.per_client_mean_delay[static_cast<std::size_t>(access.client)] +=
+            delay;
+        ++result.per_client_count[static_cast<std::size_t>(access.client)];
+        bucket_count(access.start, true);
       }
+      finish_record(event.access, event.time, obs::AccessOutcome::kOk);
     }
   }
 
@@ -314,10 +562,29 @@ SimulationResult simulate(const core::QppInstance& instance,
     result.per_node_mean_queue_depth[static_cast<std::size_t>(v)] =
         depth_area[static_cast<std::size_t>(v)] / config.duration;
   }
+  const std::int64_t resolved = measured_accesses + result.failed_accesses;
+  result.availability =
+      resolved > 0
+          ? static_cast<double>(measured_accesses) /
+                static_cast<double>(resolved)
+          : 1.0;
+  result.availability_series.reserve(bucket_total.size());
+  for (std::size_t b = 0; b < bucket_total.size(); ++b) {
+    const double fraction =
+        bucket_total[b] > 0 ? static_cast<double>(bucket_ok[b]) /
+                                  static_cast<double>(bucket_total[b])
+                            : 1.0;
+    result.availability_series.push_back(fraction);
+    QP_SERIES_APPEND("sim.availability", fraction);
+  }
   // Totals are a pure function of (instance, placement, config) -- the event
   // loop is sequential -- so they satisfy the determinism contract.
   QP_COUNTER_ADD("sim.runs", 1);
   QP_COUNTER_ADD("sim.completed_accesses", measured_accesses);
+  QP_COUNTER_ADD("sim.retries", result.retries);
+  QP_COUNTER_ADD("sim.timeouts", result.timed_out_attempts);
+  QP_COUNTER_ADD("sim.failed_accesses", result.failed_accesses);
+  QP_COUNTER_ADD("sim.unavailable_accesses", result.unavailable_accesses);
   double measured_probes = 0.0;
   for (double c : node_probe_count) measured_probes += c;
   QP_COUNTER_ADD("sim.measured_probes", measured_probes);

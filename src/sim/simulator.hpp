@@ -24,6 +24,20 @@
 /// converges to Delta_f(v) (parallel) / Gamma_f(v) (sequential), and each
 /// node's probe share converges to load_f(v); tests and the E9 experiment
 /// check exactly this.
+///
+/// Fault injection (docs/SIMULATION.md): with a FaultSchedule attached the
+/// engine becomes a fault-aware quorum-access simulator. Every attempt has
+/// a deadline of `probe_timeout` after its launch; probes dropped by
+/// crashes/partitions (or slowed past the deadline by gray windows) make
+/// the attempt time out, after which the client waits a bounded
+/// exponential backoff and *re-selects*: the highest-preference quorum
+/// that is live per quorum::check_liveness (preference = strategy
+/// probability descending under kStrategy, delta_f(v, .) ascending under
+/// kNearestQuorum; untried quorums first). After `max_attempts` timed-out
+/// attempts the access fails with outcome kTimeout; when no live quorum
+/// exists at re-selection it fails immediately with kUnavailable. All of
+/// it is deterministic in (instance, placement, config, schedule): retry
+/// decisions draw no randomness, so fault runs replay byte-for-byte.
 
 #include <cstdint>
 #include <random>
@@ -32,6 +46,7 @@
 #include "core/instance.hpp"
 #include "obs/access_log.hpp"
 #include "obs/histogram.hpp"
+#include "sim/fault_schedule.hpp"
 
 namespace qp::sim {
 
@@ -81,11 +96,34 @@ struct SimulationConfig {
   /// Must be a valid node id when set (std::invalid_argument otherwise).
   int relay_node = -1;
   /// Optional per-access event log (docs/OBSERVABILITY.md, schema
-  /// qplace.access_log.v1). Not owned; may be nullptr. The simulator
-  /// records every completed post-warmup access -- the same population as
-  /// the means and histograms -- and the writer's sampling decides what is
-  /// kept. The caller closes the writer after simulate() returns.
+  /// qplace.access_log.v2). Not owned; may be nullptr. The simulator
+  /// records every resolved post-warmup access (completed and, under
+  /// faults, failed) and the writer's sampling decides what is kept. The
+  /// caller closes the writer after simulate() returns.
   obs::AccessLogWriter* access_log = nullptr;
+  /// Optional fault schedule (docs/SIMULATION.md). Not owned; nullptr
+  /// reproduces the paper's failure-free model. When set, probe_timeout
+  /// must be positive (a dropped probe would otherwise hang its access
+  /// forever) and every referenced node id must exist.
+  const FaultSchedule* faults = nullptr;
+  /// Attempt deadline: an attempt whose probes have not all replied within
+  /// `probe_timeout` of its launch times out and is retried. <= 0 disables
+  /// timeouts (only valid without a fault schedule). Applies to both
+  /// modes; in sequential mode the deadline covers the whole probe chain.
+  double probe_timeout = 0.0;
+  /// Attempts per access (K >= 1). The access fails with outcome kTimeout
+  /// after K timed-out attempts.
+  int max_attempts = 3;
+  /// Bounded exponential backoff before retry k (k = 2..K): the client
+  /// waits min(retry_backoff * 2^(k-2), retry_backoff_cap) after the
+  /// timeout before re-selecting. retry_backoff_cap <= 0 means uncapped.
+  double retry_backoff = 0.5;
+  double retry_backoff_cap = 8.0;
+  /// Bucket width of the availability time series (fraction of accesses
+  /// starting in each [warmup + i*w, warmup + (i+1)*w) bucket that
+  /// succeeded; buckets with no resolved access report 1). <= 0 disables
+  /// the series.
+  double availability_bucket = 0.0;
 };
 
 struct SimulationResult {
@@ -112,6 +150,28 @@ struct SimulationResult {
   std::vector<double> per_node_mean_queue_depth;
   /// Peak number of probes simultaneously at each node.
   std::vector<std::int64_t> per_node_max_queue_depth;
+
+  // Fault-injection outcomes (all zero / 1.0 / empty on failure-free runs;
+  // measured post-warmup population, like every statistic above).
+  /// Accesses that resolved unsuccessfully (timeout-exhausted or
+  /// unavailable).
+  std::int64_t failed_accesses = 0;
+  /// Subset of failed_accesses that found no live quorum at re-selection.
+  std::int64_t unavailable_accesses = 0;
+  /// Attempts that hit their deadline (a failed access contributes up to
+  /// max_attempts of these; a retried-then-successful one at least 1).
+  std::int64_t timed_out_attempts = 0;
+  /// Attempts beyond each access's first (sum of attempts - 1).
+  std::int64_t retries = 0;
+  /// completed / (completed + failed); 1.0 when nothing resolved.
+  double availability = 1.0;
+  /// Per-bucket availability when config.availability_bucket > 0 (see
+  /// there); also appended to the obs series "sim.availability".
+  std::vector<double> availability_series;
+  /// False iff some re-selection saw a pair of live quorums that do not
+  /// intersect (possible only for non-intersecting families, e.g. combined
+  /// read/write systems; see quorum::check_liveness).
+  bool safety_ok = true;
 };
 
 /// Runs the simulation for a placement of the instance's quorum system.

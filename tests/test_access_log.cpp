@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <random>
 #include <sstream>
 #include <string>
@@ -59,6 +60,15 @@ std::vector<obs::AccessRecord> sample_records() {
     for (int p = 0; p <= i % 2; ++p) {
       record.probes.push_back({p, 3 - p, 0.5 + 0.25 * p, 0.125 * p});
     }
+    // Exercise the v2 fields: one retried access, one timeout (with a
+    // dropped probe, net_delay = -1), one unavailable.
+    if (i == 2) record.attempts = 2;
+    if (i == 3) {
+      record.attempts = 3;
+      record.outcome = obs::AccessOutcome::kTimeout;
+      record.probes.front().net_delay = -1.0;
+    }
+    if (i == 4) record.outcome = obs::AccessOutcome::kUnavailable;
     records.push_back(record);
   }
   return records;
@@ -92,6 +102,8 @@ TEST(AccessLog, RenderParseRoundTrip) {
     EXPECT_EQ(actual.client, expected.client);
     EXPECT_EQ(actual.quorum, expected.quorum);
     EXPECT_EQ(actual.relay, expected.relay);
+    EXPECT_EQ(actual.attempts, expected.attempts);
+    EXPECT_EQ(actual.outcome, expected.outcome);
     EXPECT_EQ(actual.start, expected.start);    // %.17g round-trips exactly
     EXPECT_EQ(actual.finish, expected.finish);
     ASSERT_EQ(actual.probes.size(), expected.probes.size());
@@ -199,6 +211,40 @@ TEST(AccessLog, RejectsBadConfigAndUseAfterClose) {
   writer.close();
   writer.close();  // idempotent
   EXPECT_THROW(writer.record({}), std::logic_error);
+}
+
+TEST(AccessLog, ParsesLegacyV1LogsWithDefaults) {
+  // Pre-fault logs carry no attempts/outcome members; the parser must
+  // accept the v1 schema tag and default to a single successful attempt.
+  std::istringstream in(
+      "{\"schema\": \"qplace.access_log.v1\", \"context\": {\"mode\": "
+      "\"parallel\"}}\n"
+      "{\"id\": 0, \"client\": 1, \"quorum\": 2, \"relay\": -1, "
+      "\"start\": 0.5, \"finish\": 1.5, \"probes\": [[0, 3, 1.0, 0.0]]}\n");
+  const obs::ParsedAccessLog parsed = obs::parse_access_log(in);
+  ASSERT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.records[0].attempts, 1);
+  EXPECT_EQ(parsed.records[0].outcome, obs::AccessOutcome::kOk);
+  EXPECT_EQ(parsed.records[0].client, 1);
+}
+
+TEST(AccessLog, OutcomeNamesRoundTrip) {
+  for (obs::AccessOutcome outcome :
+       {obs::AccessOutcome::kOk, obs::AccessOutcome::kTimeout,
+        obs::AccessOutcome::kUnavailable}) {
+    EXPECT_EQ(obs::access_outcome_from_name(obs::access_outcome_name(outcome)),
+              outcome);
+  }
+  EXPECT_THROW(obs::access_outcome_from_name("exploded"), std::runtime_error);
+}
+
+TEST(AccessLog, RejectsNonPositiveAttempts) {
+  std::istringstream in(
+      "{\"schema\": \"qplace.access_log.v2\", \"context\": {}}\n"
+      "{\"id\": 0, \"client\": 0, \"quorum\": 0, \"relay\": -1, "
+      "\"attempts\": 0, \"outcome\": \"ok\", \"start\": 0, \"finish\": 1, "
+      "\"probes\": []}\n");
+  EXPECT_THROW(obs::parse_access_log(in), std::runtime_error);
 }
 
 TEST(AccessLog, ParseRejectsForeignSchemaAndGarbage) {
@@ -445,6 +491,101 @@ TEST(AnalyzeAccessLog, DetectsCorruptedDelays) {
   EXPECT_GT(analysis.clients_checked, 0);
   EXPECT_FALSE(analysis.delays_ok());
   EXPECT_FALSE(analysis.ok());
+}
+
+// ------------------------------------------------------------- fault replay
+
+/// The same pinned instance the golden fault fixtures run on
+/// (tests/test_faults.cpp): path P5, majority(5), identity placement.
+core::QppInstance fault_instance() {
+  const quorum::QuorumSystem system = quorum::majority(5);
+  return core::QppInstance(
+      graph::Metric::from_graph(graph::path_graph(5)),
+      std::vector<double>(5, 1e9), system,
+      quorum::AccessStrategy::uniform(system));
+}
+
+sim::FaultSchedule crash_fixture() {
+  std::ifstream in(std::string(QPLACE_FAULT_FIXTURES) + "/crash_heavy.json");
+  EXPECT_TRUE(in.good());
+  return sim::load_fault_schedule(in);
+}
+
+/// Fault run with an attached log, context stamped the way the CLI stamps
+/// it (the analyzer keys off "fault_digest" and "timeout").
+obs::ParsedAccessLog fault_run(const sim::FaultSchedule& schedule,
+                               sim::SimulationResult* result_out) {
+  const core::QppInstance instance = fault_instance();
+  sim::SimulationConfig config;
+  config.duration = 100.0;
+  config.seed = 99;
+  config.faults = &schedule;
+  config.probe_timeout = 10.0;
+  config.max_attempts = 3;
+  obs::ParsedAccessLog log = simulate_with_log(instance, {0, 1, 2, 3, 4},
+                                               config, result_out);
+  log.context["fault_digest"] = sim::fault_schedule_digest(schedule);
+  log.context["timeout"] = "10";
+  log.context["retries"] = "3";
+  return log;
+}
+
+TEST(AnalyzeAccessLog, FaultRunCrossChecksAgainstSchedule) {
+  const sim::FaultSchedule schedule = crash_fixture();
+  sim::SimulationResult result;
+  const obs::ParsedAccessLog log = fault_run(schedule, &result);
+
+  const obs::AccessLogAnalysis analysis = obs::analyze_access_log(
+      fault_instance(), {0, 1, 2, 3, 4}, log, {}, &schedule);
+  EXPECT_TRUE(analysis.faulty);
+  EXPECT_TRUE(analysis.faults_checked);
+  EXPECT_TRUE(analysis.faults_ok())
+      << (analysis.fault_findings.empty() ? std::string()
+                                          : analysis.fault_findings.front());
+  EXPECT_TRUE(analysis.ok());
+  // The replayed counters agree with what the simulator reported: same
+  // resolved-access population, so exact equality.
+  EXPECT_EQ(analysis.failed_accesses, result.failed_accesses);
+  EXPECT_EQ(analysis.unavailable_accesses, result.unavailable_accesses);
+  EXPECT_DOUBLE_EQ(analysis.availability, result.availability);
+  // total_retries counts attempts-1 over *resolved* accesses; the engine
+  // counter additionally sees retries still in flight at the horizon.
+  EXPECT_GT(analysis.total_retries, 0);
+  EXPECT_LE(analysis.total_retries, result.retries);
+  // Delay/load CI gating is suspended under faults (the estimators are
+  // biased by retries), never failed.
+  EXPECT_EQ(analysis.clients_checked, 0);
+  EXPECT_FALSE(analysis.overall_checked);
+}
+
+TEST(AnalyzeAccessLog, FaultCrossCheckFlagsTamperedLog) {
+  const sim::FaultSchedule schedule = crash_fixture();
+  obs::ParsedAccessLog log = fault_run(schedule, nullptr);
+
+  // Claim an access burned more attempts than the run allowed.
+  ASSERT_FALSE(log.records.empty());
+  log.records.front().attempts = 9;
+  const obs::AccessLogAnalysis analysis = obs::analyze_access_log(
+      fault_instance(), {0, 1, 2, 3, 4}, log, {}, &schedule);
+  EXPECT_TRUE(analysis.faults_checked);
+  EXPECT_FALSE(analysis.faults_ok());
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_FALSE(analysis.fault_findings.empty());
+}
+
+TEST(AnalyzeAccessLog, FaultRunWithoutScheduleSkipsCIQuietly) {
+  // No schedule handed to the analyzer: it can still see the run was
+  // faulty (outcome/attempts fields) and must skip the biased CI checks
+  // without failing anything.
+  sim::SimulationResult result;
+  const obs::ParsedAccessLog log = fault_run(crash_fixture(), &result);
+  const obs::AccessLogAnalysis analysis =
+      obs::analyze_access_log(fault_instance(), {0, 1, 2, 3, 4}, log, {});
+  EXPECT_TRUE(analysis.faulty);
+  EXPECT_FALSE(analysis.faults_checked);
+  EXPECT_EQ(analysis.clients_checked, 0);
+  EXPECT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis.failed_accesses, result.failed_accesses);
 }
 
 TEST(AnalyzeAccessLog, RejectsOutOfRangeRecords) {

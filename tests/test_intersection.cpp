@@ -1,0 +1,202 @@
+#include "quorum/intersection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "quorum/constructions.hpp"
+#include "quorum/read_write.hpp"
+
+namespace qp::quorum {
+namespace {
+
+// Reference implementation: a quorum is live iff none of its elements
+// failed; safety is literal all-pairs intersection over the live family.
+struct BruteForceReport {
+  std::vector<int> live;
+  bool intersecting = true;
+  std::pair<int, int> violation{-1, -1};
+};
+
+BruteForceReport brute_force(const QuorumSystem& system,
+                             const std::vector<bool>& failed) {
+  BruteForceReport report;
+  for (int q = 0; q < system.num_quorums(); ++q) {
+    bool alive = true;
+    for (int element : system.quorum(q)) {
+      if (failed[static_cast<std::size_t>(element)]) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) report.live.push_back(q);
+  }
+  for (std::size_t i = 0; i < report.live.size() && report.intersecting;
+       ++i) {
+    for (std::size_t j = i + 1; j < report.live.size(); ++j) {
+      const Quorum& a = system.quorum(report.live[i]);
+      const Quorum& b = system.quorum(report.live[j]);
+      bool meets = false;
+      for (int element : a) {
+        if (std::find(b.begin(), b.end(), element) != b.end()) {
+          meets = true;
+          break;
+        }
+      }
+      if (!meets) {
+        report.intersecting = false;
+        report.violation = {report.live[i], report.live[j]};
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<bool> random_failures(int universe, double rate,
+                                  std::mt19937_64& rng) {
+  std::bernoulli_distribution coin(rate);
+  std::vector<bool> failed(static_cast<std::size_t>(universe));
+  for (std::size_t i = 0; i < failed.size(); ++i) failed[i] = coin(rng);
+  return failed;
+}
+
+void expect_matches_brute_force(const QuorumSystem& system,
+                                const std::vector<bool>& failed) {
+  const LivenessReport fast = check_liveness(system, failed);
+  const BruteForceReport slow = brute_force(system, failed);
+  EXPECT_EQ(fast.live_quorums, slow.live);
+  EXPECT_EQ(fast.pairwise_intersecting, slow.intersecting);
+  EXPECT_EQ(fast.violation, slow.violation);
+  EXPECT_EQ(fast.available(), !slow.live.empty());
+}
+
+// --- Property: agreement with brute force across all constructions --------
+
+TEST(IntersectionChecker, MatchesBruteForceAcrossConstructions) {
+  std::vector<QuorumSystem> systems;
+  systems.push_back(grid(3));
+  systems.push_back(grid(4));
+  systems.push_back(majority(7));
+  systems.push_back(majority(5, 4));
+  systems.push_back(projective_plane(2));
+  systems.push_back(binary_tree(3));
+  systems.push_back(crumbling_wall({1, 3, 4}));
+  systems.push_back(wheel(8));
+  systems.push_back(star(6));
+  systems.push_back(singleton());
+  systems.push_back(hierarchical_majority(3, 2));
+
+  std::mt19937_64 rng(20250808);
+  for (const QuorumSystem& system : systems) {
+    for (double rate : {0.0, 0.1, 0.3, 0.6, 1.0}) {
+      for (int trial = 0; trial < 20; ++trial) {
+        expect_matches_brute_force(
+            system, random_failures(system.universe_size(), rate, rng));
+      }
+    }
+  }
+}
+
+// Read/write families are the interesting safety case: the combined family
+// is generally NOT pairwise intersecting (reads need not meet reads), so
+// the checker must find real violations, not just vacuous truths.
+TEST(IntersectionChecker, MatchesBruteForceOnReadWriteFamilies) {
+  std::vector<QuorumSystem> systems;
+  systems.push_back(combine_uniform(read_one_write_all(5), 0.5).system);
+  systems.push_back(combine_uniform(majority_read_write(7, 3, 5), 0.5).system);
+  systems.push_back(combine_uniform(grid_read_write(3), 0.5).system);
+
+  std::mt19937_64 rng(77);
+  bool saw_violation = false;
+  for (const QuorumSystem& system : systems) {
+    for (double rate : {0.0, 0.2, 0.5}) {
+      for (int trial = 0; trial < 25; ++trial) {
+        const auto failed =
+            random_failures(system.universe_size(), rate, rng);
+        expect_matches_brute_force(system, failed);
+        if (!check_liveness(system, failed).safe()) saw_violation = true;
+      }
+    }
+  }
+  // The property pass must have exercised the violation branch at least
+  // once; otherwise the test is weaker than it claims.
+  EXPECT_TRUE(saw_violation);
+}
+
+// --- Pinned small cases ----------------------------------------------------
+
+TEST(IntersectionChecker, NoFailuresKeepsEveryQuorumLive) {
+  const QuorumSystem system = majority(5);
+  const LivenessReport report =
+      check_liveness(system, std::vector<bool>(5, false));
+  EXPECT_EQ(static_cast<int>(report.live_quorums.size()),
+            system.num_quorums());
+  EXPECT_TRUE(report.safe());
+  EXPECT_TRUE(report.available());
+  EXPECT_EQ(report.violation, (std::pair<int, int>{-1, -1}));
+}
+
+TEST(IntersectionChecker, AllFailedIsUnavailableButVacuouslySafe) {
+  const LivenessReport report =
+      check_liveness(majority(5), std::vector<bool>(5, true));
+  EXPECT_TRUE(report.live_quorums.empty());
+  EXPECT_FALSE(report.available());
+  EXPECT_TRUE(report.safe());  // vacuous: fewer than two live quorums
+}
+
+TEST(IntersectionChecker, MajorityToleratesMinorityFailures) {
+  // majority(7) uses quorums of size 4; any 3 failures leave C(4,4) = 1
+  // live quorum over the 4 survivors.
+  std::vector<bool> failed(7, false);
+  failed[0] = failed[2] = failed[5] = true;
+  const LivenessReport report = check_liveness(majority(7), failed);
+  EXPECT_EQ(static_cast<int>(report.live_quorums.size()), 1);
+  EXPECT_TRUE(report.safe());
+}
+
+TEST(IntersectionChecker, GridColumnFailureKillsEveryQuorum) {
+  // Every grid quorum contains a full row, so failing one element per row
+  // (a full column) kills all of them.
+  const QuorumSystem system = grid(3);
+  std::vector<bool> failed(9, false);
+  failed[0] = failed[3] = failed[6] = true;  // column 0
+  EXPECT_FALSE(check_liveness(system, failed).available());
+}
+
+TEST(IntersectionChecker, DetectsReadReadViolationWitness) {
+  // read-one-write-all on 3 elements: singleton reads {0},{1},{2} plus the
+  // full write {0,1,2}. Failing nothing leaves reads {0} and {1} live and
+  // disjoint -- the first violation in index order.
+  const QuorumSystem system =
+      combine_uniform(read_one_write_all(3), 0.5).system;
+  const LivenessReport report =
+      check_liveness(system, std::vector<bool>(3, false));
+  EXPECT_FALSE(report.safe());
+  EXPECT_EQ(report.violation, (std::pair<int, int>{0, 1}));
+}
+
+TEST(IntersectionChecker, FailuresCanRestoreReadWriteSafety) {
+  // Same family: fail elements 1 and 2. Live quorums are read {0} only
+  // (the write needs all three) -- fewer than two live, so safe again.
+  const QuorumSystem system =
+      combine_uniform(read_one_write_all(3), 0.5).system;
+  std::vector<bool> failed{false, true, true};
+  const LivenessReport report = check_liveness(system, failed);
+  EXPECT_EQ(report.live_quorums, (std::vector<int>{0}));
+  EXPECT_TRUE(report.safe());
+}
+
+TEST(IntersectionChecker, RejectsWrongFailureVectorSize) {
+  EXPECT_THROW(check_liveness(majority(5), std::vector<bool>(4, false)),
+               std::invalid_argument);
+  EXPECT_THROW(check_liveness(majority(5), std::vector<bool>(6, false)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qp::quorum

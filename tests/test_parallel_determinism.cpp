@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <random>
 #include <sstream>
@@ -320,7 +323,7 @@ TEST(ParallelDeterminism, SimulatorHistogramsBitIdentical) {
 }
 
 TEST(ParallelDeterminism, AccessLogBytesIdenticalAcrossThreadCounts) {
-  // The access log (docs/OBSERVABILITY.md, qplace.access_log.v1) is a
+  // The access log (docs/OBSERVABILITY.md, qplace.access_log.v2) is a
   // deterministic artifact: solving on 1 or 8 threads and simulating with
   // the same seed must produce byte-identical JSONL, record for record.
   const NamedInstance named = make_instances().front();
@@ -355,6 +358,102 @@ TEST(ParallelDeterminism, AccessLogBytesIdenticalAcrossThreadCounts) {
   const std::string sampled_eight = run(8, sampling);
   EXPECT_EQ(sampled_one, sampled_eight);
   EXPECT_LT(sampled_one.size(), at_one.size());
+}
+
+TEST(ParallelDeterminism, FaultRunArtifactsBitIdenticalAcrossThreadCounts) {
+  // The determinism contract extends to fault injection unchanged
+  // (docs/SIMULATION.md): a fixed schedule + fixed seed must produce
+  // byte-identical v2 access logs (attempts/outcome fields included),
+  // identical fault counters, and identical registry state at any thread
+  // count. Retry decisions draw no randomness, so this holds exactly.
+  const NamedInstance named = make_instances().front();
+  // Crash a node the placement actually uses (solved once, deterministic)
+  // -- and among those, the one hosting the fewest elements, so some
+  // quorum stays live and the run exercises timeout, re-selection AND
+  // successful retries rather than going fully unavailable.
+  const core::Placement reference_placement = [&] {
+    core::QppSolveOptions options;
+    options.alpha = 2.0;
+    return core::solve_qpp(named.instance, options)->placement;
+  }();
+  std::map<int, int> elements_on_node;
+  for (int node : reference_placement) ++elements_on_node[node];
+  const int crash_node =
+      std::min_element(elements_on_node.begin(), elements_on_node.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       })
+          ->first;
+  const sim::FaultSchedule schedule({{crash_node, 0.0, 120.0}}, {}, {});
+
+  struct FaultRun {
+    std::string log;
+    sim::SimulationResult result;
+    std::map<std::string, std::uint64_t> counters;
+  };
+  const auto run = [&](int threads, obs::AccessLogConfig log_config) {
+    obs::Registry::instance().reset_all();
+    return with_threads(threads, [&] {
+      core::QppSolveOptions options;
+      options.alpha = 2.0;
+      const auto solved = core::solve_qpp(named.instance, options);
+      std::ostringstream out;
+      obs::AccessLogWriter writer(out, log_config);
+      sim::SimulationConfig config;
+      config.duration = 120.0;
+      config.warmup = 10.0;
+      config.seed = 99;
+      config.faults = &schedule;
+      config.probe_timeout = 10.0;
+      config.max_attempts = 3;
+      config.availability_bucket = 25.0;
+      config.access_log = &writer;
+      sim::SimulationResult result =
+          sim::simulate(named.instance, solved->placement, config);
+      writer.close();
+      return FaultRun{out.str(), std::move(result),
+                      obs::Registry::instance().counter_values()};
+    });
+  };
+
+  const FaultRun at_one = run(1, {});
+  const FaultRun at_eight = run(8, {});
+  EXPECT_EQ(at_one.log, at_eight.log);
+  EXPECT_GT(at_one.log.size(), 0u);
+  EXPECT_EQ(at_one.result.failed_accesses, at_eight.result.failed_accesses);
+  EXPECT_EQ(at_one.result.timed_out_attempts,
+            at_eight.result.timed_out_attempts);
+  EXPECT_EQ(at_one.result.retries, at_eight.result.retries);
+  EXPECT_EQ(at_one.result.availability_series,
+            at_eight.result.availability_series);
+  EXPECT_EQ(at_one.counters, at_eight.counters);
+  // The run must actually have exercised the fault path, and recovered:
+  // timeouts fired, retries launched, and accesses still completed.
+  EXPECT_GT(at_one.result.retries, 0);
+  EXPECT_GT(at_one.result.timed_out_attempts, 0);
+  EXPECT_GT(at_one.result.completed_accesses, 0);
+
+  // Sampling invariance: the sampled fault log is the identical subset at
+  // every thread count, and every sampled line appears verbatim in the
+  // full log (per-record hash sampling, not positional).
+  obs::AccessLogConfig sampling;
+  sampling.sample_rate = 0.5;
+  sampling.sample_seed = 5;
+  const FaultRun sampled_one = run(1, sampling);
+  const FaultRun sampled_eight = run(8, sampling);
+  EXPECT_EQ(sampled_one.log, sampled_eight.log);
+  EXPECT_LT(sampled_one.log.size(), at_one.log.size());
+  std::istringstream lines(sampled_one.log);
+  std::string line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (first) {  // header carries the sampling config; not a record
+      first = false;
+      continue;
+    }
+    EXPECT_NE(at_one.log.find(line), std::string::npos)
+        << "sampled record missing from full log: " << line;
+  }
 }
 
 TEST(ParallelDeterminism, EvaluatorsBitIdenticalAcrossThreadCounts) {

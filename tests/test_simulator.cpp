@@ -16,8 +16,8 @@ namespace {
 // Seeding discipline (prerequisite for the parallel determinism suite,
 // tests/test_parallel_determinism.cpp): every case owns its seeds
 // explicitly -- the topology seed through make_er_instance, the simulation
-// seed through SimulationConfig::seed -- and no engine is shared between
-// cases. A failure therefore reproduces in isolation under
+// seed through make_config -- and no engine is shared between cases. A
+// failure therefore reproduces in isolation under
 // --gtest_filter=Simulator.<Case> regardless of execution order.
 
 core::QppInstance make_instance(const graph::Graph& g,
@@ -37,7 +37,27 @@ core::QppInstance make_er_instance(int nodes, double p, double max_length,
                        system);
 }
 
+/// Shared config factory: pins the per-case simulation seed, checks the
+/// warmup < duration precondition at the test site (not just deep in the
+/// engine), and pins the fault knobs to the failure-free baseline so a
+/// future default change cannot silently turn these convergence tests into
+/// fault runs. Fault behaviour itself is covered by tests/test_faults.cpp.
+SimulationConfig make_config(std::uint64_t seed, double duration,
+                             double warmup = 0.0) {
+  EXPECT_LT(warmup, duration) << "test misconfiguration: warmup >= duration";
+  SimulationConfig config;
+  config.seed = seed;
+  config.duration = duration;
+  config.warmup = warmup;
+  config.faults = nullptr;
+  config.probe_timeout = 0.0;
+  config.availability_bucket = 0.0;
+  return config;
+}
+
 TEST(Simulator, ValidatesArguments) {
+  // Deliberately invalid configs, so this case builds them by hand instead
+  // of through make_config (whose job is to rule these out).
   const core::QppInstance instance =
       make_instance(graph::path_graph(4), quorum::grid(2));
   const core::Placement f = {0, 1, 2, 3};
@@ -58,11 +78,9 @@ TEST(Simulator, ParallelDelayMatchesAnalyticExpectation) {
       make_er_instance(8, 0.5, 5.0, /*topology_seed=*/3, quorum::grid(2));
   const core::Placement f = {1, 3, 5, 7};
 
-  SimulationConfig config;
-  config.duration = 4000.0;
+  SimulationConfig config = make_config(/*seed=*/11, /*duration=*/4000.0);
   config.arrival_rate_per_client = 1.0;
   config.mode = AccessMode::kParallel;
-  config.seed = 11;
   const SimulationResult result = simulate(instance, f, config);
 
   ASSERT_GT(result.completed_accesses, 10000);
@@ -82,10 +100,8 @@ TEST(Simulator, SequentialDelayMatchesTotalDelay) {
       make_er_instance(8, 0.5, 5.0, /*topology_seed=*/5, quorum::majority(3));
   const core::Placement f = {0, 4, 6};
 
-  SimulationConfig config;
-  config.duration = 4000.0;
+  SimulationConfig config = make_config(/*seed=*/17, /*duration=*/4000.0);
   config.mode = AccessMode::kSequential;
-  config.seed = 17;
   const SimulationResult result = simulate(instance, f, config);
 
   const double analytic = core::average_total_delay(instance, f);
@@ -98,9 +114,8 @@ TEST(Simulator, NodeAccessShareMatchesLoad) {
       make_er_instance(6, 0.6, 4.0, /*topology_seed=*/7, quorum::grid(2));
   const core::Placement f = {2, 2, 4, 5};  // two elements stacked on node 2
 
-  SimulationConfig config;
-  config.duration = 3000.0;
-  config.seed = 23;
+  const SimulationConfig config =
+      make_config(/*seed=*/23, /*duration=*/3000.0);
   const SimulationResult result = simulate(instance, f, config);
 
   const std::vector<double> loads = core::node_loads(
@@ -116,12 +131,9 @@ TEST(Simulator, WarmupExcludesEarlyAccesses) {
   const core::QppInstance instance =
       make_instance(graph::path_graph(4), quorum::grid(2));
   const core::Placement f = {0, 1, 2, 3};
-  SimulationConfig with_warmup;
-  with_warmup.duration = 500.0;
-  with_warmup.warmup = 400.0;
-  with_warmup.seed = 3;
-  SimulationConfig without = with_warmup;
-  without.warmup = 0.0;
+  const SimulationConfig with_warmup =
+      make_config(/*seed=*/3, /*duration=*/500.0, /*warmup=*/400.0);
+  const SimulationConfig without = make_config(/*seed=*/3, /*duration=*/500.0);
   const auto a = simulate(instance, f, with_warmup);
   const auto b = simulate(instance, f, without);
   EXPECT_LT(a.completed_accesses, b.completed_accesses);
@@ -135,10 +147,8 @@ TEST(Simulator, HistogramCoversSamePopulationAsMeans) {
   const core::QppInstance instance =
       make_instance(graph::path_graph(4), quorum::grid(2));
   const core::Placement f = {0, 1, 2, 3};
-  SimulationConfig config;
-  config.duration = 500.0;
-  config.warmup = 100.0;
-  config.seed = 11;
+  const SimulationConfig config =
+      make_config(/*seed=*/11, /*duration=*/500.0, /*warmup=*/100.0);
   const SimulationResult result = simulate(instance, f, config);
   EXPECT_EQ(result.access_delay.count(),
             static_cast<std::uint64_t>(result.completed_accesses));
@@ -160,11 +170,9 @@ TEST(Simulator, QueueDepthStatsTrackContention) {
   const core::QppInstance instance =
       make_instance(graph::path_graph(4), quorum::grid(2));
   const core::Placement f = {0, 0, 0, 0};
-  SimulationConfig config;
-  config.duration = 300.0;
+  SimulationConfig config = make_config(/*seed=*/13, /*duration=*/300.0);
   config.arrival_rate_per_client = 2.0;
   config.service_rate = 1.0;
-  config.seed = 13;
   const SimulationResult result = simulate(instance, f, config);
   EXPECT_GT(result.per_node_max_queue_depth[0], 1);
   EXPECT_GT(result.per_node_mean_queue_depth[0], 0.0);
@@ -185,9 +193,8 @@ TEST(Simulator, QueueingInflatesDelayUnderOverload) {
       make_instance(graph::star_graph(6), quorum::grid(2));
   const core::Placement all_on_hub = {0, 0, 0, 0};
 
-  SimulationConfig free_config;
-  free_config.duration = 800.0;
-  free_config.seed = 9;
+  const SimulationConfig free_config =
+      make_config(/*seed=*/9, /*duration=*/800.0);
   const double no_queue =
       simulate(instance, all_on_hub, free_config).overall_mean_delay;
 
@@ -209,10 +216,8 @@ TEST(Simulator, UtilizationTracksServiceShare) {
   const core::QppInstance instance =
       make_instance(graph::star_graph(5), quorum::majority(3));
   const core::Placement f = {1, 2, 3};
-  SimulationConfig config;
-  config.duration = 2000.0;
+  SimulationConfig config = make_config(/*seed=*/31, /*duration=*/2000.0);
   config.service_rate = 50.0;
-  config.seed = 31;
   const SimulationResult result = simulate(instance, f, config);
   // majority(3) has t = 2, so load(u) = 2/3. Offered probe rate per replica
   // node = total access rate (5/s) * 2/3 = 10/3; utilization = (10/3)/50.
@@ -228,9 +233,8 @@ TEST(Simulator, DeterministicUnderFixedSeed) {
   const core::QppInstance instance =
       make_instance(graph::path_graph(5), quorum::majority(3));
   const core::Placement f = {0, 2, 4};
-  SimulationConfig config;
-  config.duration = 200.0;
-  config.seed = 77;
+  const SimulationConfig config =
+      make_config(/*seed=*/77, /*duration=*/200.0);
   const auto a = simulate(instance, f, config);
   const auto b = simulate(instance, f, config);
   EXPECT_EQ(a.completed_accesses, b.completed_accesses);
@@ -241,10 +245,8 @@ TEST(Simulator, NearestQuorumPolicyMatchesClosestQuorumDelay) {
   const core::QppInstance instance =
       make_er_instance(8, 0.5, 5.0, /*topology_seed=*/41, quorum::grid(2));
   const core::Placement f = {0, 2, 5, 7};
-  SimulationConfig config;
-  config.duration = 2000.0;
+  SimulationConfig config = make_config(/*seed=*/43, /*duration=*/2000.0);
   config.selection = SelectionPolicy::kNearestQuorum;
-  config.seed = 43;
   const SimulationResult result = simulate(instance, f, config);
   double analytic = 0.0;
   for (int v = 0; v < 8; ++v) {
@@ -259,9 +261,8 @@ TEST(Simulator, NearestQuorumNeverSlowerThanStrategy) {
   const core::QppInstance instance =
       make_er_instance(10, 0.4, 6.0, /*topology_seed=*/47, quorum::majority(5));
   const core::Placement f = {0, 2, 4, 6, 8};
-  SimulationConfig strategy_config;
-  strategy_config.duration = 1500.0;
-  strategy_config.seed = 3;
+  const SimulationConfig strategy_config =
+      make_config(/*seed=*/3, /*duration=*/1500.0);
   SimulationConfig nearest_config = strategy_config;
   nearest_config.selection = SelectionPolicy::kNearestQuorum;
   const double by_strategy =
@@ -275,7 +276,7 @@ TEST(Simulator, NearestQuorumNeverSlowerThanStrategy) {
 TEST(Simulator, JitterValidated) {
   const core::QppInstance instance =
       make_instance(graph::path_graph(4), quorum::grid(2));
-  SimulationConfig config;
+  SimulationConfig config = make_config(/*seed=*/1, /*duration=*/100.0);
   config.latency_jitter = 1.0;
   EXPECT_THROW(simulate(instance, {0, 1, 2, 3}, config),
                std::invalid_argument);
@@ -290,9 +291,7 @@ TEST(Simulator, JitterBiasesParallelDelayUpward) {
       make_er_instance(8, 0.5, 5.0, /*topology_seed=*/53, quorum::grid(2));
   const core::Placement f = {0, 2, 4, 6};
 
-  SimulationConfig clean;
-  clean.duration = 3000.0;
-  clean.seed = 7;
+  const SimulationConfig clean = make_config(/*seed=*/7, /*duration=*/3000.0);
   SimulationConfig noisy = clean;
   noisy.latency_jitter = 0.5;
 
@@ -318,9 +317,7 @@ TEST(Simulator, ZeroWeightClientsNeverIssue) {
   std::vector<double> weights = {1.0, 1.0, 0.0, 0.0};
   core::QppInstance instance(metric, std::vector<double>(4, 1e9), system,
                              quorum::AccessStrategy::uniform(system), weights);
-  SimulationConfig config;
-  config.duration = 300.0;
-  config.seed = 5;
+  const SimulationConfig config = make_config(/*seed=*/5, /*duration=*/300.0);
   const auto result = simulate(instance, {0, 1, 2}, config);
   EXPECT_EQ(result.per_client_count[2], 0);
   EXPECT_EQ(result.per_client_count[3], 0);

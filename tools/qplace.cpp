@@ -78,12 +78,19 @@ int usage() {
       "  topology   generate a topology and print Graphviz DOT\n"
       "  analyze    quorum-system quality metrics (load, FT, availability);\n"
       "             with --access-log FILE: replay a simulator access log\n"
-      "             against the analytic model (needs the simulate flags);\n"
+      "             against the analytic model (needs the simulate flags;\n"
+      "             add --faults FILE to cross-check retries/availability\n"
+      "             against the fault schedule that drove the run);\n"
       "             with --diff A --against B [--tolerance T]: structured\n"
       "             run-report diff, exit 1 on deterministic counter drift\n"
       "  solve      place a quorum system on a topology\n"
       "  simulate   message-level simulation of a solved placement\n"
-      "             (--warmup W --jitter J --relay route via Thm 1.2 v0)\n"
+      "             (--warmup W --jitter J --relay route via Thm 1.2 v0);\n"
+      "             fault injection (docs/SIMULATION.md): --faults FILE\n"
+      "             (qplace.faults.v1 schedule) --timeout T (attempt\n"
+      "             deadline) --retries K (max attempts) --backoff B\n"
+      "             (exponential backoff base, capped by --backoff-cap)\n"
+      "             --availability-bucket W (availability series width)\n"
       "  check      solve, then verify the certified bounds "
       "(Thm 1.2/3.7/5.1, Eq. 19)\n"
       "common flags: --system --topology --nodes --seed --threads N\n"
@@ -95,8 +102,8 @@ int usage() {
       "                    (phase timers, solver counters, histograms)\n"
       "  --trace-out FILE  record phase spans and write Chrome trace_event\n"
       "                    JSON loadable in chrome://tracing or Perfetto\n"
-      "  --access-log FILE (simulate) write one qplace.access_log.v1 JSONL\n"
-      "                    record per completed access; sampling via\n"
+      "  --access-log FILE (simulate) write one qplace.access_log.v2 JSONL\n"
+      "                    record per resolved access; sampling via\n"
       "                    --access-log-sample R (keep fraction R) and\n"
       "                    --access-log-head N (first N records)\n";
   return 2;
@@ -204,6 +211,15 @@ obs::json::Value load_json_file(const std::string& path) {
   }
 }
 
+/// Reads and parses a `qplace.faults.v1` schedule file (--faults FLAG).
+sim::FaultSchedule load_faults_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open fault schedule '" + path + "'");
+  }
+  return sim::load_fault_schedule(in);
+}
+
 int cmd_topology(const cli::ParsedArgs& args) {
   std::mt19937_64 rng(
       static_cast<std::uint64_t>(args.get_int("seed", 1)));
@@ -246,13 +262,31 @@ int cmd_analyze_access_log(const cli::ParsedArgs& args) {
     return 1;
   }
 
+  // Optional fault schedule: digest-matched against the log header, then
+  // handed to the analyzer for the retry/availability cross-checks.
+  sim::FaultSchedule faults;
+  const bool have_faults = !args.get("faults", "").empty();
+  if (have_faults) {
+    faults = load_faults_file(args.get("faults", ""));
+    const std::string log_fault_digest = log.context_or("fault_digest", "");
+    const std::string file_digest = sim::fault_schedule_digest(faults);
+    if (!log_fault_digest.empty() && log_fault_digest != file_digest) {
+      std::cerr << "error: fault schedule digest mismatch: access log has "
+                << log_fault_digest << ", --faults file hashes to "
+                << file_digest
+                << " -- pass the same schedule the simulate run used\n";
+      return 2;
+    }
+  }
+
   obs::AnalyzeOptions options;
   options.alpha = args.get_double("alpha", 2.0);
   options.z = args.get_double("z", 1.96);
   options.min_samples = args.get_int("min-samples", 10);
   options.load_slack = args.get_double("load-slack", 0.05);
   const obs::AccessLogAnalysis analysis = obs::analyze_access_log(
-      bundle.instance, solved->placement, log, options);
+      bundle.instance, solved->placement, log, options,
+      have_faults ? &faults : nullptr);
 
   const char* objective = analysis.sequential ? "Gamma" : "Delta";
   std::cout << "access log: " << analysis.total_accesses << " records ("
@@ -314,6 +348,30 @@ int cmd_analyze_access_log(const cli::ParsedArgs& args) {
   }
   std::cout << "\nper-quorum access mix:\n";
   quorums.print(std::cout);
+
+  if (analysis.faulty || analysis.faults_checked) {
+    report::Table faults_table({"metric", "value"});
+    faults_table.add_row({"ok accesses",
+                          std::to_string(analysis.ok_accesses)});
+    faults_table.add_row({"failed accesses",
+                          std::to_string(analysis.failed_accesses)});
+    faults_table.add_row({"unavailable accesses",
+                          std::to_string(analysis.unavailable_accesses)});
+    faults_table.add_row({"total retries",
+                          std::to_string(analysis.total_retries)});
+    faults_table.add_row({"availability",
+                          report::Table::num(analysis.availability, 4)});
+    if (analysis.faults_checked) {
+      faults_table.add_row({"schedule cross-check",
+                            analysis.faults_ok() ? "ok" : "FAIL"});
+    }
+    std::cout << "\nfault summary (delay/load CI checks skipped under "
+                 "faults):\n";
+    faults_table.print(std::cout);
+    for (const std::string& finding : analysis.fault_findings) {
+      std::cout << "  finding: " << finding << "\n";
+    }
+  }
 
   std::cout << (analysis.ok()
                     ? "\nACCESS LOG OK: empirical delays and loads match the "
@@ -652,7 +710,26 @@ int cmd_simulate(const cli::ParsedArgs& args) {
     config.relay_node = solved->chosen_source;
   }
 
-  // Optional per-access event log (schema qplace.access_log.v1).
+  // Fault injection (docs/SIMULATION.md): a deterministic schedule plus the
+  // timeout/retry knobs that drive quorum re-selection.
+  sim::FaultSchedule faults;
+  const std::string faults_path = args.get("faults", "");
+  config.probe_timeout = args.get_double("timeout", 0.0);
+  config.max_attempts = args.get_int("retries", 3);
+  config.retry_backoff = args.get_double("backoff", 0.5);
+  config.retry_backoff_cap = args.get_double("backoff-cap", 8.0);
+  config.availability_bucket = args.get_double("availability-bucket", 0.0);
+  if (!faults_path.empty()) {
+    faults = load_faults_file(faults_path);
+    if (config.probe_timeout <= 0.0) {
+      std::cerr << "error: --faults requires a positive --timeout so "
+                   "dropped probes can be detected and retried\n";
+      return 2;
+    }
+    config.faults = &faults;
+  }
+
+  // Optional per-access event log (schema qplace.access_log.v2).
   const std::string log_path = args.get("access-log", "");
   std::ofstream log_stream;
   std::unique_ptr<obs::AccessLogWriter> log_writer;
@@ -695,6 +772,16 @@ int cmd_simulate(const cli::ParsedArgs& args) {
                             std::to_string(log_config.head_limit));
     log_writer->set_context("sample_seed",
                             std::to_string(log_config.sample_seed));
+    if (config.faults != nullptr) {
+      log_writer->set_context("fault_digest",
+                              sim::fault_schedule_digest(*config.faults));
+      log_writer->set_context("timeout",
+                              report::Table::num(config.probe_timeout, 6));
+      log_writer->set_context("retries",
+                              std::to_string(config.max_attempts));
+      log_writer->set_context("backoff",
+                              report::Table::num(config.retry_backoff, 6));
+    }
     config.access_log = log_writer.get();
   }
 
@@ -745,6 +832,19 @@ int cmd_simulate(const cli::ParsedArgs& args) {
     analytic = core::average_total_delay(instance, solved->placement);
   }
   table.add_row({"analytic mean delay", report::Table::num(analytic, 4)});
+  if (config.faults != nullptr) {
+    table.add_row({"failed accesses",
+                   std::to_string(result.failed_accesses)});
+    table.add_row({"unavailable accesses",
+                   std::to_string(result.unavailable_accesses)});
+    table.add_row({"timed-out attempts",
+                   std::to_string(result.timed_out_attempts)});
+    table.add_row({"retries", std::to_string(result.retries)});
+    table.add_row({"availability",
+                   report::Table::num(result.availability, 4)});
+    table.add_row({"intersection safety",
+                   result.safety_ok ? "ok" : "VIOLATED"});
+  }
   table.print(std::cout);
   if (log_writer != nullptr) {
     std::cout << "access log: " << log_writer->recorded() << " records -> "
