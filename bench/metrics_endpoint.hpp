@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file metrics_endpoint.hpp
+/// Env-gated admin endpoint for the bench drivers.
+///
+/// Exporting QPLACE_METRICS_PORT=P makes a driver serve GET /metrics
+/// (Prometheus text rendering of the live obs registry, docs/OBSERVABILITY.md
+/// "Live telemetry") and /healthz on 127.0.0.1:P for its whole lifetime --
+/// the same endpoint `qplace simulate --metrics-port` exposes, minus the
+/// run-report route. The env gate keeps the flag surface of the
+/// google-benchmark binaries untouched: `QPLACE_METRICS_PORT=9464
+/// build/bench/perf_sim` is scrapeable, a plain invocation starts no thread
+/// and opens no socket.
+
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "net/http_server.hpp"
+#include "obs/obs.hpp"
+#include "obs/prom.hpp"
+
+namespace qp::bench {
+
+/// Starts the endpoint on construction when QPLACE_METRICS_PORT is set and
+/// stops it on destruction. A malformed value or an unbindable port is a
+/// stderr warning, never a failure -- benchmarks must run without the admin
+/// plane.
+class MetricsEndpoint {
+ public:
+  MetricsEndpoint() {
+    const char* env = std::getenv("QPLACE_METRICS_PORT");
+    if (env == nullptr || *env == '\0') return;
+    int port = 0;
+    try {
+      port = std::stoi(env);
+    } catch (const std::exception&) {
+      std::cerr << "warning: ignoring non-numeric QPLACE_METRICS_PORT '"
+                << env << "'\n";
+      return;
+    }
+    server_.handle("/metrics", [](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::render_prometheus(obs::Registry::instance());
+      return response;
+    });
+    server_.handle("/healthz", [](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.body = "ok\n";
+      return response;
+    });
+    try {
+      server_.start(port);
+      std::cerr << "serving /metrics /healthz on 127.0.0.1:"
+                << server_.port() << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "warning: QPLACE_METRICS_PORT=" << env << ": " << e.what()
+                << "\n";
+    }
+  }
+
+ private:
+  net::HttpServer server_;
+};
+
+}  // namespace qp::bench

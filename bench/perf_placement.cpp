@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "metrics_endpoint.hpp"
+
 #include <cstdint>
 #include <initializer_list>
 #include <map>
@@ -205,4 +207,14 @@ BENCHMARK(BM_LocalSearchDescent)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the env-gated admin endpoint
+// (metrics_endpoint.hpp) lives for the whole benchmark run:
+// QPLACE_METRICS_PORT=P makes this driver scrapeable while it runs.
+int main(int argc, char** argv) {
+  const qp::bench::MetricsEndpoint metrics_endpoint;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "metrics_endpoint.hpp"
+
 #include <random>
 
 #include "graph/generators.hpp"
@@ -93,4 +95,14 @@ BENCHMARK(BM_SimulateNearestQuorum);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the env-gated admin endpoint
+// (metrics_endpoint.hpp) lives for the whole benchmark run:
+// QPLACE_METRICS_PORT=P makes this driver scrapeable while it runs.
+int main(int argc, char** argv) {
+  const qp::bench::MetricsEndpoint metrics_endpoint;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

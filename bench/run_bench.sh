@@ -84,10 +84,22 @@ for b in "${binaries[@]}"; do
 done
 
 # Host metadata beyond what google-benchmark records: core count, the exact
-# compiler, and the CMake build type the binaries were produced with.
+# compiler, the CMake build type the binaries were produced with, plus the
+# kernel, CPU model, and repo revision so two baselines can be compared
+# without guessing what produced them.
 host_nproc="$(nproc 2>/dev/null || echo unknown)"
+host_kernel="$(uname -srm 2>/dev/null || echo unknown)"
+host_cpu_model="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null \
+                  | head -1)"
+host_git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null \
+                || echo unknown)"
 host_build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
                    "$build_dir/CMakeCache.txt" 2>/dev/null | head -1)"
+# An empty cache entry means the project default applied (CMakeLists.txt
+# promotes an unset build type to RelWithDebInfo at configure time).
+if [[ -z "$host_build_type" ]]; then
+  host_build_type="RelWithDebInfo (project default)"
+fi
 host_compiler_path="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
                       "$build_dir/CMakeCache.txt" 2>/dev/null | head -1)"
 host_compiler="unknown"
@@ -109,6 +121,9 @@ fi
 export BENCH_HOST_NPROC="$host_nproc"
 export BENCH_HOST_BUILD_TYPE="$host_build_type"
 export BENCH_HOST_COMPILER="$host_compiler"
+export BENCH_HOST_KERNEL="$host_kernel"
+export BENCH_HOST_CPU_MODEL="$host_cpu_model"
+export BENCH_HOST_GIT_SHA="$host_git_sha"
 export BENCH_SOLVE_STATS="$solve_stats"
 
 python3 - "$work_dir" "$out_json" <<'PY'
@@ -134,6 +149,9 @@ for b in binaries:
             "nproc": os.environ.get("BENCH_HOST_NPROC"),
             "compiler": os.environ.get("BENCH_HOST_COMPILER"),
             "cmake_build_type": os.environ.get("BENCH_HOST_BUILD_TYPE"),
+            "kernel": os.environ.get("BENCH_HOST_KERNEL"),
+            "cpu_model": os.environ.get("BENCH_HOST_CPU_MODEL"),
+            "git_sha": os.environ.get("BENCH_HOST_GIT_SHA"),
         }
         for bench in report["benchmarks"]:
             if bench.get("run_type") == "aggregate":

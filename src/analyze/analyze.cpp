@@ -406,6 +406,11 @@ double ReportDiff::max_deterministic_drift() const {
       return std::numeric_limits<double>::infinity();
     }
   }
+  for (const HistogramDiff& entry : histograms) {
+    if (entry.schema_drift()) {
+      return std::numeric_limits<double>::infinity();
+    }
+  }
   return drift;
 }
 
@@ -508,21 +513,34 @@ ReportDiff diff_run_reports(const json::Value& base, const json::Value& cand) {
   for (const std::string& name : hist_names) {
     HistogramDiff entry;
     entry.name = name;
+    // Empty histograms render mean/quantiles as null (histogram.cpp); a
+    // null side keeps the numeric fields at 0 and sets the null flag, and
+    // null-vs-number gates as schema drift (HistogramDiff::schema_drift).
+    const auto quantiles_null = [](const json::Value& h) {
+      const json::Value* mean = h.find("mean");
+      return mean != nullptr && mean->is_null();
+    };
     if (const json::Value* h =
             base_hists != nullptr ? base_hists->find(name) : nullptr) {
       entry.count_base = h->get_number("count", 0.0);
-      entry.mean_base = h->get_number("mean", 0.0);
-      entry.p50_base = h->get_number("p50", 0.0);
-      entry.p90_base = h->get_number("p90", 0.0);
-      entry.p99_base = h->get_number("p99", 0.0);
+      entry.null_base = quantiles_null(*h);
+      if (!entry.null_base) {
+        entry.mean_base = h->get_number("mean", 0.0);
+        entry.p50_base = h->get_number("p50", 0.0);
+        entry.p90_base = h->get_number("p90", 0.0);
+        entry.p99_base = h->get_number("p99", 0.0);
+      }
     }
     if (const json::Value* h =
             cand_hists != nullptr ? cand_hists->find(name) : nullptr) {
       entry.count_cand = h->get_number("count", 0.0);
-      entry.mean_cand = h->get_number("mean", 0.0);
-      entry.p50_cand = h->get_number("p50", 0.0);
-      entry.p90_cand = h->get_number("p90", 0.0);
-      entry.p99_cand = h->get_number("p99", 0.0);
+      entry.null_cand = quantiles_null(*h);
+      if (!entry.null_cand) {
+        entry.mean_cand = h->get_number("mean", 0.0);
+        entry.p50_cand = h->get_number("p50", 0.0);
+        entry.p90_cand = h->get_number("p90", 0.0);
+        entry.p99_cand = h->get_number("p99", 0.0);
+      }
     }
     diff.histograms.push_back(entry);
   }

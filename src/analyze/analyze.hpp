@@ -194,6 +194,16 @@ struct HistogramDiff {
   double p50_base = 0.0, p50_cand = 0.0;
   double p90_base = 0.0, p90_cand = 0.0;
   double p99_base = 0.0, p99_cand = 0.0;
+  /// True when the side's mean/p50/p90/p99 are JSON null (empty histogram;
+  /// see LogHistogram::to_json). The numeric fields above stay 0 then.
+  bool null_base = false;
+  bool null_cand = false;
+
+  /// null on one side, numbers on the other: the histograms are not
+  /// comparable (one run measured, the other did not) -- schema drift,
+  /// which gates like an infinite counter drift rather than passing any
+  /// tolerance on the 0-vs-number difference.
+  bool schema_drift() const { return null_base != null_cand; }
 };
 
 /// Wall-time comparison -- informational only, never gated.
@@ -219,8 +229,9 @@ struct ReportDiff {
   std::vector<TimerDiff> timers;        // nondeterministic -- informational
 
   /// Largest relative counter drift (0 when there are no counters);
-  /// +infinity when a counter or series exists on only one side or a
-  /// series diverged.
+  /// +infinity when a counter or series exists on only one side, a series
+  /// diverged, or a histogram is null-vs-number (HistogramDiff::
+  /// schema_drift).
   double max_deterministic_drift() const;
   bool deterministic_ok(double tolerance) const {
     return error.empty() && max_deterministic_drift() <= tolerance;

@@ -1,0 +1,286 @@
+#include "analyze/trace_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
+
+namespace qp::obs {
+
+namespace {
+
+struct AttemptSpan {
+  int attempt = 0;
+  int quorum = 0;
+  std::string outcome;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct ProbeSpan {
+  int attempt = 0;
+  int probe = 0;
+  int element = 0;
+  int node = 0;
+  bool dropped = false;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct AccessSpan {
+  bool present = false;
+  int client = 0;
+  int quorum = 0;
+  int attempts = 0;
+  std::string outcome;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+/// Everything the trace says about one access id.
+struct SpanTree {
+  AccessSpan access;
+  std::vector<AttemptSpan> attempts;
+  std::vector<ProbeSpan> probes;
+};
+
+double arg_number(const json::Value& event, const char* key, double fallback) {
+  const json::Value* args = event.find("args");
+  return args != nullptr ? args->get_number(key, fallback) : fallback;
+}
+
+std::string arg_string(const json::Value& event, const char* key) {
+  const json::Value* args = event.find("args");
+  return args != nullptr ? args->get_string(key, "") : "";
+}
+
+bool arg_bool(const json::Value& event, const char* key) {
+  const json::Value* args = event.find("args");
+  const json::Value* value = args != nullptr ? args->find(key) : nullptr;
+  return value != nullptr && value->type == json::Value::Type::kBool &&
+         value->boolean;
+}
+
+}  // namespace
+
+TraceCheckResult check_trace_against_log(const json::Value& trace,
+                                         const ParsedAccessLog& log,
+                                         const TraceCheckOptions& options) {
+  const json::Value* events = trace.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error(
+        "trace check: document has no traceEvents array (not a Chrome "
+        "trace?)");
+  }
+
+  TraceCheckResult result;
+  const auto violation = [&](std::int64_t id, const std::string& message) {
+    ++result.violations;
+    if (static_cast<int>(result.findings.size()) < options.max_findings) {
+      char prefix[32];
+      std::snprintf(prefix, sizeof(prefix), "access %lld: ",
+                    static_cast<long long>(id));
+      result.findings.push_back(prefix + message);
+    }
+  };
+  const auto near = [&](double a, double b) {
+    return std::abs(a - b) <= options.tolerance;
+  };
+
+  // Pass 1: group the sim-time-domain spans by access id. Times come back
+  // from the trace's microsecond rendering into sim units.
+  constexpr double kScale = TraceRecorder::kSimTimeScaleUs;
+  std::map<std::int64_t, SpanTree> trees;
+  for (const json::Value& event : events->array) {
+    if (static_cast<int>(event.get_number("pid", 1.0)) !=
+        TraceRecorder::kSimTimePid) {
+      continue;
+    }
+    const std::string name = event.get_string("name", "");
+    const auto id =
+        static_cast<std::int64_t>(arg_number(event, "id", -1.0));
+    if (id < 0) continue;
+    const double start = event.get_number("ts", 0.0) / kScale;
+    const double end = start + event.get_number("dur", 0.0) / kScale;
+    SpanTree& tree = trees[id];
+    if (name == "sim.access") {
+      ++result.access_spans;
+      tree.access.present = true;
+      tree.access.client = static_cast<int>(arg_number(event, "client", -1));
+      tree.access.quorum = static_cast<int>(arg_number(event, "quorum", -1));
+      tree.access.attempts =
+          static_cast<int>(arg_number(event, "attempts", 0));
+      tree.access.outcome = arg_string(event, "outcome");
+      tree.access.start = start;
+      tree.access.end = end;
+    } else if (name == "sim.attempt") {
+      AttemptSpan span;
+      span.attempt = static_cast<int>(arg_number(event, "attempt", 0));
+      span.quorum = static_cast<int>(arg_number(event, "quorum", -1));
+      span.outcome = arg_string(event, "outcome");
+      span.start = start;
+      span.end = end;
+      tree.attempts.push_back(span);
+    } else if (name == "sim.probe") {
+      ProbeSpan span;
+      span.attempt = static_cast<int>(arg_number(event, "attempt", 0));
+      span.probe = static_cast<int>(arg_number(event, "probe", -1));
+      span.element = static_cast<int>(arg_number(event, "element", -1));
+      span.node = static_cast<int>(arg_number(event, "node", -1));
+      span.dropped = arg_bool(event, "dropped");
+      span.start = start;
+      span.end = end;
+      tree.probes.push_back(span);
+    }
+    // sim.backoff / sim.reselect carry no arithmetic the log repeats; they
+    // are navigation aids in the rendered trace.
+  }
+
+  // Pass 2: every logged record must be explained by its span tree.
+  for (const AccessRecord& record : log.records) {
+    const auto it = trees.find(record.id);
+    if (it == trees.end() || !it->second.access.present) {
+      violation(record.id, "logged but has no sim.access span (trace ring "
+                           "overflow? see the dropped-events warning)");
+      continue;
+    }
+    ++result.matched_records;
+    const SpanTree& tree = it->second;
+    const AccessSpan& parent = tree.access;
+    char buf[160];
+
+    if (!near(parent.start, record.start) || !near(parent.end, record.finish)) {
+      std::snprintf(buf, sizeof(buf),
+                    "span covers [%g, %g] but log says [%g, %g]",
+                    parent.start, parent.end, record.start, record.finish);
+      violation(record.id, buf);
+    }
+    if (parent.client != record.client || parent.quorum != record.quorum) {
+      std::snprintf(buf, sizeof(buf),
+                    "span client/quorum %d/%d != log %d/%d", parent.client,
+                    parent.quorum, record.client, record.quorum);
+      violation(record.id, buf);
+    }
+    if (parent.attempts != record.attempts) {
+      std::snprintf(buf, sizeof(buf), "span says %d attempts, log says %d",
+                    parent.attempts, record.attempts);
+      violation(record.id, buf);
+    }
+    if (parent.outcome != access_outcome_name(record.outcome)) {
+      violation(record.id, "span outcome \"" + parent.outcome +
+                               "\" != log \"" +
+                               access_outcome_name(record.outcome) + "\"");
+    }
+
+    // Attempt spans: numbered 1..attempts, inside the parent, the last one
+    // on the final quorum; ok/timeout verdicts coincide with the last
+    // attempt's end.
+    if (static_cast<int>(tree.attempts.size()) != record.attempts) {
+      std::snprintf(buf, sizeof(buf),
+                    "%d attempt spans for %d logged attempts",
+                    static_cast<int>(tree.attempts.size()), record.attempts);
+      violation(record.id, buf);
+    }
+    const AttemptSpan* last_attempt = nullptr;
+    for (const AttemptSpan& span : tree.attempts) {
+      ++result.checked_attempts;
+      if (span.attempt < 1 || span.attempt > record.attempts) {
+        std::snprintf(buf, sizeof(buf),
+                      "attempt span #%d outside 1..%d", span.attempt,
+                      record.attempts);
+        violation(record.id, buf);
+      }
+      if (span.start < parent.start - options.tolerance ||
+          span.end > parent.end + options.tolerance) {
+        std::snprintf(buf, sizeof(buf),
+                      "attempt #%d [%g, %g] escapes the access span",
+                      span.attempt, span.start, span.end);
+        violation(record.id, buf);
+      }
+      if (last_attempt == nullptr || span.attempt > last_attempt->attempt) {
+        last_attempt = &span;
+      }
+    }
+    if (last_attempt != nullptr) {
+      if (last_attempt->quorum != record.quorum) {
+        std::snprintf(buf, sizeof(buf),
+                      "final attempt ran quorum %d, log says %d",
+                      last_attempt->quorum, record.quorum);
+        violation(record.id, buf);
+      }
+      if (record.outcome != AccessOutcome::kUnavailable &&
+          !near(last_attempt->end, record.finish)) {
+        std::snprintf(buf, sizeof(buf),
+                      "final attempt ends at %g, verdict at %g",
+                      last_attempt->end, record.finish);
+        violation(record.id, buf);
+      }
+    }
+
+    // Probe spans of the final attempt vs the record's probes array. A
+    // probe span may end after the parent (a reply can arrive past the
+    // deadline that failed the attempt), so only starts are bounded.
+    std::int64_t final_probe_spans = 0;
+    for (const ProbeSpan& span : tree.probes) {
+      if (span.attempt != record.attempts) continue;  // earlier attempt
+      ++final_probe_spans;
+      ++result.checked_probes;
+      if (span.probe < 0 ||
+          span.probe >= static_cast<int>(record.probes.size())) {
+        std::snprintf(buf, sizeof(buf),
+                      "probe span index %d outside the %d logged probes",
+                      span.probe, static_cast<int>(record.probes.size()));
+        violation(record.id, buf);
+        continue;
+      }
+      const AccessProbe& probe =
+          record.probes[static_cast<std::size_t>(span.probe)];
+      if (span.element != probe.element || span.node != probe.node) {
+        std::snprintf(buf, sizeof(buf),
+                      "probe %d span element/node %d/%d != log %d/%d",
+                      span.probe, span.element, span.node, probe.element,
+                      probe.node);
+        violation(record.id, buf);
+      }
+      const bool logged_dropped = probe.net_delay < 0.0;
+      if (span.dropped != logged_dropped) {
+        std::snprintf(buf, sizeof(buf),
+                      "probe %d dropped=%s in the span, net_delay=%g in the "
+                      "log",
+                      span.probe, span.dropped ? "true" : "false",
+                      probe.net_delay);
+        violation(record.id, buf);
+      } else if (!logged_dropped &&
+                 !near(span.end - span.start, probe.net_delay)) {
+        std::snprintf(buf, sizeof(buf),
+                      "probe %d span duration %g != logged net_delay %g",
+                      span.probe, span.end - span.start, probe.net_delay);
+        violation(record.id, buf);
+      }
+      if (span.start < parent.start - options.tolerance) {
+        std::snprintf(buf, sizeof(buf),
+                      "probe %d launches at %g, before the access at %g",
+                      span.probe, span.start, parent.start);
+        violation(record.id, buf);
+      }
+    }
+    // Sequential attempts that time out mid-chain legitimately launch
+    // fewer probes than the quorum has elements; a *completed* access must
+    // have probed every element of its final quorum.
+    if (record.outcome == AccessOutcome::kOk &&
+        final_probe_spans != static_cast<std::int64_t>(record.probes.size())) {
+      std::snprintf(buf, sizeof(buf),
+                    "%lld probe spans for a completed access with %d "
+                    "logged probes",
+                    static_cast<long long>(final_probe_spans),
+                    static_cast<int>(record.probes.size()));
+      violation(record.id, buf);
+    }
+  }
+  return result;
+}
+
+}  // namespace qp::obs

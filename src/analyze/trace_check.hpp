@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file trace_check.hpp
+/// Cross-checks causal access span trees against the access log.
+///
+/// A traced fault run (docs/OBSERVABILITY.md §8) carries, in the sim-time
+/// pid domain of the Chrome trace, one "sim.access" parent span per
+/// resolved access with "sim.attempt" / "sim.probe" / "sim.backoff" /
+/// "sim.reselect" children, every span annotated with JSON args (access id,
+/// attempt number, outcome, ...). The access log (§5) records the same
+/// accesses through an entirely separate code path. `qplace analyze
+/// --trace` reconciles the two: for every logged record the span tree must
+/// exist and its arithmetic must agree --
+///
+///  - the parent span covers [start, finish] and repeats client / final
+///    quorum / attempts / outcome;
+///  - there are exactly `attempts` attempt spans, numbered 1..attempts,
+///    each inside the parent, the last one on the final quorum and (for ok
+///    and timeout outcomes) ending at `finish`;
+///  - the final attempt's probe spans match the record's probes array:
+///    dropped flag iff net_delay < 0, duration == net_delay otherwise, and
+///    (for completed accesses) one span per quorum element.
+///
+/// Spans without a log record are fine -- warmup accesses and sampled-out
+/// records are traced but never logged. Timestamps round-trip through the
+/// trace's "%.3f"-microsecond rendering, hence the tolerance (in sim-time
+/// units) rather than exact equality.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/access_log.hpp"
+#include "obs/json.hpp"
+
+namespace qp::obs {
+
+struct TraceCheckOptions {
+  /// Absolute tolerance, in sim-time units, for every timestamp/duration
+  /// comparison. The trace renders microseconds with 3 decimals and one sim
+  /// unit is 1000 us, so the rendering error is ~1e-6 units per endpoint.
+  double tolerance = 1e-4;
+  /// Violation messages retained in `findings` (further ones only count).
+  int max_findings = 20;
+};
+
+struct TraceCheckResult {
+  std::int64_t access_spans = 0;     ///< sim.access spans in the trace
+  std::int64_t matched_records = 0;  ///< log records with a span tree
+  std::int64_t checked_attempts = 0;
+  std::int64_t checked_probes = 0;
+  std::int64_t violations = 0;
+  std::vector<std::string> findings;  ///< first max_findings violations
+
+  bool ok() const { return violations == 0; }
+};
+
+/// Reconciles a parsed Chrome trace document with a parsed access log (see
+/// file comment). \p trace is the full document; only sim-time-domain spans
+/// (pid obs::TraceRecorder::kSimTimePid) named "sim.*" are consulted.
+/// \throws std::runtime_error when \p trace has no traceEvents array.
+TraceCheckResult check_trace_against_log(const json::Value& trace,
+                                         const ParsedAccessLog& log,
+                                         const TraceCheckOptions& options =
+                                             {});
+
+}  // namespace qp::obs

@@ -1,0 +1,184 @@
+#include "net/http_server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace qp::net {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default:  return "Unknown";
+  }
+}
+
+/// Reads from \p fd until the end of the request head (CRLFCRLF) or a size
+/// cap; GET requests carry no body, so nothing further is consumed.
+std::string read_request_head(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.find("\r\n\r\n") != std::string::npos) break;
+  }
+  return head;
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string render_response(const HttpResponse& response) {
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                response.status, status_text(response.status),
+                response.content_type.c_str(), response.body.size());
+  return std::string(head) + response.body;
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(const std::string& path, Handler handler) {
+  if (running()) {
+    throw std::runtime_error("HttpServer: handle() after start()");
+  }
+  handlers_[path] = std::move(handler);
+}
+
+void HttpServer::start(int port) {
+  if (running()) {
+    throw std::runtime_error("HttpServer: already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("HttpServer: socket(): ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("HttpServer: bind(): ") +
+                             std::strerror(err));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("HttpServer: listen(): ") +
+                             std::strerror(err));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("HttpServer: getsockname(): ") +
+                             std::strerror(err));
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_.store(fd);
+  thread_ = std::thread([this, fd] { serve_loop(fd); });
+}
+
+void HttpServer::stop() {
+  const int fd = listen_fd_.exchange(-1);
+  if (fd < 0) return;
+  // Waking a blocked accept(2): shutdown() forces it to return on Linux;
+  // the loop then sees listen_fd_ cleared and exits.
+  ::shutdown(fd, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(fd);
+}
+
+void HttpServer::serve_loop(int listen_fd) {
+  while (listen_fd_.load() >= 0) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (listen_fd_.load() < 0) break;  // stop() woke us
+      if (errno == EINTR) continue;
+      break;                             // listen socket is gone
+    }
+    serve_connection(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  const std::string head = read_request_head(fd);
+  HttpRequest request;
+  HttpResponse response;
+
+  const std::size_t line_end = head.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = sp1 == std::string::npos
+                              ? std::string::npos
+                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    response.status = 400;
+    response.body = "malformed request line\n";
+  } else {
+    request.method = line.substr(0, sp1);
+    request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t query = request.path.find('?');
+    if (query != std::string::npos) request.path.resize(query);
+
+    if (request.method != "GET") {
+      response.status = 405;
+      response.body = "only GET is supported\n";
+    } else {
+      const auto it = handlers_.find(request.path);
+      if (it == handlers_.end()) {
+        response.status = 404;
+        response.body = "no such path: " + request.path + "\n";
+      } else {
+        try {
+          response = it->second(request);
+        } catch (const std::exception& e) {
+          response = HttpResponse{};
+          response.status = 500;
+          response.body = std::string("handler failed: ") + e.what() + "\n";
+        }
+      }
+    }
+  }
+
+  write_all(fd, render_response(response));
+  ::close(fd);
+}
+
+}  // namespace qp::net

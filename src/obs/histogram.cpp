@@ -126,15 +126,16 @@ std::string LogHistogram::to_json() const {
   out += ", \"sum\": ";
   append_double(out, sum_);
   // mean()/quantile() are NaN on an empty histogram; JSON has no NaN, so
-  // emit 0 there (matching min/max and the pre-guard byte output).
+  // emit null there -- a reader must not mistake "no samples" for a
+  // measured zero, and analyze --diff flags null-vs-number as schema drift.
   out += ", \"mean\": ";
-  append_double(out, count_ > 0 ? mean() : 0.0);
+  if (count_ > 0) append_double(out, mean()); else out += "null";
   out += ", \"p50\": ";
-  append_double(out, count_ > 0 ? quantile(0.50) : 0.0);
+  if (count_ > 0) append_double(out, quantile(0.50)); else out += "null";
   out += ", \"p90\": ";
-  append_double(out, count_ > 0 ? quantile(0.90) : 0.0);
+  if (count_ > 0) append_double(out, quantile(0.90)); else out += "null";
   out += ", \"p99\": ";
-  append_double(out, count_ > 0 ? quantile(0.99) : 0.0);
+  if (count_ > 0) append_double(out, quantile(0.99)); else out += "null";
   out += ", \"buckets\": [";
   bool first = true;
   for (int b = 0; b < kNumBuckets; ++b) {

@@ -73,6 +73,9 @@ class LogHistogram {
   ///   {"count": N, "underflow": U, "overflow": O, "min": m, "max": M,
   ///    "sum": S, "p50": ..., "p90": ..., "p99": ...,
   ///    "buckets": [[index, count], ...]}   (non-empty buckets only)
+  /// mean/p50/p90/p99 are JSON null when the histogram is empty (they are
+  /// NaN -- see mean()/quantile(); a 0.0 would be indistinguishable from a
+  /// real measured zero).
   std::string to_json() const;
 
  private:

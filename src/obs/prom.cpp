@@ -1,0 +1,122 @@
+#include "obs/prom.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace qp::obs {
+
+namespace {
+
+void append_double(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+void append_uint(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+bool prometheus_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out.push_back(' ');
+  out += type;
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "qplace_";
+  for (const char c : name) {
+    out.push_back(prometheus_char(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.counter_values()) {
+    const std::string metric = prometheus_name(name) + "_total";
+    append_type(out, metric, "counter");
+    out += metric;
+    out.push_back(' ');
+    append_uint(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : registry.gauge_values()) {
+    const std::string metric = prometheus_name(name);
+    append_type(out, metric, "gauge");
+    out += metric;
+    out.push_back(' ');
+    append_double(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, stat] : registry.timer_values()) {
+    const std::string base = prometheus_name(name);
+    const std::string seconds = base + "_seconds_total";
+    append_type(out, seconds, "counter");
+    out += seconds;
+    out.push_back(' ');
+    append_double(out, stat.second / 1e3);  // timer_values reports ms
+    out.push_back('\n');
+    const std::string calls = base + "_calls_total";
+    append_type(out, calls, "counter");
+    out += calls;
+    out.push_back(' ');
+    append_uint(out, stat.first);
+    out.push_back('\n');
+  }
+  for (const auto& [name, values] : registry.series_values()) {
+    if (values.empty()) continue;
+    const std::string metric = prometheus_name(name);
+    append_type(out, metric, "gauge");
+    out += metric;
+    out.push_back(' ');
+    append_double(out, values.back());
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void append_prometheus_summary(std::string& out, const std::string& name,
+                               const HistogramPoint& point) {
+  const std::string base = prometheus_name(name);
+  append_type(out, base, "summary");
+  if (point.count > 0) {
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", point.p50}, {"0.9", point.p90}, {"0.99", point.p99}};
+    for (const auto& [label, value] : quantiles) {
+      if (std::isnan(value)) continue;
+      out += base;
+      out += "{quantile=\"";
+      out += label;
+      out += "\"} ";
+      append_double(out, value);
+      out.push_back('\n');
+    }
+  }
+  out += base;
+  out += "_sum ";
+  append_double(out, point.sum);
+  out.push_back('\n');
+  out += base;
+  out += "_count ";
+  append_uint(out, point.count);
+  out.push_back('\n');
+}
+
+}  // namespace qp::obs

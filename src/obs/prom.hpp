@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file prom.hpp
+/// Prometheus text-format exposition of the obs Registry.
+///
+/// Renders the live Registry (obs.hpp) in Prometheus text exposition format
+/// 0.0.4 -- the `/metrics` payload of the embedded admin endpoint
+/// (net/http_server.hpp, docs/OBSERVABILITY.md §8). No client library is
+/// involved; the format is plain text and the Registry's snapshot accessors
+/// are already safe to call concurrently with writers.
+///
+/// Name mangling: registry names are dot-separated (`sim.retries`);
+/// Prometheus names admit [a-zA-Z0-9_:]. Every other character maps to '_'
+/// and the `qplace_` namespace prefix is prepended:
+///
+///   counter  "sim.retries"      -> qplace_sim_retries_total       (counter)
+///   gauge    "sim.duration"     -> qplace_sim_duration            (gauge)
+///   timer    "lp.solve"         -> qplace_lp_solve_seconds_total  (counter)
+///                                  qplace_lp_solve_calls_total    (counter)
+///   series   "sls.objective"    -> qplace_sls_objective           (gauge,
+///                                  last appended value; full trajectory is
+///                                  report/JSONL territory)
+///   watched histogram digests   -> qplace_<name> summary
+///                                  ({quantile="0.5|0.9|0.99"} + _sum
+///                                  + _count); quantile lines are omitted
+///                                  while the histogram is empty
+///                                  (MetricsSnapshotter::prometheus_summaries).
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace qp::obs {
+
+class Registry;
+
+/// `qplace_` + \p name with every character outside [a-zA-Z0-9_:] replaced
+/// by '_'.
+std::string prometheus_name(const std::string& name);
+
+/// Renders counters, gauges, timers and series of \p registry as Prometheus
+/// text (one `# TYPE` line per family). Histogram summaries are appended
+/// separately via MetricsSnapshotter::prometheus_summaries().
+std::string render_prometheus(const Registry& registry);
+
+/// Appends one summary family for a histogram digest: quantile samples
+/// (omitted when the digest is empty), `_sum`, and `_count`.
+void append_prometheus_summary(std::string& out, const std::string& name,
+                               const HistogramPoint& point);
+
+}  // namespace qp::obs

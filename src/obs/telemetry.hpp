@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file telemetry.hpp
+/// Live telemetry: periodic metrics snapshots and a TTY progress meter.
+///
+/// Everything in obs so far is post-hoc -- counters, histograms and logs
+/// become visible only after a run exits. This file adds the *online* view
+/// (docs/OBSERVABILITY.md §8):
+///
+///  - MetricsSnapshotter: samples the obs Registry (counters, gauges) plus
+///    caller-registered LogHistograms and caller-provided values into a
+///    bounded in-memory time-series ring. Snapshots are keyed by
+///    *simulation time* for the deterministic subtree -- the simulator's
+///    event loop is sequential, so the registry state at sim-time t is a
+///    pure function of (instance, placement, config) and the snapshot
+///    sequence obeys the docs/PARALLEL.md determinism contract -- and by
+///    wall time for the rest. to_jsonl() flushes the ring as a
+///    `qplace.timeseries.v1` JSONL document whose per-record
+///    "deterministic" objects are byte-identical across thread counts.
+///  - ProgressMeter: a single live TTY line (accesses/s, availability, p99
+///    vs the certified bound) redrawn in place for long runs. Rates are
+///    wall-clock derived and never feed any deterministic artifact.
+///
+/// Thread-safety: sample() and the read accessors lock one mutex, so an
+/// embedded admin endpoint (net/http_server.hpp) may serve latest() while
+/// the simulation thread keeps sampling.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+
+namespace qp::obs {
+
+/// Deterministic digest of one watched histogram at sample time. Quantiles
+/// are NaN when the histogram is empty (rendered as JSON null -- there is
+/// no sample to bound; see LogHistogram::quantile).
+struct HistogramPoint {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// One sample of the time series. The deterministic members are a pure
+/// function of sim_time and the run's configuration; wall_ms and gauges are
+/// not and are segregated in the JSONL rendering, mirroring the run-report
+/// split (run_report.hpp).
+struct MetricsSnapshot {
+  double sim_time = 0.0;                            // deterministic key
+  std::map<std::string, std::uint64_t> counters;    // deterministic
+  std::map<std::string, double> values;             // deterministic
+  std::map<std::string, HistogramPoint> histograms; // deterministic
+  double wall_ms = 0.0;                             // nondeterministic
+  std::map<std::string, double> gauges;             // nondeterministic
+};
+
+struct TelemetryConfig {
+  /// Snapshots held in memory; the oldest is evicted (and counted as
+  /// dropped) when the ring is full. Must be >= 1.
+  std::size_t capacity = 4096;
+};
+
+/// Bounded in-memory time series over the obs Registry.
+class MetricsSnapshotter {
+ public:
+  /// \throws std::invalid_argument when capacity is 0.
+  explicit MetricsSnapshotter(TelemetryConfig config = {});
+
+  /// Context echoed into the JSONL header (string-valued, like the run
+  /// report's context map).
+  void set_context(const std::string& key, const std::string& value);
+
+  /// Registers a histogram to digest at every sample. \p histogram is
+  /// borrowed and must stay alive until unregistered (pass nullptr to
+  /// unregister -- the simulator does this for its result histograms before
+  /// returning); re-registering a name replaces the pointer.
+  void watch_histogram(const std::string& name, const LogHistogram* histogram);
+
+  /// Takes one snapshot keyed by \p sim_time: all Registry counters and
+  /// gauges, every watched histogram, plus the caller-provided deterministic
+  /// \p values (e.g. the simulator's current availability). Call from the
+  /// thread that owns the deterministic state (the sim event loop).
+  void sample(double sim_time,
+              const std::map<std::string, double>& values = {});
+
+  /// Snapshots currently held, oldest first (copy; the ring keeps going).
+  std::vector<MetricsSnapshot> snapshots() const;
+  /// Most recent snapshot, if any.
+  std::optional<MetricsSnapshot> latest() const;
+  std::size_t size() const;
+  /// Snapshots evicted because the ring was full.
+  std::uint64_t dropped() const;
+
+  /// Renders the `qplace.timeseries.v1` JSONL document: one header line
+  /// (schema, context, capacity, samples, dropped), then one line per held
+  /// snapshot:
+  ///   {"deterministic": {"t": <sim_time>, "counters": {...},
+  ///                      "values": {...}, "histograms": {<name>:
+  ///                      {"count": N, "sum": S, "p50": q|null, ...}}},
+  ///    "nondeterministic": {"wall_ms": W, "gauges": {...}}}
+  /// The "deterministic" objects are byte-identical across thread counts.
+  std::string to_jsonl() const;
+
+  /// Prometheus summary exposition of the latest snapshot's watched
+  /// histograms (empty string when no snapshot was taken); see prom.hpp for
+  /// the name mangling.
+  std::string prometheus_summaries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  TelemetryConfig config_;
+  std::map<std::string, std::string> context_;
+  std::map<std::string, const LogHistogram*> watched_;
+  std::deque<MetricsSnapshot> ring_;
+  std::uint64_t dropped_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// One progress tick, sim-time domain. Produced by the simulator
+/// (sim::SimulationConfig::on_progress); consumed by ProgressMeter.
+struct ProgressStats {
+  double sim_time = 0.0;
+  double duration = 0.0;        ///< horizon, for the percent display
+  std::int64_t resolved = 0;    ///< completed + failed so far (measured)
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  double availability = 1.0;    ///< completed / resolved; 1 when none
+  double p99 = 0.0;             ///< current p99 access delay; NaN when empty
+};
+
+/// Live single-line TTY progress display:
+///   sim 42% t=420/1000 | 8123 ok + 4 failed (2031/s) | avail 0.9995 |
+///   p99 3.21 = 0.71x bound
+/// Redraws in place (carriage return, no newline) at most every ~100 ms of
+/// wall time; finish() draws the final state and terminates the line. The
+/// accesses/s rate is wall-clock derived and purely informational.
+class ProgressMeter {
+ public:
+  /// \p certified_bound is the analytic delay bound the p99 is compared
+  /// against (e.g. the Thm 1.2 certified mean bound); pass NaN to omit the
+  /// comparison. \p out must outlive the meter (typically std::cerr).
+  ProgressMeter(std::ostream& out, double certified_bound);
+
+  void update(const ProgressStats& stats);
+  /// Final unthrottled redraw plus a newline; idempotent.
+  void finish();
+
+ private:
+  void draw(const ProgressStats& stats);
+
+  std::ostream& out_;
+  double certified_bound_;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_draw_;
+  ProgressStats last_stats_;
+  bool drew_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace qp::obs

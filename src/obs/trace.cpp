@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 namespace qp::obs {
@@ -86,7 +87,30 @@ TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
 void TraceRecorder::record(const char* name, double ts_us, double dur_us) {
   if (!enabled()) return;
   ThreadBuffer& buffer = local_buffer();
-  buffer.events[buffer.next] = TraceEvent{name, ts_us, dur_us};
+  TraceEvent& slot = buffer.events[buffer.next];
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.args.clear();
+  slot.pid = 1;
+  buffer.next = (buffer.next + 1) % kRingCapacity;
+  if (buffer.size < kRingCapacity) {
+    ++buffer.size;
+  } else {
+    ++buffer.dropped;  // oldest event was overwritten
+  }
+}
+
+void TraceRecorder::record_sim_span(const char* name, double ts_us,
+                                    double dur_us, std::string args) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  TraceEvent& slot = buffer.events[buffer.next];
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.args = std::move(args);
+  slot.pid = kSimTimePid;
   buffer.next = (buffer.next + 1) % kRingCapacity;
   if (buffer.size < kRingCapacity) {
     ++buffer.size;
@@ -140,9 +164,16 @@ std::string TraceRecorder::to_chrome_json() const {
       out += ", \"dur\": ";
       std::snprintf(number, sizeof(number), "%.3f", event.dur_us);
       out += number;
-      out += ", \"pid\": 1, \"tid\": ";
+      out += ", \"pid\": ";
+      std::snprintf(number, sizeof(number), "%d", event.pid);
+      out += number;
+      out += ", \"tid\": ";
       std::snprintf(number, sizeof(number), "%d", buffer->tid);
       out += number;
+      if (!event.args.empty()) {
+        out += ", \"args\": ";
+        out += event.args;  // pre-rendered JSON object
+      }
       out += "}";
     }
   }

@@ -20,6 +20,15 @@
 /// cleared) on the steady clock. Timestamps and durations are inherently
 /// nondeterministic; everything else about a run's trace (event names,
 /// counts per name) follows the docs/PARALLEL.md determinism contract.
+///
+/// Two pid domains share one trace (docs/OBSERVABILITY.md §8): pid 1 is the
+/// wall-clock domain above; pid 2 (kSimTimePid) is the *simulation-time*
+/// domain used by the simulator's causal per-access span trees, where ts/dur
+/// are sim-time units scaled by kSimTimeScaleUs (1 sim unit = 1000 us, so
+/// "displayTimeUnit: ms" shows 1 sim unit per millisecond tick). Sim-domain
+/// events carry a rendered JSON `args` object (access id, attempt, outcome,
+/// ...) and are fully deterministic; `qplace analyze --trace` cross-checks
+/// their arithmetic against the access log.
 
 #include <chrono>
 #include <cstddef>
@@ -32,6 +41,8 @@ struct TraceEvent {
   const char* name = nullptr;  ///< string literal; never owned
   double ts_us = 0.0;          ///< start, microseconds since recorder epoch
   double dur_us = 0.0;         ///< duration, microseconds
+  std::string args;            ///< rendered JSON object; empty = no args
+  int pid = 1;                 ///< time domain: 1 wall clock, 2 sim time
 };
 
 class TraceRecorder {
@@ -45,6 +56,13 @@ class TraceRecorder {
 
   /// Records a completed slice for the calling thread. No-op when disabled.
   void record(const char* name, double ts_us, double dur_us);
+
+  /// Records a completed slice in the simulation-time domain (pid
+  /// kSimTimePid) with a pre-rendered JSON \p args object ("{...}"; pass ""
+  /// for none). \p ts_us / \p dur_us are sim-time units already scaled by
+  /// kSimTimeScaleUs. No-op when disabled.
+  void record_sim_span(const char* name, double ts_us, double dur_us,
+                       std::string args);
 
   /// Microseconds since the recorder epoch, for pairing with record().
   double now_us() const;
@@ -64,6 +82,12 @@ class TraceRecorder {
 
   /// Ring capacity per recording thread.
   static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  /// pid of the simulation-time domain in the merged trace.
+  static constexpr int kSimTimePid = 2;
+  /// Microseconds per simulation-time unit in sim-domain events. 1000 makes
+  /// one sim unit render as one millisecond under "displayTimeUnit: ms".
+  static constexpr double kSimTimeScaleUs = 1000.0;
 
   /// Opaque per-thread ring buffer; defined in trace.cpp only.
   struct ThreadBuffer;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <optional>
 #include <queue>
@@ -11,6 +12,7 @@
 #include "check/validate.hpp"
 #include "core/evaluators.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "quorum/intersection.hpp"
 
 namespace qp::sim {
@@ -50,6 +52,7 @@ struct Access {
   int client = 0;
   int quorum = 0;  ///< current attempt's quorum
   double start = 0.0;
+  double attempt_start = 0.0;  ///< launch time of the current attempt
   int next_element_index = 0;  ///< sequential mode: next probe to launch
   int outstanding = 0;         ///< probes of the current attempt not done
   int attempt = 1;             ///< current attempt number
@@ -253,6 +256,87 @@ SimulationResult simulate(const core::QppInstance& instance,
     if (ok) ++bucket_ok[idx];
   };
 
+  // ---- live telemetry / progress / span tracing (docs/OBSERVABILITY.md §8)
+  //
+  // Counters update incrementally at the event sites below, so a mid-run
+  // telemetry sample or /metrics scrape sees live totals; the zero-adds
+  // here register every instrument up front so the counter *set* of a run
+  // report never depends on which events a particular run encountered.
+  // Totals are a pure function of (instance, placement, config) -- the
+  // event loop is sequential -- so they satisfy the determinism contract.
+  QP_COUNTER_ADD("sim.runs", 1);
+  QP_COUNTER_ADD("sim.completed_accesses", 0);
+  QP_COUNTER_ADD("sim.retries", 0);
+  QP_COUNTER_ADD("sim.timeouts", 0);
+  QP_COUNTER_ADD("sim.failed_accesses", 0);
+  QP_COUNTER_ADD("sim.unavailable_accesses", 0);
+  QP_COUNTER_ADD("sim.measured_probes", 0);
+  if (logger != nullptr) QP_COUNTER_ADD("sim.logged_accesses", 0);
+
+  obs::MetricsSnapshotter* telemetry =
+      config.telemetry_interval > 0.0 ? config.telemetry : nullptr;
+  if (telemetry != nullptr) {
+    telemetry->watch_histogram("sim.access_delay", &result.access_delay);
+    telemetry->watch_histogram("sim.queue_wait", &result.queue_wait);
+  }
+  const bool progress_on =
+      static_cast<bool>(config.on_progress) && config.progress_interval > 0.0;
+  const auto take_sample = [&](double t) {
+    const std::int64_t resolved = measured_accesses + result.failed_accesses;
+    telemetry->sample(
+        t, {{"sim.availability",
+             resolved > 0 ? static_cast<double>(measured_accesses) /
+                                static_cast<double>(resolved)
+                          : 1.0}});
+  };
+  const auto report_progress = [&](double t) {
+    obs::ProgressStats stats;
+    stats.sim_time = t;
+    stats.duration = config.duration;
+    stats.completed = measured_accesses;
+    stats.failed = result.failed_accesses;
+    stats.resolved = stats.completed + stats.failed;
+    stats.availability =
+        stats.resolved > 0 ? static_cast<double>(stats.completed) /
+                                 static_cast<double>(stats.resolved)
+                           : 1.0;
+    stats.p99 = result.access_delay.count() > 0
+                    ? result.access_delay.quantile(0.99)
+                    : std::numeric_limits<double>::quiet_NaN();
+    config.on_progress(stats);
+  };
+  // Grid semantics: boundary b fires when the next event's time exceeds b,
+  // i.e. the sample/tick at b reflects exactly the events with time <= b.
+  double next_sample = telemetry != nullptr
+                           ? config.telemetry_interval
+                           : std::numeric_limits<double>::infinity();
+  double next_progress = progress_on
+                             ? config.progress_interval
+                             : std::numeric_limits<double>::infinity();
+  const auto advance_time = [&](double now) {
+    while (next_sample < now) {
+      take_sample(next_sample);
+      next_sample += config.telemetry_interval;
+    }
+    while (next_progress < now) {
+      report_progress(next_progress);
+      next_progress += config.progress_interval;
+    }
+  };
+
+  // Causal span trees (docs/OBSERVABILITY.md §8): when tracing is on, every
+  // access emits a parent "sim.access" span with child spans per attempt /
+  // probe / backoff / re-selection, in the sim-time pid domain with JSON
+  // args, so `qplace analyze --trace` can reconcile the span arithmetic
+  // with the access log.
+  obs::TraceRecorder& trace = obs::TraceRecorder::instance();
+  const bool tracing = trace.enabled();
+  const auto sim_span = [&](const char* name, double from, double to,
+                            const char* args) {
+    constexpr double kScale = obs::TraceRecorder::kSimTimeScaleUs;
+    trace.record_sim_span(name, from * kScale, (to - from) * kScale, args);
+  };
+
   // Launches the probe for element index `idx` of the access's quorum at
   // time `when`: the probe reaches its node after the metric distance
   // (routed through the relay when configured), scaled by jitter and any
@@ -284,6 +368,7 @@ SimulationResult simulate(const core::QppInstance& instance,
                               !faults->crashed(node, arrive));
     if (delivered && when >= config.warmup) {
       node_probe_count[static_cast<std::size_t>(node)] += 1.0;
+      QP_COUNTER_ADD("sim.measured_probes", 1);
     }
     if (logger != nullptr && logged(id)) {
       obs::AccessProbe& probe =
@@ -292,6 +377,15 @@ SimulationResult simulate(const core::QppInstance& instance,
       probe.element = element;
       probe.node = node;
       probe.net_delay = delivered ? arrive - when : -1.0;
+    }
+    if (tracing) {
+      char args[160];
+      std::snprintf(args, sizeof(args),
+                    "{\"id\": %lld, \"attempt\": %d, \"probe\": %d, "
+                    "\"element\": %d, \"node\": %d, \"dropped\": %s}",
+                    static_cast<long long>(id), access.attempt, idx, element,
+                    node, delivered ? "false" : "true");
+      sim_span("sim.probe", when, delivered ? arrive : when, args);
     }
     if (!delivered) return std::nullopt;
     if (queueing) {
@@ -307,6 +401,7 @@ SimulationResult simulate(const core::QppInstance& instance,
   const auto launch_attempt = [&](std::int64_t id, double now) {
     Access& access = accesses[static_cast<std::size_t>(id)];
     const quorum::Quorum& q = instance.system().quorum(access.quorum);
+    access.attempt_start = now;
     access.outstanding = static_cast<int>(q.size());
     if (logger != nullptr && logged(id)) {
       obs::AccessRecord& record = records[static_cast<std::size_t>(id)];
@@ -376,6 +471,7 @@ SimulationResult simulate(const core::QppInstance& instance,
     record.attempts = static_cast<int>(access.tried.size());
     record.outcome = outcome;
     logger->record(std::move(record));
+    QP_COUNTER_ADD("sim.logged_accesses", 1);
     // Leave a moved-from empty record behind; logged() is false for it
     // from now on, which is correct -- the access is resolved.
   };
@@ -386,10 +482,22 @@ SimulationResult simulate(const core::QppInstance& instance,
     access.resolved = true;
     if (access.start >= config.warmup) {
       ++result.failed_accesses;
+      QP_COUNTER_ADD("sim.failed_accesses", 1);
       if (outcome == obs::AccessOutcome::kUnavailable) {
         ++result.unavailable_accesses;
+        QP_COUNTER_ADD("sim.unavailable_accesses", 1);
       }
       bucket_count(access.start, false);
+    }
+    if (tracing) {
+      char args[160];
+      std::snprintf(args, sizeof(args),
+                    "{\"id\": %lld, \"client\": %d, \"quorum\": %d, "
+                    "\"attempts\": %d, \"outcome\": \"%s\"}",
+                    static_cast<long long>(id), access.client, access.quorum,
+                    static_cast<int>(access.tried.size()),
+                    obs::access_outcome_name(outcome).c_str());
+      sim_span("sim.access", access.start, now, args);
     }
     finish_record(id, now, outcome);
   };
@@ -408,6 +516,7 @@ SimulationResult simulate(const core::QppInstance& instance,
   while (!queue.empty() && queue.top().time <= config.duration) {
     const Event event = queue.top();
     queue.pop();
+    advance_time(event.time);
 
     if (event.type == EventType::kArrival) {
       // Schedule this client's next access.
@@ -451,12 +560,30 @@ SimulationResult simulate(const core::QppInstance& instance,
           access.outstanding == 0) {
         continue;  // stale: the attempt completed or was superseded
       }
-      if (access.start >= config.warmup) ++result.timed_out_attempts;
+      if (access.start >= config.warmup) {
+        ++result.timed_out_attempts;
+        QP_COUNTER_ADD("sim.timeouts", 1);
+      }
+      if (tracing) {
+        char args[160];
+        std::snprintf(args, sizeof(args),
+                      "{\"id\": %lld, \"attempt\": %d, \"quorum\": %d, "
+                      "\"outcome\": \"timeout\"}",
+                      static_cast<long long>(event.access), access.attempt,
+                      access.quorum);
+        sim_span("sim.attempt", access.attempt_start, event.time, args);
+      }
       if (access.attempt >= config.max_attempts) {
         fail_access(event.access, event.time, obs::AccessOutcome::kTimeout);
         continue;
       }
       const double wait = backoff(access.attempt);
+      if (tracing) {
+        char args[96];
+        std::snprintf(args, sizeof(args), "{\"id\": %lld, \"attempt\": %d}",
+                      static_cast<long long>(event.access), access.attempt);
+        sim_span("sim.backoff", event.time, event.time + wait, args);
+      }
       ++access.attempt;  // invalidates the attempt's in-flight probe events
       queue.push({event.time + wait, EventType::kRetry, access.client,
                   event.access, -1, access.attempt});
@@ -467,12 +594,23 @@ SimulationResult simulate(const core::QppInstance& instance,
       Access& access = accesses[static_cast<std::size_t>(event.access)];
       if (access.resolved || access.attempt != event.attempt) continue;
       const int next = select_quorum(access, event.time);
+      if (tracing) {
+        char args[120];
+        std::snprintf(args, sizeof(args),
+                      "{\"id\": %lld, \"attempt\": %d, \"quorum\": %d}",
+                      static_cast<long long>(event.access), access.attempt,
+                      next);
+        sim_span("sim.reselect", event.time, event.time, args);
+      }
       if (next < 0) {
         fail_access(event.access, event.time,
                     obs::AccessOutcome::kUnavailable);
         continue;
       }
-      if (access.start >= config.warmup) ++result.retries;
+      if (access.start >= config.warmup) {
+        ++result.retries;
+        QP_COUNTER_ADD("sim.retries", 1);
+      }
       access.quorum = next;
       access.tried.push_back(next);
       launch_attempt(event.access, event.time);
@@ -529,14 +667,41 @@ SimulationResult simulate(const core::QppInstance& instance,
         total_delay_sum += delay;
         result.access_delay.record(delay);
         ++measured_accesses;
+        QP_COUNTER_ADD("sim.completed_accesses", 1);
         result.per_client_mean_delay[static_cast<std::size_t>(access.client)] +=
             delay;
         ++result.per_client_count[static_cast<std::size_t>(access.client)];
         bucket_count(access.start, true);
       }
+      if (tracing) {
+        char args[160];
+        std::snprintf(args, sizeof(args),
+                      "{\"id\": %lld, \"attempt\": %d, \"quorum\": %d, "
+                      "\"outcome\": \"ok\"}",
+                      static_cast<long long>(event.access), access.attempt,
+                      access.quorum);
+        sim_span("sim.attempt", access.attempt_start, event.time, args);
+        std::snprintf(args, sizeof(args),
+                      "{\"id\": %lld, \"client\": %d, \"quorum\": %d, "
+                      "\"attempts\": %d, \"outcome\": \"ok\"}",
+                      static_cast<long long>(event.access), access.client,
+                      access.quorum, static_cast<int>(access.tried.size()));
+        sim_span("sim.access", access.start, event.time, args);
+      }
       finish_record(event.access, event.time, obs::AccessOutcome::kOk);
     }
   }
+
+  // Fire any boundaries still pending at the horizon, then close the series
+  // with one final sample/tick at exactly t = duration (the grid above only
+  // fires strictly below it).
+  advance_time(config.duration);
+  if (telemetry != nullptr) {
+    take_sample(config.duration);
+    telemetry->watch_histogram("sim.access_delay", nullptr);
+    telemetry->watch_histogram("sim.queue_wait", nullptr);
+  }
+  if (progress_on) report_progress(config.duration);
 
   result.completed_accesses = measured_accesses;
   result.overall_mean_delay =
@@ -577,20 +742,9 @@ SimulationResult simulate(const core::QppInstance& instance,
     result.availability_series.push_back(fraction);
     QP_SERIES_APPEND("sim.availability", fraction);
   }
-  // Totals are a pure function of (instance, placement, config) -- the event
-  // loop is sequential -- so they satisfy the determinism contract.
-  QP_COUNTER_ADD("sim.runs", 1);
-  QP_COUNTER_ADD("sim.completed_accesses", measured_accesses);
-  QP_COUNTER_ADD("sim.retries", result.retries);
-  QP_COUNTER_ADD("sim.timeouts", result.timed_out_attempts);
-  QP_COUNTER_ADD("sim.failed_accesses", result.failed_accesses);
-  QP_COUNTER_ADD("sim.unavailable_accesses", result.unavailable_accesses);
-  double measured_probes = 0.0;
-  for (double c : node_probe_count) measured_probes += c;
-  QP_COUNTER_ADD("sim.measured_probes", measured_probes);
-  if (logger != nullptr) {
-    QP_COUNTER_ADD("sim.logged_accesses", logger->recorded());
-  }
+  // The sim.* counters were updated incrementally at the event sites above
+  // (and registered before the loop), so their final totals are already in
+  // the registry -- identical to the per-run totals in `result`.
   return result;
 }
 

@@ -40,12 +40,14 @@
 /// decisions draw no randomness, so fault runs replay byte-for-byte.
 
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <vector>
 
 #include "core/instance.hpp"
 #include "obs/access_log.hpp"
 #include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/fault_schedule.hpp"
 
 namespace qp::sim {
@@ -124,6 +126,23 @@ struct SimulationConfig {
   /// succeeded; buckets with no resolved access report 1). <= 0 disables
   /// the series.
   double availability_bucket = 0.0;
+  /// Optional live telemetry sink (docs/OBSERVABILITY.md §8). Not owned;
+  /// with telemetry_interval > 0 the simulator samples it at every crossed
+  /// multiple of the interval in *simulated* time (the sample at boundary b
+  /// reflects exactly the events with time <= b -- the event loop is
+  /// sequential, so the sequence of samples is deterministic in (instance,
+  /// placement, config) regardless of thread count) plus a final sample at
+  /// the horizon. The simulator watches its access-delay / queue-wait
+  /// histograms ("sim.access_delay", "sim.queue_wait") for the duration of
+  /// the run and unregisters them before returning.
+  obs::MetricsSnapshotter* telemetry = nullptr;
+  double telemetry_interval = 0.0;
+  /// Optional progress callback, fired on its own sim-time grid (same
+  /// boundary semantics as telemetry) plus once at the horizon. Runs on the
+  /// simulation thread; keep it cheap (the CLI wires
+  /// obs::ProgressMeter::update here for --progress).
+  std::function<void(const obs::ProgressStats&)> on_progress;
+  double progress_interval = 0.0;
 };
 
 struct SimulationResult {

@@ -689,6 +689,45 @@ TEST(ReportDiff, ReportsSeriesDivergenceAsInfiniteDrift) {
   EXPECT_EQ(same.max_deterministic_drift(), 0.0);
 }
 
+/// Report JSON with one histogram rendered the way LogHistogram::to_json
+/// does: an empty histogram has null mean/p50/p90/p99.
+obs::json::Value make_histogram_report(bool empty) {
+  const std::string stats =
+      empty ? "\"count\": 0, \"mean\": null, \"p50\": null, "
+              "\"p90\": null, \"p99\": null"
+            : "\"count\": 5, \"mean\": 2.0, \"p50\": 2.0, "
+              "\"p90\": 3.0, \"p99\": 3.0";
+  return obs::json::parse(
+      "{\"deterministic\": {\"counters\": {}, \"series\": {}, "
+      "\"histograms\": {\"sim.queue_wait\": {" + stats + "}}}}");
+}
+
+TEST(ReportDiff, NullVsNumberHistogramIsSchemaDrift) {
+  // One run measured queue waits, the other measured none: the null-vs-2.0
+  // difference is not a numeric drift of 2.0 -- the distributions are not
+  // comparable at all, which must gate like an infinite counter drift.
+  const obs::ReportDiff diff = obs::diff_run_reports(
+      make_histogram_report(/*empty=*/true),
+      make_histogram_report(/*empty=*/false));
+  EXPECT_TRUE(diff.error.empty());
+  ASSERT_EQ(diff.histograms.size(), 1u);
+  EXPECT_TRUE(diff.histograms.front().null_base);
+  EXPECT_FALSE(diff.histograms.front().null_cand);
+  EXPECT_TRUE(diff.histograms.front().schema_drift());
+  EXPECT_TRUE(std::isinf(diff.max_deterministic_drift()));
+  EXPECT_FALSE(diff.deterministic_ok(1e9));
+}
+
+TEST(ReportDiff, NullVsNullHistogramIsNotDrift) {
+  const obs::ReportDiff diff = obs::diff_run_reports(
+      make_histogram_report(/*empty=*/true),
+      make_histogram_report(/*empty=*/true));
+  EXPECT_TRUE(diff.error.empty());
+  ASSERT_EQ(diff.histograms.size(), 1u);
+  EXPECT_FALSE(diff.histograms.front().schema_drift());
+  EXPECT_EQ(diff.max_deterministic_drift(), 0.0);
+}
+
 TEST(InstanceDigest, SensitiveToEveryDefiningDatum) {
   const core::QppInstance a = grid_instance();
   EXPECT_EQ(core::instance_digest(a), core::instance_digest(grid_instance()));

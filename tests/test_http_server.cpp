@@ -1,0 +1,180 @@
+/// Unit tests for the embedded admin HTTP server (src/net/http_server.*):
+/// routing, error statuses, query-string stripping, ephemeral ports, and
+/// stop() idempotence. The client side is a bare blocking socket speaking
+/// just enough HTTP/1.1 -- the server closes every connection after one
+/// response, so "read until EOF" is a complete client.
+
+#include "net/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace qp {
+namespace {
+
+/// Sends \p request verbatim to 127.0.0.1:\p port and returns the whole
+/// response (headers + body; the server sends Connection: close).
+std::string roundtrip(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("client socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    throw std::runtime_error("client connect() failed");
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      throw std::runtime_error("client send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;  // EOF: server closed after the response
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(int port, const std::string& target,
+                const char* method = "GET") {
+  return roundtrip(port, std::string(method) + " " + target +
+                             " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+TEST(HttpServer, ServesRegisteredRoutes) {
+  net::HttpServer server;
+  server.handle("/metrics", [](const net::HttpRequest& request) {
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.path, "/metrics");
+    net::HttpResponse response;
+    response.body = "metric 1\n";
+    return response;
+  });
+  server.handle("/healthz", [](const net::HttpRequest&) {
+    net::HttpResponse response;
+    response.body = "ok\n";
+    return response;
+  });
+  server.start(0);  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  ASSERT_TRUE(server.running());
+
+  const std::string metrics = get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; charset=utf-8"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("Connection: close"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("\r\n\r\nmetric 1\n"), std::string::npos) << metrics;
+
+  // Consecutive requests on fresh connections (one connection per request).
+  EXPECT_NE(get(server.port(), "/healthz").find("ok\n"), std::string::npos);
+  EXPECT_NE(get(server.port(), "/healthz").find("ok\n"), std::string::npos);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, StripsQueryStringsBeforeRouting) {
+  net::HttpServer server;
+  server.handle("/report", [](const net::HttpRequest& request) {
+    EXPECT_EQ(request.path, "/report");
+    net::HttpResponse response;
+    response.body = "{}";
+    return response;
+  });
+  server.start(0);
+  const std::string response = get(server.port(), "/report?pretty=1&x=2");
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(HttpServer, UnknownPathIs404) {
+  net::HttpServer server;
+  server.handle("/known", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  server.start(0);
+  const std::string response = get(server.port(), "/unknown");
+  EXPECT_NE(response.find("HTTP/1.1 404"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(HttpServer, NonGetIs405) {
+  net::HttpServer server;
+  server.handle("/metrics", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  server.start(0);
+  const std::string response = get(server.port(), "/metrics", "POST");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(HttpServer, MalformedRequestLineIs400) {
+  net::HttpServer server;
+  server.start(0);
+  const std::string response =
+      roundtrip(server.port(), "not-http\r\n\r\n");  // no spaces to split
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(HttpServer, ThrowingHandlerIs500WithExceptionText) {
+  net::HttpServer server;
+  server.handle("/boom", [](const net::HttpRequest&) -> net::HttpResponse {
+    throw std::runtime_error("handler exploded");
+  });
+  server.start(0);
+  const std::string response = get(server.port(), "/boom");
+  EXPECT_NE(response.find("HTTP/1.1 500"), std::string::npos) << response;
+  EXPECT_NE(response.find("handler exploded"), std::string::npos) << response;
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndSafeBeforeStart) {
+  net::HttpServer never_started;
+  never_started.stop();  // no-op
+  EXPECT_FALSE(never_started.running());
+
+  net::HttpServer server;
+  server.handle("/x", [](const net::HttpRequest&) {
+    return net::HttpResponse{};
+  });
+  server.start(0);
+  const int port = server.port();
+  EXPECT_NE(get(port, "/x").find("200 OK"), std::string::npos);
+  server.stop();
+  server.stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+  // The port is released: a connect attempt now fails.
+  EXPECT_THROW(get(port, "/x"), std::runtime_error);
+}
+
+TEST(HttpServer, RejectsDoubleStart) {
+  net::HttpServer server;
+  server.start(0);
+  EXPECT_THROW(server.start(0), std::runtime_error);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace qp

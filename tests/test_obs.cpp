@@ -301,5 +301,82 @@ TEST(RunReport, JsonFollowsSchema) {
   EXPECT_EQ(json, report.to_json());
 }
 
+TEST(Histogram, SingleBucketQuantilesStayInsideTheBucket) {
+  // Every sample identical: exactly one populated bucket. All quantiles
+  // must resolve within that bucket's bounds, and the extremes pin to the
+  // tracked exact min/max.
+  obs::LogHistogram h;
+  for (int i = 0; i < 25; ++i) h.record(3.0);
+  EXPECT_EQ(h.quantile(0.0), 3.0);  // min()
+  EXPECT_EQ(h.quantile(1.0), 3.0);  // max()
+  // Interior quantiles report the bucket's upper bound, which is within
+  // one relative bucket width (2^(1/8) - 1 < 9.1%) of the true value.
+  const double p50 = h.quantile(0.5);
+  EXPECT_GE(p50, 3.0);
+  EXPECT_LE(p50, 3.0 * std::pow(2.0, 1.0 / 8.0));
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  std::mt19937_64 rng(41);
+  std::uniform_real_distribution<double> value(0.5, 512.0);
+  obs::LogHistogram a, b, c;
+  for (int i = 0; i < 300; ++i) a.record(value(rng));
+  for (int i = 0; i < 200; ++i) b.record(value(rng));
+  for (int i = 0; i < 100; ++i) c.record(value(rng));
+
+  obs::LogHistogram ab_then_c = a;  // (a + b) + c
+  ab_then_c.merge(b);
+  ab_then_c.merge(c);
+  obs::LogHistogram bc = b;  // a + (b + c)
+  bc.merge(c);
+  obs::LogHistogram a_then_bc = a;
+  a_then_bc.merge(bc);
+
+  EXPECT_EQ(ab_then_c.buckets(), a_then_bc.buckets());
+  EXPECT_EQ(ab_then_c.count(), a_then_bc.count());
+  EXPECT_EQ(ab_then_c.min(), a_then_bc.min());
+  EXPECT_EQ(ab_then_c.max(), a_then_bc.max());
+  EXPECT_EQ(ab_then_c.to_json(), a_then_bc.to_json());
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentityBothWays) {
+  obs::LogHistogram h;
+  for (int i = 1; i <= 40; ++i) h.record(static_cast<double>(i));
+  const std::string before = h.to_json();
+
+  obs::LogHistogram empty;
+  h.merge(empty);  // right identity
+  EXPECT_EQ(h.to_json(), before);
+
+  obs::LogHistogram other;  // left identity: empty absorbs h into a copy
+  other.merge(h);
+  EXPECT_EQ(other.to_json(), before);
+
+  // Empty + empty stays empty -- and in particular keeps NaN quantiles
+  // (min/max sentinels must not leak through the merge as fake samples).
+  obs::LogHistogram still_empty;
+  still_empty.merge(empty);
+  EXPECT_EQ(still_empty.count(), 0u);
+  EXPECT_TRUE(std::isnan(still_empty.quantile(0.5)));
+}
+
+TEST(Histogram, EmptyHistogramJsonRendersNullStatistics) {
+  // docs/OBSERVABILITY.md: an empty histogram has measured nothing, so its
+  // mean/p50/p90/p99 are JSON null -- a 0.0 would be indistinguishable from
+  // a real measured zero, and `analyze --diff` treats null-vs-number as
+  // schema drift rather than numeric drift.
+  obs::LogHistogram empty;
+  const std::string json = empty.to_json();
+  EXPECT_TRUE(looks_like_json_object(json)) << json;
+  EXPECT_NE(json.find("\"count\": 0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"mean\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": null"), std::string::npos) << json;
+
+  obs::LogHistogram full;
+  full.record(1.0);
+  EXPECT_EQ(full.to_json().find("null"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace qp

@@ -1,0 +1,368 @@
+/// Unit tests for the live-telemetry layer (src/obs/telemetry.*,
+/// docs/OBSERVABILITY.md "Live telemetry"): snapshotter ring semantics,
+/// the qplace.timeseries.v1 JSONL rendering and its deterministic /
+/// nondeterministic split, Prometheus summary exposition, the TTY progress
+/// meter, and -- the load-bearing property -- byte-identical deterministic
+/// series from the simulator at 1 vs 8 threads.
+
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/qpp_solver.hpp"
+#include "graph/generators.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/prom.hpp"
+#include "quorum/constructions.hpp"
+#include "sim/simulator.hpp"
+
+namespace qp {
+namespace {
+
+/// Splits a JSONL document into lines (no trailing empty line).
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Telemetry, RejectsZeroCapacity) {
+  obs::TelemetryConfig config;
+  config.capacity = 0;
+  EXPECT_THROW(obs::MetricsSnapshotter{config}, std::invalid_argument);
+}
+
+TEST(Telemetry, SampleCapturesRegistryAndCallerValues) {
+  obs::Registry::instance().reset_all();
+  obs::Registry::instance().counter("telemetry_test.events").add(7);
+  obs::Registry::instance().gauge("telemetry_test.depth").set(3.5);
+
+  obs::MetricsSnapshotter snapshotter;
+  EXPECT_EQ(snapshotter.size(), 0u);
+  EXPECT_FALSE(snapshotter.latest().has_value());
+
+  snapshotter.sample(10.0, {{"availability", 0.25}});
+  ASSERT_EQ(snapshotter.size(), 1u);
+  const obs::MetricsSnapshot snap = *snapshotter.latest();
+  EXPECT_EQ(snap.sim_time, 10.0);
+  EXPECT_EQ(snap.counters.at("telemetry_test.events"), 7u);
+  EXPECT_EQ(snap.values.at("availability"), 0.25);
+  EXPECT_EQ(snap.gauges.at("telemetry_test.depth"), 3.5);
+  EXPECT_GE(snap.wall_ms, 0.0);
+}
+
+TEST(Telemetry, RingEvictsOldestAndCountsDrops) {
+  obs::TelemetryConfig config;
+  config.capacity = 2;
+  obs::MetricsSnapshotter snapshotter(config);
+  snapshotter.sample(1.0);
+  snapshotter.sample(2.0);
+  snapshotter.sample(3.0);
+  EXPECT_EQ(snapshotter.size(), 2u);
+  EXPECT_EQ(snapshotter.dropped(), 1u);
+  const std::vector<obs::MetricsSnapshot> held = snapshotter.snapshots();
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held.front().sim_time, 2.0);  // t=1 evicted
+  EXPECT_EQ(held.back().sim_time, 3.0);
+}
+
+TEST(Telemetry, WatchedHistogramsAreDigestedAndUnregisterable) {
+  obs::MetricsSnapshotter snapshotter;
+  obs::LogHistogram delays;
+  for (int i = 1; i <= 100; ++i) delays.record(static_cast<double>(i));
+  snapshotter.watch_histogram("delays", &delays);
+
+  snapshotter.sample(1.0);
+  const obs::HistogramPoint point =
+      snapshotter.latest()->histograms.at("delays");
+  EXPECT_EQ(point.count, 100u);
+  EXPECT_EQ(point.sum, delays.sum());
+  EXPECT_EQ(point.p50, delays.quantile(0.50));
+  EXPECT_EQ(point.p99, delays.quantile(0.99));
+
+  // nullptr unregisters: the next sample no longer touches the histogram
+  // (the simulator relies on this before its result goes out of scope).
+  snapshotter.watch_histogram("delays", nullptr);
+  snapshotter.sample(2.0);
+  EXPECT_EQ(snapshotter.latest()->histograms.count("delays"), 0u);
+}
+
+TEST(Telemetry, EmptyHistogramQuantilesRenderAsNull) {
+  obs::MetricsSnapshotter snapshotter;
+  obs::LogHistogram empty;
+  snapshotter.watch_histogram("empty", &empty);
+  snapshotter.sample(1.0);
+
+  const obs::HistogramPoint point =
+      snapshotter.latest()->histograms.at("empty");
+  EXPECT_EQ(point.count, 0u);
+  EXPECT_TRUE(std::isnan(point.p50));
+
+  const std::vector<std::string> lines = lines_of(snapshotter.to_jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("\"p50\": null"), std::string::npos) << lines[1];
+  // The line still parses, and the nulls type as JSON null, not 0.
+  const obs::json::Value parsed = obs::json::parse(lines[1]);
+  const obs::json::Value* hist =
+      parsed.find("deterministic")->find("histograms")->find("empty");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_TRUE(hist->find("p99")->is_null());
+}
+
+TEST(Telemetry, JsonlFollowsSchemaAndSplitsDeterminism) {
+  obs::Registry::instance().reset_all();
+  obs::MetricsSnapshotter snapshotter;
+  snapshotter.set_context("seed", "42");
+  snapshotter.sample(5.0, {{"availability", 1.0}});
+  snapshotter.sample(10.0, {{"availability", 0.5}});
+
+  const std::vector<std::string> lines = lines_of(snapshotter.to_jsonl());
+  ASSERT_EQ(lines.size(), 3u);
+
+  const obs::json::Value header = obs::json::parse(lines[0]);
+  EXPECT_EQ(header.get_string("schema", ""), "qplace.timeseries.v1");
+  EXPECT_EQ(header.get_number("samples", -1.0), 2.0);
+  EXPECT_EQ(header.get_number("dropped", -1.0), 0.0);
+  EXPECT_EQ(header.find("context")->get_string("seed", ""), "42");
+
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const obs::json::Value record = obs::json::parse(lines[i]);
+    const obs::json::Value* det = record.find("deterministic");
+    const obs::json::Value* nondet = record.find("nondeterministic");
+    ASSERT_NE(det, nullptr) << lines[i];
+    ASSERT_NE(nondet, nullptr) << lines[i];
+    // Wall time lives only on the nondeterministic side.
+    EXPECT_EQ(det->find("wall_ms"), nullptr);
+    EXPECT_NE(nondet->find("wall_ms"), nullptr);
+    EXPECT_NE(det->find("t"), nullptr);
+    EXPECT_NE(det->find("counters"), nullptr);
+  }
+  const obs::json::Value first = obs::json::parse(lines[1]);
+  EXPECT_EQ(first.find("deterministic")->get_number("t", -1.0), 5.0);
+  EXPECT_EQ(first.find("deterministic")
+                ->find("values")
+                ->get_number("availability", -1.0),
+            1.0);
+}
+
+TEST(Telemetry, PrometheusSummariesRenderLatestHistograms) {
+  obs::MetricsSnapshotter snapshotter;
+  EXPECT_EQ(snapshotter.prometheus_summaries(), "");  // no snapshot yet
+
+  obs::LogHistogram delays;
+  for (int i = 1; i <= 50; ++i) delays.record(static_cast<double>(i));
+  obs::LogHistogram empty;
+  snapshotter.watch_histogram("sim.access_delay", &delays);
+  snapshotter.watch_histogram("sim.queue_wait", &empty);
+  snapshotter.sample(1.0);
+
+  const std::string text = snapshotter.prometheus_summaries();
+  EXPECT_NE(text.find("# TYPE qplace_sim_access_delay summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("qplace_sim_access_delay{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("qplace_sim_access_delay_count 50"), std::string::npos);
+  // The empty histogram has no quantiles to expose, but count/sum exist.
+  EXPECT_EQ(text.find("qplace_sim_queue_wait{quantile"), std::string::npos);
+  EXPECT_NE(text.find("qplace_sim_queue_wait_count 0"), std::string::npos);
+}
+
+TEST(Telemetry, RenderPrometheusCoversEveryInstrumentKind) {
+  obs::Registry& registry = obs::Registry::instance();
+  registry.counter("prom_test.events").add(41);
+  registry.gauge("prom_test.depth").set(2.5);
+  registry.timer("prom_test.phase").add(1500000000);  // 1.5 s in nanos
+  registry.append_series("prom_test.series", 0.25);
+  registry.append_series("prom_test.series", 0.75);
+
+  const std::string text = obs::render_prometheus(registry);
+  EXPECT_NE(text.find("# TYPE qplace_prom_test_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("qplace_prom_test_events_total 41"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE qplace_prom_test_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("qplace_prom_test_depth 2.5"), std::string::npos);
+  // Timers split into accumulated seconds and a call count.
+  EXPECT_NE(text.find("qplace_prom_test_phase_seconds_total 1.5"),
+            std::string::npos);
+  EXPECT_NE(text.find("qplace_prom_test_phase_calls_total 1"),
+            std::string::npos);
+  // A series exposes its latest value as a gauge.
+  EXPECT_NE(text.find("# TYPE qplace_prom_test_series gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("qplace_prom_test_series 0.75"), std::string::npos);
+  EXPECT_EQ(text.find("qplace_prom_test_series 0.25"), std::string::npos);
+  // The whole exposition is TYPE comments and samples -- nothing else.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_TRUE(line.rfind("# TYPE qplace_", 0) == 0 ||
+                line.rfind("qplace_", 0) == 0)
+        << line;
+  }
+}
+
+TEST(Telemetry, ProgressMeterDrawsAndFinishesIdempotently) {
+  std::ostringstream out;
+  obs::ProgressMeter meter(out, 2.0);
+  obs::ProgressStats stats;
+  stats.sim_time = 500.0;
+  stats.duration = 1000.0;
+  stats.resolved = 105;
+  stats.completed = 100;
+  stats.failed = 5;
+  stats.availability = 100.0 / 105.0;
+  stats.p99 = 3.0;
+  meter.update(stats);
+  meter.finish();
+  meter.finish();  // idempotent: no second newline
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("sim  50%"), std::string::npos) << text;
+  EXPECT_NE(text.find("t=500/1000"), std::string::npos) << text;
+  EXPECT_NE(text.find("100 ok + 5 failed"), std::string::npos) << text;
+  EXPECT_NE(text.find("avail 0.9524"), std::string::npos) << text;
+  EXPECT_NE(text.find("1.50x bound"), std::string::npos) << text;
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(Telemetry, ProgressMeterOmitsP99AndBoundWhenUnavailable) {
+  std::ostringstream out;
+  obs::ProgressMeter meter(out, std::nan(""));  // no certified bound
+  obs::ProgressStats stats;
+  stats.sim_time = 10.0;
+  stats.duration = 100.0;
+  stats.p99 = std::nan("");  // empty histogram so far
+  meter.update(stats);
+  meter.finish();
+  const std::string text = out.str();
+  EXPECT_EQ(text.find("p99"), std::string::npos) << text;
+  EXPECT_EQ(text.find("bound"), std::string::npos) << text;
+}
+
+// ------------------------------------------------------- simulator coupling
+
+core::QppInstance make_instance() {
+  std::mt19937_64 rng(17);
+  const graph::Metric metric = graph::Metric::from_graph(
+      graph::erdos_renyi(12, 0.5, rng, 1.0, 5.0));
+  const quorum::QuorumSystem system = quorum::grid(3);
+  return core::QppInstance(
+      metric, std::vector<double>(12, 1e9), system,
+      quorum::AccessStrategy::uniform(system));
+}
+
+/// One telemetry-enabled simulation under a pool of \p threads.
+std::string run_with_telemetry(const core::QppInstance& instance,
+                               const core::Placement& placement,
+                               int threads) {
+  exec::set_num_threads(threads);
+  obs::Registry::instance().reset_all();
+  obs::MetricsSnapshotter snapshotter;
+  sim::SimulationConfig config;
+  config.seed = 9;
+  config.duration = 200.0;
+  config.warmup = 10.0;
+  config.service_rate = 40.0;
+  config.telemetry = &snapshotter;
+  config.telemetry_interval = 20.0;
+  sim::simulate(instance, placement, config);
+  exec::set_num_threads(0);
+  return snapshotter.to_jsonl();
+}
+
+/// Strips each snapshot line down to its deterministic object.
+std::vector<std::string> deterministic_parts(const std::string& jsonl) {
+  std::vector<std::string> out;
+  const std::vector<std::string> lines = lines_of(jsonl);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string needle = "\"nondeterministic\"";
+    const std::size_t cut = lines[i].find(needle);
+    EXPECT_NE(cut, std::string::npos) << lines[i];
+    out.push_back(lines[i].substr(0, cut));
+  }
+  return out;
+}
+
+TEST(Telemetry, SimulatorSeriesIsIdenticalAcrossThreadCounts) {
+  const core::QppInstance instance = make_instance();
+  const auto solved = core::solve_qpp(instance, core::QppSolveOptions{});
+  ASSERT_TRUE(solved.has_value());
+
+  const std::string one =
+      run_with_telemetry(instance, solved->placement, 1);
+  const std::string eight =
+      run_with_telemetry(instance, solved->placement, 8);
+
+  const std::vector<std::string> det_one = deterministic_parts(one);
+  const std::vector<std::string> det_eight = deterministic_parts(eight);
+  ASSERT_FALSE(det_one.empty());
+  // Byte-identical deterministic prefixes, line by line: the sampling grid,
+  // every counter, every histogram digest (docs/PARALLEL.md contract).
+  ASSERT_EQ(det_one.size(), det_eight.size());
+  for (std::size_t i = 0; i < det_one.size(); ++i) {
+    EXPECT_EQ(det_one[i], det_eight[i]) << "snapshot " << i;
+  }
+}
+
+TEST(Telemetry, SimulatorSamplesOnTheGridWithFinalSampleAtDuration) {
+  const core::QppInstance instance = make_instance();
+  const auto solved = core::solve_qpp(instance, core::QppSolveOptions{});
+  ASSERT_TRUE(solved.has_value());
+
+  obs::Registry::instance().reset_all();
+  obs::MetricsSnapshotter snapshotter;
+  sim::SimulationConfig config;
+  config.seed = 9;
+  config.duration = 100.0;
+  config.telemetry = &snapshotter;
+  config.telemetry_interval = 25.0;
+  const sim::SimulationResult result =
+      sim::simulate(instance, solved->placement, config);
+
+  const std::vector<obs::MetricsSnapshot> snaps = snapshotter.snapshots();
+  ASSERT_EQ(snaps.size(), 4u);  // t = 25, 50, 75 in-loop + final t = 100
+  EXPECT_EQ(snaps[0].sim_time, 25.0);
+  EXPECT_EQ(snaps[1].sim_time, 50.0);
+  EXPECT_EQ(snaps[2].sim_time, 75.0);
+  EXPECT_EQ(snaps[3].sim_time, 100.0);
+
+  // Counters only ever grow along the series, and the counter *set* is
+  // identical in every snapshot (zero-add registration up front -- the set
+  // must not depend on which events happened to fire).
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    ASSERT_EQ(snaps[i].counters.size(), snaps[0].counters.size());
+    for (const auto& [name, value] : snaps[i].counters) {
+      ASSERT_TRUE(snaps[i - 1].counters.count(name)) << name;
+      EXPECT_GE(value, snaps[i - 1].counters.at(name)) << name;
+    }
+  }
+  // The final snapshot agrees with the run's result where both report the
+  // same quantity.
+  if (obs::compiled_in()) {
+    EXPECT_EQ(snaps.back().counters.at("sim.completed_accesses"),
+              static_cast<std::uint64_t>(result.completed_accesses));
+  }
+  // The simulator unregisters its watched result histograms before
+  // returning; a sample taken now must not touch the (still alive here,
+  // but in general destroyed) result.
+  snapshotter.sample(101.0);
+  EXPECT_EQ(snapshotter.latest()->histograms.count("sim.access_delay"), 0u);
+}
+
+}  // namespace
+}  // namespace qp

@@ -1,0 +1,250 @@
+/// Unit tests for the trace/access-log reconciliation (`qplace analyze
+/// --trace`, src/analyze/trace_check.*): a traced simulation must produce a
+/// span tree that explains every logged access, and tampering with any
+/// arithmetic fact in the trace (attempt counts, probe durations, outcomes,
+/// whole spans) must be detected.
+///
+/// The global TraceRecorder is shared by the whole test binary, so every
+/// case clears it and runs its simulation single-threaded-sequentially (the
+/// sim event loop is sequential anyway) before snapshotting the JSON.
+
+#include "analyze/trace_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "obs/access_log.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "quorum/constructions.hpp"
+#include "sim/fault_schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace qp {
+namespace {
+
+struct TracedRun {
+  obs::json::Value trace;
+  obs::ParsedAccessLog log;
+};
+
+core::QppInstance make_instance(int nodes,
+                                const quorum::QuorumSystem& system) {
+  std::mt19937_64 rng(31);
+  const graph::Metric metric = graph::Metric::from_graph(
+      graph::erdos_renyi(nodes, 0.5, rng, 1.0, 4.0));
+  return core::QppInstance(
+      metric,
+      std::vector<double>(static_cast<std::size_t>(nodes), 1e9), system,
+      quorum::AccessStrategy::uniform(system));
+}
+
+core::Placement spread_placement(const core::QppInstance& instance) {
+  core::Placement f(
+      static_cast<std::size_t>(instance.system().universe_size()));
+  for (std::size_t u = 0; u < f.size(); ++u) {
+    f[u] = static_cast<int>(u) % instance.num_nodes();
+  }
+  return f;
+}
+
+/// Runs one traced + logged simulation and returns both artifacts parsed.
+TracedRun traced_run(sim::SimulationConfig config,
+                     const sim::FaultSchedule* faults = nullptr,
+                     const quorum::QuorumSystem& system = quorum::grid(2)) {
+  const core::QppInstance instance = make_instance(8, system);
+  const core::Placement placement = spread_placement(instance);
+
+  std::ostringstream log_stream;
+  obs::AccessLogWriter writer(log_stream, obs::AccessLogConfig{});
+  config.access_log = &writer;
+  config.faults = faults;
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  recorder.clear();
+  recorder.set_enabled(true);
+  sim::simulate(instance, placement, config);
+  recorder.set_enabled(false);
+  writer.close();
+
+  TracedRun run;
+  run.trace = obs::json::parse(recorder.to_chrome_json());
+  std::istringstream log_in(log_stream.str());
+  run.log = obs::parse_access_log(log_in);
+  recorder.clear();
+  return run;
+}
+
+sim::SimulationConfig base_config() {
+  sim::SimulationConfig config;
+  config.seed = 3;
+  config.duration = 40.0;
+  config.warmup = 5.0;
+  return config;
+}
+
+/// First sim-domain event named \p name carrying access id \p id, or
+/// nullptr. Tamper tests must target a *logged* access -- the first span in
+/// the trace is typically a warmup access, which the checker rightly
+/// ignores.
+obs::json::Value* find_event(obs::json::Value& trace, const std::string& name,
+                             std::int64_t id) {
+  for (obs::json::Value& event : trace.object["traceEvents"].array) {
+    if (event.get_number("pid", 1.0) !=
+        static_cast<double>(obs::TraceRecorder::kSimTimePid)) {
+      continue;
+    }
+    if (event.get_string("name", "") != name) continue;
+    const obs::json::Value* args = event.find("args");
+    if (args != nullptr &&
+        args->get_number("id", -1.0) == static_cast<double>(id)) {
+      return &event;
+    }
+  }
+  return nullptr;
+}
+
+TEST(TraceCheck, CleanRunReconciles) {
+  const TracedRun run = traced_run(base_config());
+  ASSERT_GT(run.log.records.size(), 0u);
+
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log);
+  EXPECT_TRUE(result.ok()) << (result.findings.empty()
+                                   ? "no findings"
+                                   : result.findings.front());
+  EXPECT_EQ(result.matched_records,
+            static_cast<std::int64_t>(run.log.records.size()));
+  EXPECT_EQ(result.checked_attempts, result.matched_records);  // no faults
+  EXPECT_GT(result.checked_probes, 0);
+  // Warmup accesses are traced but never logged: extra spans are fine.
+  EXPECT_GT(result.access_spans, result.matched_records);
+}
+
+TEST(TraceCheck, FaultRunWithRetriesReconciles) {
+  std::ifstream faults_in(std::string(QPLACE_FAULT_FIXTURES) +
+                          "/crash_heavy.json");
+  ASSERT_TRUE(faults_in.good());
+  const sim::FaultSchedule faults = sim::load_fault_schedule(faults_in);
+
+  // crash_heavy downs nodes 0 and 1 for the whole run. Under grid(2) every
+  // quorum touches one of them, so the fault-aware re-selection would fail
+  // each access as unavailable after its first timeout and no retry would
+  // ever launch. majority(5, 3) leaves exactly one live quorum ({2, 3, 4}),
+  // so the blind first pick usually times out and the retry succeeds. The
+  // timeout must exceed the longest healthy round trip: only probes dropped
+  // by crashed nodes may expire, everything else completes in time.
+  sim::SimulationConfig config = base_config();
+  config.duration = 60.0;
+  config.probe_timeout = 16.0;
+  config.max_attempts = 4;
+  const TracedRun run = traced_run(config, &faults, quorum::majority(5, 3));
+  ASSERT_GT(run.log.records.size(), 0u);
+
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log);
+  EXPECT_TRUE(result.ok()) << (result.findings.empty()
+                                   ? "no findings"
+                                   : result.findings.front());
+  // Retries happened, so there are strictly more attempt spans than logged
+  // accesses -- the span trees really are multi-level here.
+  EXPECT_GT(result.checked_attempts, result.matched_records);
+}
+
+TEST(TraceCheck, DetectsTamperedAttemptCount) {
+  TracedRun run = traced_run(base_config());
+  obs::json::Value* access =
+      find_event(run.trace, "sim.access", run.log.records.front().id);
+  ASSERT_NE(access, nullptr);
+  access->object["args"].object["attempts"].number += 1;
+
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_NE(result.findings.front().find("attempts"), std::string::npos)
+      << result.findings.front();
+}
+
+TEST(TraceCheck, DetectsTamperedOutcome) {
+  TracedRun run = traced_run(base_config());
+  obs::json::Value* access =
+      find_event(run.trace, "sim.access", run.log.records.front().id);
+  ASSERT_NE(access, nullptr);
+  access->object["args"].object["outcome"].string = "timeout";
+
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TraceCheck, DetectsTamperedProbeDuration) {
+  TracedRun run = traced_run(base_config());
+  obs::json::Value* probe =
+      find_event(run.trace, "sim.probe", run.log.records.front().id);
+  ASSERT_NE(probe, nullptr);
+  probe->object["dur"].number += 7000.0;  // +7 sim units in microseconds
+
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TraceCheck, DetectsMissingAccessSpan) {
+  TracedRun run = traced_run(base_config());
+  // Delete every sim.access span for the first logged id; the record is
+  // then unexplained (the overflow scenario, minus the overflow).
+  const std::int64_t victim = run.log.records.front().id;
+  auto& events = run.trace.object["traceEvents"].array;
+  std::vector<obs::json::Value> kept;
+  for (obs::json::Value& event : events) {
+    const obs::json::Value* args = event.find("args");
+    const bool is_victim =
+        event.get_string("name", "") == "sim.access" && args != nullptr &&
+        args->get_number("id", -1.0) == static_cast<double>(victim);
+    if (!is_victim) kept.push_back(std::move(event));
+  }
+  events = std::move(kept);
+
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log);
+  EXPECT_FALSE(result.ok());
+  ASSERT_FALSE(result.findings.empty());
+  EXPECT_NE(result.findings.front().find("no sim.access span"),
+            std::string::npos)
+      << result.findings.front();
+}
+
+TEST(TraceCheck, FindingsAreCappedButViolationsKeepCounting) {
+  TracedRun run = traced_run(base_config());
+  // Tamper with every access span so every record violates.
+  for (obs::json::Value& event : run.trace.object["traceEvents"].array) {
+    if (event.get_string("name", "") == "sim.access") {
+      event.object["args"].object["client"].number += 1;
+    }
+  }
+  obs::TraceCheckOptions options;
+  options.max_findings = 3;
+  const obs::TraceCheckResult result =
+      obs::check_trace_against_log(run.trace, run.log, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.findings.size(), 3u);
+  EXPECT_GT(result.violations, 3);
+}
+
+TEST(TraceCheck, RejectsDocumentsWithoutTraceEvents) {
+  const obs::json::Value not_a_trace = obs::json::parse("{\"x\": 1}");
+  obs::ParsedAccessLog log;
+  EXPECT_THROW(obs::check_trace_against_log(not_a_trace, log),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qp

@@ -29,9 +29,11 @@
 /// --tolerance; wall times reported but never gated) -- the CI
 /// perf-regression gate (docs/OBSERVABILITY.md).
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <random>
 #include <sstream>
 #include <string>
@@ -41,11 +43,15 @@
 #include "check/validate.hpp"
 #include "cli/options.hpp"
 #include "exec/thread_pool.hpp"
+#include "net/http_server.hpp"
 #include "obs/access_log.hpp"
 #include "analyze/analyze.hpp"
+#include "analyze/trace_check.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/prom.hpp"
 #include "obs/run_report.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "core/evaluators.hpp"
 #include "core/majority_layout.hpp"
@@ -105,7 +111,22 @@ int usage() {
       "  --access-log FILE (simulate) write one qplace.access_log.v2 JSONL\n"
       "                    record per resolved access; sampling via\n"
       "                    --access-log-sample R (keep fraction R) and\n"
-      "                    --access-log-head N (first N records)\n";
+      "                    --access-log-head N (first N records)\n"
+      "live telemetry (docs/OBSERVABILITY.md, \"Live telemetry\"):\n"
+      "  --series-out FILE (simulate) write qplace.timeseries.v1 JSONL:\n"
+      "                    registry snapshots sampled on a deterministic\n"
+      "                    sim-time grid, every --telemetry-interval sim\n"
+      "                    units (default duration/100)\n"
+      "  --metrics-port P  (simulate) serve GET /metrics (Prometheus text),\n"
+      "                    /healthz and /report on 127.0.0.1:P for the life\n"
+      "                    of the run (P=0 picks a free port; the bound\n"
+      "                    port is printed to stderr)\n"
+      "  --progress        (simulate) redraw a live progress line on\n"
+      "                    stderr: %% done, accesses/s, availability, p99\n"
+      "                    vs the analytic mean-delay bound\n"
+      "  --trace FILE      (analyze) reconcile the causal sim-time access\n"
+      "                    spans of a recorded Chrome trace against\n"
+      "                    --access-log FILE; exit 1 on any mismatch\n";
   return 2;
 }
 
@@ -137,9 +158,26 @@ class ObsSession {
   /// failure (surfaced as exit code 2 by main's handler).
   void finish() {
     if (!trace_path_.empty()) {
-      obs::TraceRecorder::instance().set_enabled(false);
-      obs::write_file(trace_path_,
-                      obs::TraceRecorder::instance().to_chrome_json());
+      obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+      recorder.set_enabled(false);
+      // A full ring silently overwrites the oldest events, which then look
+      // like missing spans to `analyze --trace` -- say so out loud and stamp
+      // the counts into the run report (nondeterministic: event *capacity*
+      // pressure depends on thread count and ring sharing, not on the run's
+      // deterministic state).
+      const std::uint64_t dropped = recorder.dropped_count();
+      if (dropped > 0) {
+        std::cerr << "warning: trace ring overflow: " << dropped
+                  << " events dropped (oldest overwritten; per-thread "
+                     "capacity "
+                  << obs::TraceRecorder::kRingCapacity
+                  << ") -- `analyze --trace` will report missing spans\n";
+      }
+      report_.add_nondeterministic_json(
+          "trace",
+          "{\"events\": " + std::to_string(recorder.event_count()) +
+              ", \"dropped\": " + std::to_string(dropped) + "}");
+      obs::write_file(trace_path_, recorder.to_chrome_json());
     }
     if (!stats_path_.empty()) {
       report_.add_nondeterministic_json("pool", exec::pool_stats_json());
@@ -498,7 +536,70 @@ int cmd_analyze_diff(const cli::ParsedArgs& args) {
   return ok ? 0 : 1;
 }
 
+/// `qplace analyze --trace TRACE --access-log LOG [--tolerance T]
+/// [--max-findings N]`: reconcile the causal sim-time span trees of a
+/// recorded Chrome trace with the access log of the same run (the rules
+/// live in analyze/trace_check.hpp). Exit 0 = every logged access is
+/// explained by its span tree, 1 = a mismatch, 2 = unreadable input.
+int cmd_analyze_trace(const cli::ParsedArgs& args) {
+  const std::string trace_path = args.get("trace", "");
+  const std::string log_path = args.require("access-log");
+
+  obs::json::Value trace;
+  try {
+    trace = load_json_file(trace_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  std::ifstream in(log_path);
+  if (!in) {
+    std::cerr << "error: cannot open access log '" << log_path << "'\n";
+    return 2;
+  }
+  const obs::ParsedAccessLog log = obs::parse_access_log(in);
+
+  obs::TraceCheckOptions options;
+  options.tolerance = args.get_double("tolerance", options.tolerance);
+  options.max_findings = args.get_int("max-findings", options.max_findings);
+  obs::TraceCheckResult result;
+  try {
+    result = obs::check_trace_against_log(trace, log, options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "trace check: " << trace_path << " vs access log " << log_path
+            << "\n";
+  report::Table table({"metric", "value"});
+  table.add_row({"sim.access spans", std::to_string(result.access_spans)});
+  table.add_row({"log records", std::to_string(log.records.size())});
+  table.add_row({"matched records", std::to_string(result.matched_records)});
+  table.add_row({"checked attempt spans",
+                 std::to_string(result.checked_attempts)});
+  table.add_row({"checked probe spans",
+                 std::to_string(result.checked_probes)});
+  table.add_row({"violations", std::to_string(result.violations)});
+  table.print(std::cout);
+  for (const std::string& finding : result.findings) {
+    std::cout << "  finding: " << finding << "\n";
+  }
+  const auto shown = static_cast<std::int64_t>(result.findings.size());
+  if (result.violations > shown) {
+    std::cout << "  ... and " << (result.violations - shown)
+              << " more (raise --max-findings to see them)\n";
+  }
+  std::cout << (result.ok()
+                    ? "TRACE OK: every logged access is explained by its "
+                      "span tree\n"
+                    : "TRACE CHECK FAILED: spans and access log disagree\n");
+  return result.ok() ? 0 : 1;
+}
+
 int cmd_analyze(const cli::ParsedArgs& args) {
+  // --trace first: it also takes --access-log, so it must win the dispatch.
+  if (args.has("trace")) return cmd_analyze_trace(args);
   if (args.has("diff")) return cmd_analyze_diff(args);
   if (args.has("access-log")) return cmd_analyze_access_log(args);
   const quorum::QuorumSystem system = cli::make_system(args);
@@ -785,8 +886,90 @@ int cmd_simulate(const cli::ParsedArgs& args) {
     config.access_log = log_writer.get();
   }
 
+  // Analytic mean delay for this access model -- printed in the summary
+  // table and used as the --progress comparison baseline.
+  double analytic = 0.0;
+  if (config.relay_node >= 0) {
+    analytic = core::relay_delay(instance, solved->placement,
+                                 config.relay_node);
+  } else if (config.mode == sim::AccessMode::kParallel) {
+    analytic = core::average_max_delay(instance, solved->placement);
+  } else {
+    analytic = core::average_total_delay(instance, solved->placement);
+  }
+
+  // Live telemetry (docs/OBSERVABILITY.md, "Live telemetry"): periodic
+  // registry snapshots on a deterministic sim-time grid, optionally flushed
+  // to --series-out and/or served live over an embedded HTTP endpoint.
+  const std::string series_path = args.get("series-out", "");
+  const int metrics_port = args.get_int("metrics-port", -1);
+  const double telemetry_interval =
+      args.get_double("telemetry-interval", config.duration / 100.0);
+  obs::MetricsSnapshotter snapshotter;
+  if (!series_path.empty() || metrics_port >= 0 ||
+      !args.get("telemetry-interval", "").empty()) {
+    config.telemetry = &snapshotter;
+    config.telemetry_interval = telemetry_interval;
+    snapshotter.set_context("instance_digest", bundle.digest);
+    snapshotter.set_context("git_sha", QPLACE_GIT_SHA);
+    snapshotter.set_context("seed", std::to_string(config.seed));
+    snapshotter.set_context("duration",
+                            report::Table::num(config.duration, 6));
+    snapshotter.set_context("interval",
+                            report::Table::num(telemetry_interval, 6));
+  }
+
+  std::optional<obs::ProgressMeter> meter;
+  if (!args.get("progress", "").empty()) {
+    meter.emplace(std::cerr, analytic);
+    // Finer-grained than the telemetry grid: redraws are wall-throttled by
+    // the meter itself, so a dense sim-time grid costs nothing visible.
+    config.progress_interval = config.duration / 1000.0;
+    config.on_progress = [&meter](const obs::ProgressStats& stats) {
+      meter->update(stats);
+    };
+  }
+
+  // The admin endpoint serves the live registry and the snapshotter's own
+  // latest histogram digests; both are internally synchronized, and the run
+  // report is only mutated again after the server is stopped below.
+  net::HttpServer server;
+  if (metrics_port >= 0) {
+    server.handle("/metrics", [&snapshotter](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::render_prometheus(obs::Registry::instance()) +
+                      snapshotter.prometheus_summaries();
+      return response;
+    });
+    server.handle("/healthz", [](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.body = "ok\n";
+      return response;
+    });
+    server.handle("/report", [](const net::HttpRequest&) {
+      net::HttpResponse response;
+      response.content_type = "application/json";
+      response.body = g_obs != nullptr ? g_obs->report().to_json() : "{}\n";
+      return response;
+    });
+    server.start(metrics_port);
+    std::cerr << "serving /metrics /healthz /report on 127.0.0.1:"
+              << server.port() << "\n";
+  }
+
   const sim::SimulationResult result =
       sim::simulate(instance, solved->placement, config);
+  if (meter.has_value()) {
+    meter->finish();
+  }
+  server.stop();  // idempotent no-op when --metrics-port was absent
+  if (!series_path.empty()) {
+    obs::write_file(series_path, snapshotter.to_jsonl());
+    std::cerr << "telemetry: " << snapshotter.size() << " snapshots ("
+              << snapshotter.dropped() << " dropped) -> " << series_path
+              << "\n";
+  }
   if (log_writer != nullptr) {
     log_writer->close();  // surface I/O errors here, not in the destructor
     if (!log_stream) {
@@ -821,15 +1004,6 @@ int cmd_simulate(const cli::ParsedArgs& args) {
                    report::Table::num(result.access_delay.quantile(0.99), 4)});
     table.add_row({"simulated max delay",
                    report::Table::num(result.access_delay.max(), 4)});
-  }
-  double analytic = 0.0;
-  if (config.relay_node >= 0) {
-    analytic = core::relay_delay(instance, solved->placement,
-                                 config.relay_node);
-  } else if (config.mode == sim::AccessMode::kParallel) {
-    analytic = core::average_max_delay(instance, solved->placement);
-  } else {
-    analytic = core::average_total_delay(instance, solved->placement);
   }
   table.add_row({"analytic mean delay", report::Table::num(analytic, 4)});
   if (config.faults != nullptr) {
