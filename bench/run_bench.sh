@@ -7,7 +7,7 @@
 # identical across thread counts; this script records what the parallelism
 # costs or buys in wall time on the current host.
 #
-# Usage:  bench/run_bench.sh [--quick] [build-dir]     (default: build)
+# Usage:  bench/run_bench.sh [--quick|--history] [build-dir] (default: build)
 #
 # --quick: perf-regression gate only (docs/OBSERVABILITY.md §7). Re-runs
 # the one instrumented `qplace solve` whose deterministic counters are
@@ -17,11 +17,23 @@
 # (QPLACE_BENCH_TOLERANCE, default 0.10). Needs only the qplace binary --
 # no perf_* builds, no google-benchmark -- so CI can run it cheaply. Does
 # NOT rewrite the baseline; run the full script for that.
+#
+# --history: appends one qplace.bench_history.v1 JSON line -- the same
+# instrumented solve's deterministic counters plus host metadata and the
+# git revision -- to BENCH_history.jsonl at the repository root. `qplace
+# analyze --trend BENCH_history.jsonl` then reports the per-counter
+# trajectory across appends and fails when the newest entry regressed
+# beyond tolerance vs the rolling median baseline. Like --quick it needs
+# only the qplace binary.
 set -euo pipefail
 
 quick=0
+history=0
 if [[ "${1:-}" == "--quick" ]]; then
   quick=1
+  shift
+elif [[ "${1:-}" == "--history" ]]; then
+  history=1
   shift
 fi
 
@@ -58,6 +70,56 @@ if [[ "$quick" == 1 ]]; then
          "re-run bench/run_bench.sh (no --quick) to re-baseline" >&2
     exit 1
   fi
+  exit 0
+fi
+
+if [[ "$history" == 1 ]]; then
+  qplace_bin="$build_dir/tools/qplace"
+  if [[ ! -x "$qplace_bin" ]]; then
+    echo "error: $qplace_bin not built" \
+         "(run: cmake --build $build_dir --target qplace_cli)" >&2
+    exit 1
+  fi
+  history_json="$repo_root/BENCH_history.jsonl"
+  fresh="$work_dir/solve_stats.json"
+  echo "== bench history append -> $history_json"
+  # The same instrumented solve --quick gates on; its deterministic
+  # counters are the per-PR perf trajectory `analyze --trend` reads.
+  "$qplace_bin" solve --system grid --k 2 --topology geometric --nodes 16 \
+    --algorithm qpp --alpha 2 --seed 1 --stats-out "$fresh" >/dev/null
+  host_nproc="$(nproc 2>/dev/null || echo unknown)"
+  host_kernel="$(uname -srm 2>/dev/null || echo unknown)"
+  host_cpu_model="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo \
+                    2>/dev/null | head -1)"
+  host_git_sha="$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null \
+                  || echo unknown)"
+  BENCH_HOST_NPROC="$host_nproc" BENCH_HOST_KERNEL="$host_kernel" \
+  BENCH_HOST_CPU_MODEL="$host_cpu_model" BENCH_HOST_GIT_SHA="$host_git_sha" \
+  python3 - "$fresh" "$history_json" <<'PY'
+import json
+import os
+import sys
+
+stats_path, history_path = sys.argv[1], sys.argv[2]
+with open(stats_path) as f:
+    report = json.load(f)
+entry = {
+    "schema": "qplace.bench_history.v1",
+    "git_sha": os.environ.get("BENCH_HOST_GIT_SHA"),
+    "host": {
+        "nproc": os.environ.get("BENCH_HOST_NPROC"),
+        "kernel": os.environ.get("BENCH_HOST_KERNEL"),
+        "cpu_model": os.environ.get("BENCH_HOST_CPU_MODEL"),
+    },
+    "instance_digest": report["context"].get("instance_digest"),
+    "counters": report["deterministic"]["counters"],
+}
+with open(history_path, "a") as f:
+    json.dump(entry, f, sort_keys=True)
+    f.write("\n")
+print(f"appended entry for git_sha {entry['git_sha']} "
+      f"({len(entry['counters'])} counters)")
+PY
   exit 0
 fi
 

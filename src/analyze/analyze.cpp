@@ -578,6 +578,32 @@ ReportDiff diff_run_reports(const json::Value& base, const json::Value& cand) {
     }
     diff.timers.push_back(entry);
   }
+
+  // Resources (peak RSS, page faults): wall-class like timers -- a report
+  // from a non-POSIX build simply has no "resources" object, and a missing
+  // side is reported as 0 rather than gating anything.
+  const json::Value* base_res =
+      base_nondet != nullptr ? base_nondet->find("resources") : nullptr;
+  const json::Value* cand_res =
+      cand_nondet != nullptr ? cand_nondet->find("resources") : nullptr;
+  std::set<std::string> resource_names;
+  if (base_res != nullptr) {
+    for (const auto& [name, value] : base_res->object) {
+      resource_names.insert(name);
+    }
+  }
+  if (cand_res != nullptr) {
+    for (const auto& [name, value] : cand_res->object) {
+      resource_names.insert(name);
+    }
+  }
+  for (const std::string& name : resource_names) {
+    ResourceDiff entry;
+    entry.name = name;
+    if (base_res != nullptr) entry.base = base_res->get_number(name, 0.0);
+    if (cand_res != nullptr) entry.cand = cand_res->get_number(name, 0.0);
+    diff.resources.push_back(entry);
+  }
   return diff;
 }
 

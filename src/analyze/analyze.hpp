@@ -213,6 +213,13 @@ struct TimerDiff {
   double ms_base = 0.0, ms_cand = 0.0;
 };
 
+/// Process-resource comparison (nondeterministic "resources" object: peak
+/// RSS, page faults) -- wall-class, informational only, never gated.
+struct ResourceDiff {
+  std::string name;
+  double base = 0.0, cand = 0.0;
+};
+
 struct ReportDiff {
   /// Non-empty when the documents are not comparable (schema mismatch,
   /// disagreeing instance digests); every other field is then unset.
@@ -227,6 +234,7 @@ struct ReportDiff {
   std::vector<SeriesDiff> series;       // deterministic -- gated
   std::vector<HistogramDiff> histograms;  // deterministic -- reported
   std::vector<TimerDiff> timers;        // nondeterministic -- informational
+  std::vector<ResourceDiff> resources;  // nondeterministic -- informational
 
   /// Largest relative counter drift (0 when there are no counters);
   /// +infinity when a counter or series exists on only one side, a series

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file trend.hpp
+/// Bench-history trend analysis: reads the `qplace.bench_history.v1` lines
+/// appended by `bench/run_bench.sh --history` (one JSON object per line in
+/// BENCH_history.jsonl) and compares the newest entry's work counters
+/// against a rolling baseline of the preceding entries.
+///
+/// The baseline for each counter is the **median** over the up-to-`window`
+/// most recent prior entries whose `instance_digest` matches the newest
+/// entry's (the bench instance is pinned, so a digest change means the
+/// bench itself changed and history restarts). The median makes the gate
+/// robust to a single outlier entry poisoning the baseline.
+///
+/// Gating follows the deterministic-counter discipline of analyze.hpp:
+/// counters are exact work measures, so an *increase* beyond the tolerance
+/// is a perf regression (exit 1 from `qplace analyze --trend`); a decrease
+/// is reported as an improvement but never gates; a counter that vanishes
+/// from the newest entry gates like an infinite drift (the instrument
+/// disappeared -- usually a broken build, not an optimization); a counter
+/// appearing for the first time is reported but not gated (no baseline).
+/// With fewer than two usable entries there is no baseline and nothing
+/// gates -- the trend is "no history yet", exit 0.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace qp::obs {
+
+struct TrendOptions {
+  /// Relative increase over the rolling baseline that gates.
+  double tolerance = 0.10;
+  /// Number of prior entries the rolling baseline is computed over.
+  std::size_t window = 5;
+};
+
+/// One counter's trajectory across the history window.
+struct TrendCounter {
+  std::string name;
+  bool in_baseline = false;  ///< at least one prior entry has it
+  bool in_latest = false;
+  double baseline = 0.0;        ///< median over the window (when in_baseline)
+  std::uint64_t latest = 0;     ///< newest entry's value (when in_latest)
+  std::size_t samples = 0;      ///< prior entries contributing to baseline
+  std::vector<double> history;  ///< window values oldest -> newest (no latest)
+
+  /// Signed relative change vs baseline: (latest - baseline) /
+  /// max(baseline, 1). +infinity for a vanished counter; 0 for a new one
+  /// (nothing to regress against).
+  double rel_change() const;
+  /// The gating magnitude: positive rel_change (increase or vanish), else 0.
+  double regression() const;
+};
+
+struct TrendAnalysis {
+  /// Non-empty when the history is unusable (no valid entries); every other
+  /// field is then unset.
+  std::string error;
+
+  std::string instance_digest;  ///< digest the trend is computed for
+  std::string latest_git_sha;   ///< provenance of the newest entry
+  std::size_t entries_total = 0;    ///< parsed history lines seen
+  std::size_t entries_skipped = 0;  ///< wrong schema or digest mismatch
+  std::size_t baseline_entries = 0;  ///< prior entries in the window
+  /// False when there is no baseline to gate against (single entry, or all
+  /// prior entries skipped): regressions cannot be assessed, exit 0.
+  bool gated = false;
+
+  std::vector<TrendCounter> counters;
+
+  /// Largest TrendCounter::regression() (0 when not gated or none regressed).
+  double max_regression() const;
+  bool ok(double tolerance) const {
+    return error.empty() && (!gated || max_regression() <= tolerance);
+  }
+};
+
+/// Analyzes parsed history lines, oldest first (file order of
+/// BENCH_history.jsonl). Lines that are not `qplace.bench_history.v1`
+/// objects, or whose instance digest disagrees with the newest valid
+/// entry's, are skipped and counted in `entries_skipped`.
+TrendAnalysis analyze_trend(const std::vector<json::Value>& entries,
+                            const TrendOptions& options = {});
+
+}  // namespace qp::obs

@@ -1,6 +1,7 @@
 #include "exec/parallel.hpp"
 
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 
 namespace qp::exec {
 
@@ -31,7 +32,17 @@ void for_each_chunk(
     QP_COUNTER_ADD("exec.parallel_calls", 1);
     QP_COUNTER_ADD("exec.chunks", plan.num_chunks);
   }
+  // When a profile is being collected, capture the submitting thread's span
+  // path and re-install it around every chunk as an ambient frame. Worker
+  // threads (no spans open) then attribute chunk work to the same absolute
+  // path the inline path would, so the folded tree is thread-count
+  // invariant. Ambient frames bump no call counts and no wall time.
+  obs::ProfileCollector& profiler = obs::ProfileCollector::instance();
+  std::vector<const char*> profile_path;
+  const bool profiling = profiler.enabled();
+  if (profiling) profile_path = profiler.current_path();
   const auto run_chunk = [&](std::size_t chunk) {
+    obs::ProfileAmbientScope ambient(profiling ? &profile_path : nullptr);
     body(chunk, plan.begin(chunk), plan.end(chunk));
   };
   if (plan.num_chunks == 1 || nested) {

@@ -1,5 +1,6 @@
 #include "obs/obs.hpp"
 
+#include "obs/profile.hpp"
 #include "obs/trace.hpp"
 
 namespace qp::obs {
@@ -11,7 +12,13 @@ Registry& Registry::instance() {
 
 Counter& Registry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_[name];
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(name).first;
+    it->second.id_ = static_cast<std::uint32_t>(counter_names_.size());
+    counter_names_.push_back(name);
+  }
+  return it->second;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
@@ -34,6 +41,11 @@ std::map<std::string, std::uint64_t> Registry::counter_values() const {
   std::map<std::string, std::uint64_t> out;
   for (const auto& [name, counter] : counters_) out[name] = counter.value();
   return out;
+}
+
+std::vector<std::string> Registry::counter_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counter_names_;
 }
 
 std::map<std::string, double> Registry::gauge_values() const {
@@ -68,7 +80,12 @@ void Registry::reset_all() {
 }
 
 ScopedTimer::ScopedTimer(const char* name)
-    : name_(name), start_(std::chrono::steady_clock::now()) {}
+    : name_(name), start_(std::chrono::steady_clock::now()) {
+  if (profile_detail::g_profile_enabled.load(std::memory_order_relaxed)) {
+    profiled_ = true;
+    ProfileCollector::instance().on_span_enter(name_);
+  }
+}
 
 ScopedTimer::~ScopedTimer() {
   const auto end = std::chrono::steady_clock::now();
@@ -78,6 +95,9 @@ ScopedTimer::~ScopedTimer() {
   // Cache per call site would need the macro layer; a ScopedTimer is placed
   // at phase granularity, so one map lookup per activation is fine.
   Registry::instance().timer(name_).add(nanos);
+  if (profiled_) {
+    ProfileCollector::instance().on_span_exit(name_, nanos);
+  }
   TraceRecorder& recorder = TraceRecorder::instance();
   if (recorder.enabled()) {
     const double dur_us = static_cast<double>(nanos) / 1e3;

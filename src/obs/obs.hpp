@@ -44,18 +44,34 @@
 
 namespace qp::obs {
 
+class Registry;
+
+/// Profiler fast-path hooks (profile.cpp). Counter::add consults the flag
+/// with one relaxed load; only when a profile is being collected does it pay
+/// for per-thread attribution of the delta to the innermost open span.
+namespace profile_detail {
+extern std::atomic<bool> g_profile_enabled;
+void on_counter_add(std::uint32_t id, std::uint64_t delta);
+}  // namespace profile_detail
+
 /// Monotonic event counter. Address-stable once created by the Registry, so
 /// the QP_COUNTER_ADD macro may cache a reference across reset_all().
 class Counter {
  public:
   void add(std::uint64_t delta) {
     value_.fetch_add(delta, std::memory_order_relaxed);
+    if (profile_detail::g_profile_enabled.load(std::memory_order_relaxed)) {
+      profile_detail::on_counter_add(id_, delta);
+    }
   }
   std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  friend class Registry;  // assigns id_ at registration
+
   std::atomic<std::uint64_t> value_{0};
+  std::uint32_t id_ = 0;  ///< registry-assigned, index into counter_names()
 };
 
 /// Last-write-wins double value.
@@ -106,6 +122,9 @@ class Registry {
   /// Snapshots for export/tests. Counters with value 0 are included, so a
   /// snapshot after reset_all() still lists every instrument ever touched.
   std::map<std::string, std::uint64_t> counter_values() const;
+  /// Counter names indexed by the id stamped into each Counter at
+  /// registration; the profiler uses it to turn ids back into names.
+  std::vector<std::string> counter_names() const;
   std::map<std::string, double> gauge_values() const;
   /// name -> (calls, total milliseconds).
   std::map<std::string, std::pair<std::uint64_t, double>> timer_values() const;
@@ -120,6 +139,7 @@ class Registry {
 
   mutable std::mutex mutex_;
   std::map<std::string, Counter> counters_;
+  std::vector<std::string> counter_names_;  ///< index == Counter::id_
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, TimerStat> timers_;
   std::map<std::string, std::vector<double>> series_;
@@ -138,6 +158,9 @@ class ScopedTimer {
  private:
   const char* name_;
   std::chrono::steady_clock::time_point start_;
+  /// Snapshot of the profiler flag at entry, so enter/exit events stay
+  /// paired even if the profiler is toggled mid-span.
+  bool profiled_ = false;
 };
 
 /// True when the instrumentation macros are compiled in.

@@ -1,0 +1,150 @@
+#pragma once
+
+/// \file profile.hpp
+/// Work-attribution profiler: folds span enter/exit events and counter
+/// increments into a call-tree profile keyed by span path (e.g.
+/// "ssqpp.solve/ssqpp.lp/lp.solve"), where every node carries
+///
+///  - a **deterministic** map of work-counter deltas attributed to that
+///    span's own code (self attribution: each QP_COUNTER_ADD is credited to
+///    the innermost span open on the executing thread, exactly once), and
+///  - a **nondeterministic** pair of wall time and call counts.
+///
+/// The deterministic half obeys the docs/PARALLEL.md contract: per-path
+/// counter sums are byte-identical at `--threads 1` and `--threads 8`.
+/// Two mechanisms make that hold:
+///
+///  1. Self attribution. A counter increment accrues to the innermost open
+///     span *on its own thread*, so no delta is ever double-counted or
+///     raced between threads; per-path sums are plain commutative sums of
+///     per-increment contributions, and the determinism contract fixes the
+///     multiset of increments per span instance.
+///  2. Ambient paths. exec::for_each_chunk captures the submitting thread's
+///     current span path and re-installs it around every chunk (an
+///     "ambient" frame). A chunk that lands on a worker thread -- where no
+///     spans are open -- then attributes its work to the same absolute path
+///     it would have used had it run inline under the caller's spans.
+///     Ambient frames bump no call counts and no wall time; they only
+///     anchor attribution.
+///
+/// Like the TraceRecorder, each recording thread owns a fixed ring of
+/// events; a full ring overwrites the oldest event. An evicted *exit* event
+/// carries attributed data, which is folded into an explicit `<truncated>`
+/// node (child of the root) instead of being dropped, and spans whose enter
+/// was evicted re-parent under the same `<truncated>` node rather than
+/// mis-parenting their children. Rings are sized (2^16 events/thread) so
+/// realistic runs never evict; `Profile::dropped` says when one did, which
+/// also voids the cross-thread-count byte-identity promise for that run
+/// (the CLI warns).
+///
+/// Folding happens once, from sequential code, after parallel regions have
+/// completed. No wall clock is read here -- span durations arrive from
+/// ScopedTimer, so the profile itself stays clock-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qp::obs {
+
+/// One node of the folded profile. `counters` is the deterministic subtree;
+/// `calls`/`total_nanos` (and derived self time) are wall-class data.
+struct ProfileNode {
+  std::uint64_t calls = 0;
+  std::int64_t total_nanos = 0;
+  std::map<std::string, std::uint64_t> counters;  ///< self-attributed deltas
+  std::map<std::string, ProfileNode> children;    ///< keyed by span name
+
+  /// Wall time not covered by child spans, clamped at 0 (clock jitter can
+  /// make children sum past the parent).
+  std::int64_t self_nanos() const;
+};
+
+/// A folded profile plus its provenance. Rendered as one
+/// `qplace.profile.v1` JSON document and/or as folded stacks for
+/// flamegraph renderers.
+struct Profile {
+  ProfileNode root;            ///< synthetic "(root)"; no calls of its own
+  std::uint64_t dropped = 0;   ///< ring-evicted events across all threads
+  std::uint64_t threads = 0;   ///< per-thread rings merged
+
+  /// Serializes the `qplace.profile.v1` document: schema, command, context,
+  /// a "deterministic" subtree of {counters, children} per node and a
+  /// "nondeterministic" subtree of {calls, self_ms, total_ms, children}.
+  /// Keys are sorted, so equal deterministic data means equal bytes.
+  std::string to_json(const std::string& command,
+                      const std::map<std::string, std::string>& context) const;
+
+  /// Folded-stack lines ("a;b;c <self-wall-micros>\n" per node), the input
+  /// format of standard flamegraph renderers (flamegraph.pl, inferno,
+  /// speedscope). Wall-derived and therefore nondeterministic.
+  std::string to_folded() const;
+};
+
+/// Process-wide profile event collector. Enabled by `--profile-out`
+/// (tools/qplace.cpp); recording costs one relaxed atomic load when off.
+class ProfileCollector {
+ public:
+  static ProfileCollector& instance();
+
+  /// Enables/disables recording (spans, ambient frames, counter deltas).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Span hooks, called by ScopedTimer when enabled. The duration is
+  /// supplied by the timer so the profiler never reads a clock.
+  void on_span_enter(const char* name);
+  void on_span_exit(const char* name, std::int64_t dur_nanos);
+
+  /// The calling thread's current absolute span path (ambient frame + the
+  /// spans opened above it, or all open spans when no ambient frame is
+  /// active). Used by exec::for_each_chunk to capture the submission path.
+  std::vector<const char*> current_path() const;
+
+  /// Installs / removes an ambient frame: attribution jumps to the absolute
+  /// \p path (names must be string literals) without bumping call counts.
+  /// Prefer ProfileAmbientScope.
+  void ambient_enter(const std::vector<const char*>& path);
+  void ambient_exit();
+
+  /// Events overwritten because some ring was full.
+  std::uint64_t dropped_count() const;
+
+  /// Drops all recorded events and per-thread accumulators. Call from
+  /// sequential code between runs that must be compared.
+  void clear();
+
+  /// Merges every thread's ring into one profile. \p counter_names maps
+  /// counter ids to registry names (Registry::counter_names()). Call from
+  /// sequential code after parallel regions have completed.
+  Profile fold(const std::vector<std::string>& counter_names) const;
+
+  /// Ring capacity per recording thread.
+  static constexpr std::size_t kRingCapacity = 1 << 16;
+
+  /// Name of the node that absorbs ring-evicted attribution.
+  static constexpr const char* kTruncatedName = "<truncated>";
+
+  /// Opaque per-thread state; defined in profile.cpp only.
+  struct ThreadState;
+
+ private:
+  ProfileCollector() = default;
+};
+
+/// RAII ambient frame. Pass nullptr to make the scope a no-op (the disabled
+/// / empty-path case), so call sites stay branch-free.
+class ProfileAmbientScope {
+ public:
+  explicit ProfileAmbientScope(const std::vector<const char*>* path);
+  ~ProfileAmbientScope();
+  ProfileAmbientScope(const ProfileAmbientScope&) = delete;
+  ProfileAmbientScope& operator=(const ProfileAmbientScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace qp::obs

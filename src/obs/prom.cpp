@@ -92,6 +92,34 @@ std::string render_prometheus(const Registry& registry) {
   return out;
 }
 
+std::string render_build_info(const std::string& git_sha,
+                              const std::string& version,
+                              bool obs_compiled_in) {
+  const auto append_label_value = [](std::string& out,
+                                     const std::string& value) {
+    for (const char c : value) {
+      if (c == '\\' || c == '"') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+  };
+  std::string out;
+  append_type(out, "qplace_build_info", "gauge");
+  out += "qplace_build_info{git_sha=\"";
+  append_label_value(out, git_sha);
+  out += "\",obs=\"";
+  out += obs_compiled_in ? "true" : "false";
+  out += "\",version=\"";
+  append_label_value(out, version);
+  out += "\"} 1\n";
+  return out;
+}
+
 void append_prometheus_summary(std::string& out, const std::string& name,
                                const HistogramPoint& point) {
   const std::string base = prometheus_name(name);

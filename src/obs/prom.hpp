@@ -48,4 +48,14 @@ std::string render_prometheus(const Registry& registry);
 void append_prometheus_summary(std::string& out, const std::string& name,
                                const HistogramPoint& point);
 
+/// Renders the constant build-identity gauge
+///   qplace_build_info{git_sha="...",obs="true",version="..."} 1
+/// so scrapes can correlate live metrics with the producing build --
+/// mirroring the RunReport context block (git_sha / obs_compiled_in).
+/// Label values are escaped per the exposition format (backslash, quote,
+/// newline).
+std::string render_build_info(const std::string& git_sha,
+                              const std::string& version,
+                              bool obs_compiled_in);
+
 }  // namespace qp::obs

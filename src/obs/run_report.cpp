@@ -4,6 +4,10 @@
 #include <fstream>
 #include <stdexcept>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "obs/obs.hpp"
 
 namespace qp::obs {
@@ -143,6 +147,36 @@ std::string RunReport::to_json() const {
       rendered[name] = cell;
     }
     append_object(out, rendered);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Process-level resource footprint: wall-class data (the RSS peak depends
+  // on scheduling, allocator behavior, and thread count), so it lives
+  // outside the deterministic subtree. Sampled once, at the first
+  // serialization, so rendering a report twice yields equal bytes even
+  // though serialization itself faults pages. ru_maxrss is kilobytes on
+  // Linux, bytes on macOS -- normalized to kB here.
+  if (resources_json_.empty()) {
+    struct rusage usage {};
+    if (getrusage(RUSAGE_SELF, &usage) == 0) {
+      std::uint64_t max_rss_kb = static_cast<std::uint64_t>(usage.ru_maxrss);
+#if defined(__APPLE__)
+      max_rss_kb /= 1024;
+#endif
+      resources_json_ = "{\"max_rss_kb\": ";
+      append_uint(resources_json_, max_rss_kb);
+      resources_json_ += ", \"page_faults_major\": ";
+      append_uint(resources_json_,
+                  static_cast<std::uint64_t>(usage.ru_majflt));
+      resources_json_ += ", \"page_faults_minor\": ";
+      append_uint(resources_json_,
+                  static_cast<std::uint64_t>(usage.ru_minflt));
+      resources_json_ += "}";
+    }
+  }
+#endif
+  if (!resources_json_.empty()) {
+    out += ", \"resources\": ";
+    out += resources_json_;
   }
   for (const auto& [key, json] : extra_nondeterministic_) {
     out += ", ";

@@ -17,6 +17,9 @@
 ///     "nondeterministic": {           // wall clock, scheduling, host
 ///       "timers": {"<name>": {"calls": <uint>, "total_ms": <double>}, ...},
 ///       "gauges": {"<name>": <double>, ...},
+///       "resources": {"max_rss_kb": <uint>,  // getrusage(); POSIX only
+///                     "page_faults_major": <uint>,
+///                     "page_faults_minor": <uint>},
 ///       "<extra section>": {...}      // e.g. "pool" from exec
 ///     }
 ///   }
@@ -42,6 +45,12 @@ class RunReport {
   /// Adds a context key (echoed verbatim; use for flags, algorithm, seed).
   void set_context(const std::string& key, const std::string& value);
 
+  /// The accumulated context map; other artifact writers (the profiler's
+  /// `qplace.profile.v1` document) echo the same provenance block.
+  const std::map<std::string, std::string>& context() const {
+    return context_;
+  }
+
   /// Adds a named histogram to the deterministic section.
   void add_histogram(const std::string& name, const LogHistogram& histogram);
 
@@ -59,6 +68,10 @@ class RunReport {
   std::map<std::string, std::string> context_;
   std::map<std::string, std::string> histograms_;  // name -> rendered JSON
   std::map<std::string, std::string> extra_nondeterministic_;
+  // getrusage snapshot, rendered once at the first to_json() call so a
+  // report serializes to the same bytes every time (serialization itself
+  // faults pages and would otherwise perturb the counts).
+  mutable std::string resources_json_;
 };
 
 /// Writes `contents` to `path` atomically enough for CLI use (truncate +

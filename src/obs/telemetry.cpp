@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <iostream>
 #include <limits>
 #include <ostream>
 #include <stdexcept>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "obs/obs.hpp"
 #include "obs/prom.hpp"
@@ -249,14 +254,36 @@ std::string MetricsSnapshotter::prometheus_summaries() const {
   return out;
 }
 
+namespace {
+
+/// In-place redraws are only appropriate on an interactive terminal. For
+/// the standard streams the kernel knows the answer; any other ostream
+/// (test ostringstreams) has no file descriptor, and a caller wiring one up
+/// explicitly asked for output, so it counts as live.
+bool stream_is_tty(const std::ostream& out) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (&out == &std::cerr || &out == &std::clog) return isatty(2) != 0;
+  if (&out == &std::cout) return isatty(1) != 0;
+#endif
+  return true;
+}
+
+}  // namespace
+
 ProgressMeter::ProgressMeter(std::ostream& out, double certified_bound)
+    : ProgressMeter(out, certified_bound, stream_is_tty(out)) {}
+
+ProgressMeter::ProgressMeter(std::ostream& out, double certified_bound,
+                             bool live)
     : out_(out),
       certified_bound_(certified_bound),
+      live_(live),
       start_(std::chrono::steady_clock::now()),
       last_draw_(start_) {}
 
 void ProgressMeter::update(const ProgressStats& stats) {
   last_stats_ = stats;
+  if (!live_) return;  // non-TTY: only finish() writes anything
   const auto now = std::chrono::steady_clock::now();
   // ~10 redraws/s keeps a fast event loop from spending its time on stderr.
   if (drew_ && now - last_draw_ < std::chrono::milliseconds(100)) return;
@@ -286,9 +313,9 @@ void ProgressMeter::draw(const ProgressStats& stats) {
           : 0.0;
   char line[256];
   std::snprintf(line, sizeof(line),
-                "\rsim %3.0f%% t=%.0f/%.0f | %lld ok + %lld failed (%.0f/s) "
+                "%ssim %3.0f%% t=%.0f/%.0f | %lld ok + %lld failed (%.0f/s) "
                 "| avail %.4f",
-                percent, stats.sim_time, stats.duration,
+                live_ ? "\r" : "", percent, stats.sim_time, stats.duration,
                 static_cast<long long>(stats.completed),
                 static_cast<long long>(stats.failed), rate,
                 stats.availability);
@@ -302,7 +329,7 @@ void ProgressMeter::draw(const ProgressStats& stats) {
       out_ << line;
     }
   }
-  out_ << "    ";  // erase leftovers from a longer previous line
+  if (live_) out_ << "    ";  // erase leftovers from a longer previous line
   out_.flush();
 }
 

@@ -144,15 +144,32 @@ struct ProgressStats {
 /// Redraws in place (carriage return, no newline) at most every ~100 ms of
 /// wall time; finish() draws the final state and terminates the line. The
 /// accesses/s rate is wall-clock derived and purely informational.
+///
+/// When the underlying stream is one of the standard streams and it is not
+/// attached to a TTY (CI logs, `2>file` redirections), live redraws are
+/// suppressed automatically: update() only records the latest stats and
+/// finish() prints a single plain summary line -- no carriage returns or
+/// erase padding ever reach a log file.
 class ProgressMeter {
  public:
   /// \p certified_bound is the analytic delay bound the p99 is compared
   /// against (e.g. the Thm 1.2 certified mean bound); pass NaN to omit the
   /// comparison. \p out must outlive the meter (typically std::cerr).
+  /// Liveness is auto-detected: isatty(stderr) for std::cerr/std::clog,
+  /// isatty(stdout) for std::cout, live for any other stream (an
+  /// ostringstream in tests has no file descriptor to consult).
   ProgressMeter(std::ostream& out, double certified_bound);
 
+  /// As above with liveness forced; for tests and callers that already know
+  /// the answer (e.g. an explicit --progress=plain mode).
+  ProgressMeter(std::ostream& out, double certified_bound, bool live);
+
+  /// True when in-place redraws are active.
+  bool live() const { return live_; }
+
   void update(const ProgressStats& stats);
-  /// Final unthrottled redraw plus a newline; idempotent.
+  /// Final unthrottled redraw plus a newline; idempotent. In non-live mode
+  /// this is the only output the meter produces.
   void finish();
 
  private:
@@ -160,6 +177,7 @@ class ProgressMeter {
 
   std::ostream& out_;
   double certified_bound_;
+  bool live_;
   std::chrono::steady_clock::time_point start_;
   std::chrono::steady_clock::time_point last_draw_;
   ProgressStats last_stats_;

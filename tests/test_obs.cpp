@@ -296,8 +296,16 @@ TEST(RunReport, JsonFollowsSchema) {
     EXPECT_NE(json.find("\"test.report_counter\": 7"), std::string::npos);
     EXPECT_NE(json.find("\"test.report_series\""), std::string::npos);
   }
+#if defined(__unix__) || defined(__APPLE__)
+  // Process resource footprint rides in the nondeterministic section on
+  // POSIX hosts (getrusage): peak RSS plus major/minor page faults.
+  EXPECT_NE(json.find("\"resources\": {\"max_rss_kb\": "), std::string::npos);
+  EXPECT_NE(json.find("\"page_faults_major\": "), std::string::npos);
+  EXPECT_NE(json.find("\"page_faults_minor\": "), std::string::npos);
+#endif
   // Equal data must serialize to equal bytes (sorted keys, no timestamps in
-  // the deterministic section).
+  // the deterministic section; the getrusage sample is frozen at the first
+  // serialization).
   EXPECT_EQ(json, report.to_json());
 }
 

@@ -240,6 +240,70 @@ TEST(Telemetry, ProgressMeterDrawsAndFinishesIdempotently) {
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
 }
 
+TEST(Telemetry, ProgressMeterNonLiveSuppressesRedrawsUntilFinish) {
+  std::ostringstream out;
+  obs::ProgressMeter meter(out, 2.0, /*live=*/false);
+  EXPECT_FALSE(meter.live());
+  obs::ProgressStats stats;
+  stats.sim_time = 250.0;
+  stats.duration = 1000.0;
+  stats.resolved = 10;
+  stats.completed = 10;
+  meter.update(stats);
+  EXPECT_TRUE(out.str().empty()) << out.str();  // updates only record stats
+  stats.sim_time = 900.0;
+  stats.completed = 42;
+  meter.update(stats);
+  EXPECT_TRUE(out.str().empty()) << out.str();
+  meter.finish();
+
+  // One plain summary line of the *latest* stats: no carriage returns to
+  // re-draw in place, no erase padding -- safe in a redirected log.
+  const std::string text = out.str();
+  EXPECT_EQ(text.find('\r'), std::string::npos) << text;
+  EXPECT_NE(text.find("sim  90%"), std::string::npos) << text;
+  EXPECT_NE(text.find("42 ok"), std::string::npos) << text;
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Telemetry, ProgressMeterExplicitLiveKeepsCarriageReturns) {
+  std::ostringstream out;
+  obs::ProgressMeter meter(out, std::nan(""), /*live=*/true);
+  EXPECT_TRUE(meter.live());
+  obs::ProgressStats stats;
+  stats.sim_time = 1.0;
+  stats.duration = 10.0;
+  meter.update(stats);
+  EXPECT_NE(out.str().find('\r'), std::string::npos);
+}
+
+TEST(Telemetry, ProgressMeterAutoDetectTreatsPlainStreamsAsLive) {
+  // An ostringstream has no file descriptor to consult; the two-argument
+  // constructor must keep the historical live behavior for it.
+  std::ostringstream out;
+  obs::ProgressMeter meter(out, 2.0);
+  EXPECT_TRUE(meter.live());
+}
+
+TEST(Telemetry, RenderBuildInfoEmitsConstantGaugeWithEscapedLabels) {
+  const std::string text =
+      obs::render_build_info("abc1234", "1.2.3", /*obs_compiled_in=*/true);
+  EXPECT_NE(text.find("# TYPE qplace_build_info gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("qplace_build_info{git_sha=\"abc1234\",obs=\"true\","
+                "version=\"1.2.3\"} 1\n"),
+      std::string::npos)
+      << text;
+
+  const std::string hostile =
+      obs::render_build_info("a\"b\\c\nd", "v", /*obs_compiled_in=*/false);
+  EXPECT_NE(hostile.find("git_sha=\"a\\\"b\\\\c\\nd\""), std::string::npos)
+      << hostile;
+  EXPECT_NE(hostile.find("obs=\"false\""), std::string::npos) << hostile;
+}
+
 TEST(Telemetry, ProgressMeterOmitsP99AndBoundWhenUnavailable) {
   std::ostringstream out;
   obs::ProgressMeter meter(out, std::nan(""));  // no certified bound

@@ -46,9 +46,12 @@
 #include "net/http_server.hpp"
 #include "obs/access_log.hpp"
 #include "analyze/analyze.hpp"
+#include "analyze/profile_diff.hpp"
 #include "analyze/trace_check.hpp"
+#include "analyze/trend.hpp"
 #include "obs/json.hpp"
 #include "obs/obs.hpp"
+#include "obs/profile.hpp"
 #include "obs/prom.hpp"
 #include "obs/run_report.hpp"
 #include "obs/telemetry.hpp"
@@ -73,6 +76,12 @@
 #define QPLACE_GIT_SHA "unknown"
 #endif
 
+// Release identity for the Prometheus qplace_build_info gauge; stamped by
+// tools/CMakeLists.txt from the project version.
+#ifndef QPLACE_VERSION
+#define QPLACE_VERSION "0.0.0"
+#endif
+
 namespace {
 
 using namespace qp;
@@ -88,7 +97,13 @@ int usage() {
       "             add --faults FILE to cross-check retries/availability\n"
       "             against the fault schedule that drove the run);\n"
       "             with --diff A --against B [--tolerance T]: structured\n"
-      "             run-report diff, exit 1 on deterministic counter drift\n"
+      "             run-report diff, exit 1 on deterministic counter drift;\n"
+      "             with --profile-diff A --against B [--tolerance T]\n"
+      "             [--wall-tolerance W]: per-node profile diff (counters\n"
+      "             gated exact, wall ratios gated only with W);\n"
+      "             with --trend BENCH_history.jsonl [--tolerance T]\n"
+      "             [--window N]: per-counter trajectory vs the rolling\n"
+      "             median baseline, exit 1 on a regression beyond T\n"
       "  solve      place a quorum system on a topology\n"
       "  simulate   message-level simulation of a solved placement\n"
       "             (--warmup W --jitter J --relay route via Thm 1.2 v0);\n"
@@ -108,6 +123,12 @@ int usage() {
       "                    (phase timers, solver counters, histograms)\n"
       "  --trace-out FILE  record phase spans and write Chrome trace_event\n"
       "                    JSON loadable in chrome://tracing or Perfetto\n"
+      "  --profile-out FILE (solve|simulate) fold spans + counter deltas\n"
+      "                    into a qplace.profile.v1 call-tree profile; the\n"
+      "                    per-node counter attribution is deterministic\n"
+      "                    (byte-identical for any --threads)\n"
+      "  --profile-folded FILE  folded-stack sidecar for flamegraph\n"
+      "                    renderers (default: <profile-out>.folded)\n"
       "  --access-log FILE (simulate) write one qplace.access_log.v2 JSONL\n"
       "                    record per resolved access; sampling via\n"
       "                    --access-log-sample R (keep fraction R) and\n"
@@ -137,6 +158,8 @@ class ObsSession {
   ObsSession(const cli::ParsedArgs& args, int threads)
       : stats_path_(args.get("stats-out", "")),
         trace_path_(args.get("trace-out", "")),
+        profile_path_(args.get("profile-out", "")),
+        command_(args.command()),
         report_(args.command()) {
     report_.set_context("threads", std::to_string(threads));
     report_.set_context("git_sha", QPLACE_GIT_SHA);
@@ -149,6 +172,14 @@ class ObsSession {
     }
     if (!trace_path_.empty()) {
       obs::TraceRecorder::instance().set_enabled(true);
+    }
+    if (!profile_path_.empty()) {
+      // The sidecar is only meaningful next to a profile, so the flag is
+      // read (and defaulted) only when --profile-out is present; a lone
+      // --profile-folded surfaces as an unused-flag warning.
+      folded_path_ = args.get("profile-folded", profile_path_ + ".folded");
+      obs::ProfileCollector::instance().clear();
+      obs::ProfileCollector::instance().set_enabled(true);
     }
   }
 
@@ -179,6 +210,26 @@ class ObsSession {
               ", \"dropped\": " + std::to_string(dropped) + "}");
       obs::write_file(trace_path_, recorder.to_chrome_json());
     }
+    if (!profile_path_.empty()) {
+      obs::ProfileCollector& collector = obs::ProfileCollector::instance();
+      collector.set_enabled(false);
+      const obs::Profile profile =
+          collector.fold(obs::Registry::instance().counter_names());
+      // A full ring folds evicted attribution into the <truncated> node --
+      // totals survive, but *placement* of that work is lost, which also
+      // voids the cross-thread-count byte-identity promise for this run.
+      if (profile.dropped > 0) {
+        std::cerr << "warning: profile ring overflow: " << profile.dropped
+                  << " events folded into '<truncated>' (per-thread "
+                     "capacity "
+                  << obs::ProfileCollector::kRingCapacity
+                  << ") -- per-node attribution is incomplete and no longer "
+                     "thread-count invariant\n";
+      }
+      obs::write_file(profile_path_,
+                      profile.to_json(command_, report_.context()));
+      obs::write_file(folded_path_, profile.to_folded());
+    }
     if (!stats_path_.empty()) {
       report_.add_nondeterministic_json("pool", exec::pool_stats_json());
       obs::write_file(stats_path_, report_.to_json());
@@ -188,6 +239,9 @@ class ObsSession {
  private:
   std::string stats_path_;
   std::string trace_path_;
+  std::string profile_path_;
+  std::string folded_path_;
+  std::string command_;
   obs::RunReport report_;
 };
 
@@ -507,6 +561,20 @@ int cmd_analyze_diff(const cli::ParsedArgs& args) {
     timers.print(std::cout);
   }
 
+  if (!diff.resources.empty()) {
+    std::cout << "\nprocess resources (NONDETERMINISTIC, never gated):\n";
+    report::Table resources({"resource", "base", "candidate", "ratio"});
+    for (const obs::ResourceDiff& entry : diff.resources) {
+      resources.add_row(
+          {entry.name, report::Table::num(entry.base, 0),
+           report::Table::num(entry.cand, 0),
+           entry.base > 0.0
+               ? report::Table::num(entry.cand / entry.base, 3)
+               : "-"});
+    }
+    resources.print(std::cout);
+  }
+
   const double drift = diff.max_deterministic_drift();
   const bool ok = diff.deterministic_ok(tolerance);
   std::cout << "\nmax deterministic drift: " << report::Table::num(drift, 6)
@@ -533,6 +601,188 @@ int cmd_analyze_diff(const cli::ParsedArgs& args) {
       }
     }
   }
+  return ok ? 0 : 1;
+}
+
+/// `qplace analyze --profile-diff BASE --against CAND [--tolerance T]
+/// [--wall-tolerance W]`: structured diff of two qplace.profile.v1
+/// documents. Per-node counter attribution is deterministic and gated on T
+/// (default 0, like --diff); per-node wall time is nondeterministic and
+/// gated only when --wall-tolerance is passed. Exit 0 = within tolerance,
+/// 1 = drift, 2 = not comparable.
+int cmd_analyze_profile_diff(const cli::ParsedArgs& args) {
+  const std::string base_path = args.get("profile-diff", "");
+  const std::string cand_path = args.require("against");
+  const double tolerance = args.get_double("tolerance", 0.0);
+  const bool wall_gated = !args.get("wall-tolerance", "").empty();
+  const double wall_tolerance = args.get_double("wall-tolerance", 0.0);
+
+  obs::json::Value base;
+  obs::json::Value cand;
+  try {
+    base = load_json_file(base_path);
+    cand = load_json_file(cand_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const obs::ProfileDiff diff = obs::diff_profiles(base, cand);
+  if (!diff.error.empty()) {
+    std::cerr << "error: " << diff.error << "\n";
+    return 2;
+  }
+
+  std::cout << "profile diff: " << base_path << " (base) vs " << cand_path
+            << " (candidate)\n";
+
+  if (!diff.structure.empty()) {
+    std::cout << "\nstructural drift (node paths on one side only -- gated "
+                 "like infinite drift):\n";
+    report::Table structure({"path", "where"});
+    for (const obs::ProfileStructureDiff& entry : diff.structure) {
+      structure.add_row({entry.path.empty() ? "(root)" : entry.path,
+                         entry.in_base ? "only in base" : "only in cand"});
+    }
+    structure.print(std::cout);
+  }
+
+  std::size_t drifted = 0;
+  report::Table counters({"path", "counter", "base", "candidate", "drift"});
+  for (const obs::ProfileCounterDiff& entry : diff.counters) {
+    if (entry.rel_drift() == 0.0) continue;
+    ++drifted;
+    counters.add_row(
+        {entry.path.empty() ? "(root)" : entry.path, entry.counter,
+         entry.in_base ? std::to_string(entry.base) : "-",
+         entry.in_cand ? std::to_string(entry.cand) : "-",
+         report::Table::num(entry.rel_drift(), 4)});
+  }
+  std::cout << "\ndeterministic per-node counters (gated, tolerance "
+            << report::Table::num(tolerance, 4) << "): " << drifted << " of "
+            << diff.counters.size() << " attributions drifted\n";
+  if (drifted > 0) counters.print(std::cout);
+
+  if (!diff.walls.empty()) {
+    std::cout << "\nper-node wall time (NONDETERMINISTIC, "
+              << (wall_gated ? "gated, tolerance " +
+                                   report::Table::num(wall_tolerance, 4)
+                             : std::string("never gated"))
+              << "):\n";
+    report::Table walls({"path", "calls b/c", "total ms b/c", "ratio"});
+    for (const obs::ProfileWallDiff& entry : diff.walls) {
+      walls.add_row({entry.path.empty() ? "(root)" : entry.path,
+                     report::Table::num(entry.calls_base, 0) + "/" +
+                         report::Table::num(entry.calls_cand, 0),
+                     report::Table::num(entry.total_ms_base, 3) + "/" +
+                         report::Table::num(entry.total_ms_cand, 3),
+                     entry.total_ms_base > 0.0
+                         ? report::Table::num(
+                               entry.total_ms_cand / entry.total_ms_base, 3)
+                         : "-"});
+    }
+    walls.print(std::cout);
+  }
+
+  const double drift = diff.max_deterministic_drift();
+  bool ok = diff.deterministic_ok(tolerance);
+  std::cout << "\nmax deterministic drift: " << report::Table::num(drift, 6)
+            << " (tolerance " << report::Table::num(tolerance, 6) << ") -- "
+            << (diff.deterministic_ok(tolerance) ? "OK" : "REGRESSION")
+            << "\n";
+  if (wall_gated) {
+    const double wall_drift = diff.max_wall_drift();
+    const bool wall_ok = wall_drift <= wall_tolerance;
+    std::cout << "max wall drift: " << report::Table::num(wall_drift, 6)
+              << " (tolerance " << report::Table::num(wall_tolerance, 6)
+              << ") -- " << (wall_ok ? "OK" : "REGRESSION") << "\n";
+    ok = ok && wall_ok;
+  }
+  return ok ? 0 : 1;
+}
+
+/// `qplace analyze --trend HISTORY.jsonl [--tolerance T] [--window N]`:
+/// per-counter trajectory of the bench history appended by
+/// `bench/run_bench.sh --history`. The newest entry is compared against the
+/// median of the up-to-N preceding same-instance entries; exit 1 when a
+/// counter grew beyond T over that baseline, 0 otherwise (including the
+/// no-baseline-yet case), 2 on unusable input.
+int cmd_analyze_trend(const cli::ParsedArgs& args) {
+  const std::string path = args.get("trend", "");
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open bench history '" << path << "'\n";
+    return 2;
+  }
+  std::vector<obs::json::Value> entries;
+  std::size_t bad_lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      entries.push_back(obs::json::parse(line));
+    } catch (const std::exception&) {
+      ++bad_lines;  // a corrupt line degrades the window, never the verdict
+    }
+  }
+  if (bad_lines > 0) {
+    std::cerr << "warning: " << bad_lines << " unparseable history line"
+              << (bad_lines == 1 ? "" : "s") << " skipped\n";
+  }
+
+  obs::TrendOptions options;
+  options.tolerance = args.get_double("tolerance", options.tolerance);
+  const int window = args.get_int("window", static_cast<int>(options.window));
+  if (window < 1) {
+    std::cerr << "error: --window must be >= 1\n";
+    return 2;
+  }
+  options.window = static_cast<std::size_t>(window);
+  const obs::TrendAnalysis trend = obs::analyze_trend(entries, options);
+  if (!trend.error.empty()) {
+    std::cerr << "error: " << path << ": " << trend.error << "\n";
+    return 2;
+  }
+
+  std::cout << "bench trend: " << path << " (" << trend.entries_total
+            << " lines, " << trend.baseline_entries
+            << " baseline entries in window, " << trend.entries_skipped
+            << " skipped)\nlatest entry: git_sha " << trend.latest_git_sha
+            << ", instance " << trend.instance_digest << "\n\n";
+
+  report::Table table(
+      {"counter", "baseline (median)", "latest", "change", "status"});
+  for (const obs::TrendCounter& entry : trend.counters) {
+    const double change = entry.rel_change();
+    std::string status;
+    if (!entry.in_latest) {
+      status = "VANISHED";
+    } else if (!entry.in_baseline) {
+      status = "new";
+    } else if (entry.regression() > options.tolerance) {
+      status = "REGRESSION";
+    } else if (change < 0.0) {
+      status = "improved";
+    } else {
+      status = "ok";
+    }
+    table.add_row(
+        {entry.name,
+         entry.in_baseline ? report::Table::num(entry.baseline, 1) : "-",
+         entry.in_latest ? std::to_string(entry.latest) : "-",
+         report::Table::num(change, 4), status});
+  }
+  table.print(std::cout);
+
+  if (!trend.gated) {
+    std::cout << "\nno baseline yet (" << trend.baseline_entries
+              << " comparable prior entries) -- nothing gated\n";
+    return 0;
+  }
+  const bool ok = trend.ok(options.tolerance);
+  std::cout << "\nmax regression: "
+            << report::Table::num(trend.max_regression(), 6) << " (tolerance "
+            << report::Table::num(options.tolerance, 6) << ", window "
+            << window << ") -- " << (ok ? "OK" : "REGRESSION") << "\n";
   return ok ? 0 : 1;
 }
 
@@ -600,6 +850,8 @@ int cmd_analyze_trace(const cli::ParsedArgs& args) {
 int cmd_analyze(const cli::ParsedArgs& args) {
   // --trace first: it also takes --access-log, so it must win the dispatch.
   if (args.has("trace")) return cmd_analyze_trace(args);
+  if (args.has("profile-diff")) return cmd_analyze_profile_diff(args);
+  if (args.has("trend")) return cmd_analyze_trend(args);
   if (args.has("diff")) return cmd_analyze_diff(args);
   if (args.has("access-log")) return cmd_analyze_access_log(args);
   const quorum::QuorumSystem system = cli::make_system(args);
@@ -938,7 +1190,9 @@ int cmd_simulate(const cli::ParsedArgs& args) {
     server.handle("/metrics", [&snapshotter](const net::HttpRequest&) {
       net::HttpResponse response;
       response.content_type = "text/plain; version=0.0.4; charset=utf-8";
-      response.body = obs::render_prometheus(obs::Registry::instance()) +
+      response.body = obs::render_build_info(QPLACE_GIT_SHA, QPLACE_VERSION,
+                                             obs::compiled_in()) +
+                      obs::render_prometheus(obs::Registry::instance()) +
                       snapshotter.prometheus_summaries();
       return response;
     });
